@@ -1,0 +1,72 @@
+"""Ablation benches for the stochastic engine: EM convergence orders and
+variance-reduction effectiveness (Higham-style studies, paper ref. [13])."""
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.stochastic import LinearSDE, OrnsteinUhlenbeck, euler_maruyama
+from repro.stochastic.montecarlo import strong_error_study, weak_error_study
+
+SEED = 20050307
+
+
+def _sde():
+    return LinearSDE([[-2.0]], [[0.5]], drift_offset=[1.0])
+
+
+def test_em_weak_convergence_order(benchmark):
+    sde = _sde()
+    exact = float(OrnsteinUhlenbeck(2.0, 0.5, 1.0).mean(1.0))
+
+    def study():
+        return weak_error_study(sde, [0.0], 1.0, exact,
+                                step_counts=(4, 8, 16, 32, 64),
+                                n_paths=40000, rng=SEED)
+
+    errors = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [[steps, errors[steps]] for steps in sorted(errors)]
+    print_rows("Ablation: EM weak error vs steps", ["steps", "error"],
+               rows)
+    # weak order ~1: error at 64 steps is far below error at 4 steps
+    assert errors[64] < 0.25 * errors[4]
+
+
+def test_em_strong_convergence_order(benchmark):
+    sde = _sde()
+
+    def study():
+        return strong_error_study(sde, [0.0], 1.0, fine_steps=1024,
+                                  coarsenings=(4, 16, 64, 256),
+                                  n_paths=400, rng=SEED)
+
+    errors = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [[factor, errors[factor]] for factor in sorted(errors)]
+    print_rows("Ablation: EM strong error vs coarsening",
+               ["coarsening", "E|X_L - X_ref|"], rows)
+    factors = sorted(errors)
+    values = [errors[f] for f in factors]
+    assert all(a < b for a, b in zip(values, values[1:]))
+    # additive noise: strong order ~1 -> 64x coarser ~ 64x the error
+    assert values[-1] / values[0] > 8.0
+
+
+def test_antithetic_variance_reduction():
+    sde = _sde()
+    n_paths = 2000
+    plain_means = []
+    anti_means = []
+    for seed in range(20):
+        plain = euler_maruyama(sde, [0.0], 1.0, 100, n_paths=n_paths,
+                               rng=seed)
+        anti = euler_maruyama(sde, [0.0], 1.0, 100, n_paths=n_paths,
+                              rng=seed, antithetic=True)
+        plain_means.append(plain.component(0)[:, -1].mean())
+        anti_means.append(anti.component(0)[:, -1].mean())
+    var_plain = float(np.var(plain_means))
+    var_anti = float(np.var(anti_means))
+    print_rows("Ablation: antithetic variates",
+               ["estimator", "variance of mean estimate"],
+               [["plain MC", var_plain], ["antithetic", var_anti]])
+    # linear SDE: antithetic pairs cancel the noise in the mean exactly
+    assert var_anti < 0.01 * var_plain

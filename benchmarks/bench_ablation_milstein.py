@@ -1,0 +1,76 @@
+"""Ablation: Milstein versus Euler-Maruyama under multiplicative noise,
+and the Black-Scholes closed-form peak prediction.
+
+The paper's Section 4.2 invokes the Black-Scholes analogy for windowed
+peak prediction.  Geometric Brownian motion is the process where every
+piece of that analogy is exact, so it doubles as the convergence
+reference: EM strong order drops to 1/2 under multiplicative noise,
+Milstein restores order 1.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.stochastic.nonlinear import (
+    GeometricBrownianMotion,
+    euler_maruyama_scalar,
+    milstein,
+)
+
+SEED = 20050307
+
+
+def _strong_errors(scheme, gbm, steps_list, n_paths=2000):
+    errors = {}
+    rng = np.random.default_rng(SEED)
+    for steps in steps_list:
+        dw = rng.normal(0.0, np.sqrt(1.0 / steps), size=(n_paths, steps))
+        _, exact = gbm.exact_paths(1.0, steps, n_paths=n_paths, dw=dw)
+        _, numeric = scheme(gbm.as_sde(), gbm.x0, 1.0, steps, n_paths,
+                            dw=dw)
+        errors[steps] = float(np.mean(np.abs(numeric[:, -1]
+                                             - exact[:, -1])))
+    return errors
+
+
+def test_milstein_vs_em_strong_convergence(benchmark):
+    gbm = GeometricBrownianMotion(mu=0.06, sigma=0.5, x0=1.0)
+    steps_list = (8, 32, 128)
+
+    def study():
+        return (_strong_errors(euler_maruyama_scalar, gbm, steps_list),
+                _strong_errors(milstein, gbm, steps_list))
+
+    em_errors, mil_errors = benchmark.pedantic(study, rounds=1,
+                                               iterations=1)
+    print_rows("Ablation: strong error on GBM (multiplicative noise)",
+               ["steps", "EM", "Milstein"],
+               [[s, em_errors[s], mil_errors[s]] for s in steps_list])
+    # Milstein beats EM at every resolution
+    for steps in steps_list:
+        assert mil_errors[steps] < em_errors[steps]
+    # and converges faster: EM error ratio over 16x refinement ~ 4
+    # (order 1/2), Milstein ~ 16 (order 1)
+    em_ratio = em_errors[8] / em_errors[128]
+    mil_ratio = mil_errors[8] / mil_errors[128]
+    assert mil_ratio > 2.0 * em_ratio
+
+
+def test_black_scholes_peak_prediction():
+    """Closed-form barrier-breach probability versus the Monte-Carlo
+    estimate the circuit predictor would compute."""
+    gbm = GeometricBrownianMotion(mu=0.05, sigma=0.3, x0=1.0)
+    _, paths = gbm.exact_paths(1.0, 2000, n_paths=5000, rng=SEED)
+    peaks = paths.max(axis=1)
+    rows = []
+    for level in (1.1, 1.25, 1.5, 2.0):
+        analytic = gbm.peak_exceedance(level, 1.0)
+        empirical = float(np.mean(peaks > level))
+        rows.append([level, analytic, empirical])
+    print_rows("Black-Scholes peak prediction: closed form vs MC",
+               ["level", "analytic P[peak>]", "MC P[peak>]"], rows)
+    for level, analytic, empirical in rows:
+        assert empirical == pytest.approx(analytic, abs=0.03)
+    # exceedance decreases with the level
+    assert rows[0][1] > rows[-1][1]

@@ -1,0 +1,60 @@
+"""Ablation: RTD landmark sensitivities to the Schulman parameters.
+
+The paper's "potentialities" argument — nanodevices have uncertain
+properties — raises the design question of *which* parameter
+uncertainties matter.  This bench tabulates the logarithmic
+sensitivities of the peak/valley landmarks and checks the physics:
+``A`` scales currents, ``C/n1`` sets the peak position, ``H``/``n2``
+control the valley.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.analysis.sensitivity import (
+    TUNABLE,
+    landmarks,
+    parameter_sweep,
+    sensitivity_table,
+)
+from repro.devices.rtd import SCHULMAN_INGAAS
+
+
+def test_sensitivity_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: sensitivity_table(SCHULMAN_INGAAS,
+                                  quantities=("v_peak", "i_peak", "pvr")),
+        rounds=1, iterations=1)
+    rows = [[name,
+             round(table[name]["v_peak"], 3),
+             round(table[name]["i_peak"], 3),
+             round(table[name]["pvr"], 3)] for name in TUNABLE]
+    print_rows("RTD landmark sensitivities d ln(Q) / d ln(p)",
+               ["param", "S(v_peak)", "S(i_peak)", "S(pvr)"], rows)
+
+    # physics checks
+    assert table["a"]["i_peak"] == pytest.approx(1.0, abs=0.05)
+    assert abs(table["a"]["v_peak"]) < 0.1
+    assert table["c"]["v_peak"] > 0.3
+    assert table["n1"]["v_peak"] < -0.3
+    # the valley current is fed by the thermionic term: raising H
+    # lowers the PVR
+    assert table["h"]["pvr"] < 0.0
+
+
+def test_uncertainty_band_on_iv_curve():
+    """10% uncertainty on A and C: the peak moves as the sensitivities
+    predict (linearity check of the one-at-a-time analysis)."""
+    base = landmarks(SCHULMAN_INGAAS)
+    factors = np.linspace(0.9, 1.1, 5)
+    v_peaks = parameter_sweep(SCHULMAN_INGAAS, "c", factors, "v_peak")
+    # compare the end-to-end swing with the linearized prediction
+    table = sensitivity_table(SCHULMAN_INGAAS, quantities=("v_peak",))
+    predicted_swing = (base.v_peak * table["c"]["v_peak"]
+                       * (np.log(1.1) - np.log(0.9)))
+    measured_swing = v_peaks[-1] - v_peaks[0]
+    print(f"\n=== v_peak swing for +/-10% C: measured "
+          f"{measured_swing * 1e3:.1f} mV, linearized "
+          f"{predicted_swing * 1e3:.1f} mV ===")
+    assert measured_swing == pytest.approx(predicted_swing, rel=0.15)

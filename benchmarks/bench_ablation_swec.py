@@ -1,0 +1,138 @@
+"""Ablation benches for the SWEC design choices DESIGN.md calls out.
+
+* eq. (5) Taylor predictor on/off — accuracy effect;
+* stepwise-solve count in DC mode — accuracy/cost trade;
+* adaptive versus fixed step — cost at equal accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.circuit import Pulse
+from repro.circuits_lib import rtd_divider
+from repro.swec import SwecDC, SwecOptions, SwecTransient
+from repro.swec.dc import SwecDCOptions
+from repro.swec.timestep import StepControlOptions
+
+
+def _ramp_circuit():
+    circuit, info = rtd_divider(resistance=10.0)
+    circuit.voltage_sources[0].waveform = Pulse(
+        0.0, 2.0, delay=0.0, rise=3e-9, fall=1e-9, width=0.5e-9,
+        period=50e-9)
+    circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+    return circuit, info
+
+
+def _reference_curve(info, grid):
+    """Quasi-static truth along the ramp from the DC fixed point."""
+    circuit, _ = rtd_divider(resistance=10.0)
+    dc = SwecDC(circuit)
+    ramp_values = np.clip(grid / 3e-9, 0.0, 1.0) * 2.0
+    result = dc.sweep(info.source, ramp_values)
+    return result.voltage(info.device_node)
+
+
+class TestPredictorAblation:
+    def test_taylor_predictor_improves_ramp_tracking(self):
+        grid = np.linspace(0.5e-9, 2.8e-9, 60)
+        errors = {}
+        for use_predictor in (True, False):
+            circuit, info = _ramp_circuit()
+            engine = SwecTransient(circuit, SwecOptions(
+                step=StepControlOptions(epsilon=0.1, h_min=1e-12,
+                                        h_max=0.1e-9, h_initial=1e-12),
+                use_predictor=use_predictor))
+            result = engine.run(3e-9)
+            reference = _reference_curve(info, grid)
+            numeric = result.resample(grid, info.device_node)
+            errors[use_predictor] = float(np.mean(
+                np.abs(numeric - reference)))
+        print_rows("Ablation: eq. (5) Taylor predictor",
+                   ["predictor", "mean |error| (V)"],
+                   [["on", errors[True]], ["off", errors[False]]])
+        # the predictor must not hurt, and typically helps on ramps
+        assert errors[True] <= errors[False] * 1.1
+
+
+class TestStepwiseSolveCount:
+    def test_more_solves_more_accuracy_more_cost(self):
+        values = np.linspace(0.0, 2.5, 201)
+        reference_circuit, info = rtd_divider(resistance=10.0)
+        reference = SwecDC(reference_circuit).sweep(info.source, values)
+        v_ref = reference.voltage(info.device_node)
+        rows = []
+        errors = {}
+        flops = {}
+        for solves in (1, 2, 4):
+            circuit, _ = rtd_divider(resistance=10.0)
+            result = SwecDC(circuit, SwecDCOptions(
+                mode="stepwise", stepwise_solves=solves)).sweep(
+                    info.source, values)
+            error = float(np.max(np.abs(
+                result.voltage(info.device_node) - v_ref)))
+            errors[solves] = error
+            flops[solves] = result.flops.total
+            rows.append([solves, error, result.flops.total])
+        print_rows("Ablation: stepwise solves per DC point",
+                   ["solves", "max |error| vs fixed point", "flops"],
+                   rows)
+        assert errors[4] <= errors[1]
+        assert flops[4] > flops[1]
+
+
+class TestStepControlAblation:
+    def test_adaptive_beats_fixed_step_at_equal_accuracy(self):
+        """Fixed steps sized for the fast edge waste work on plateaus;
+        the eq. 10-12 controller spends points where the action is.
+
+        Uses the Fig. 6 RC circuit so the edge slope-bound and the
+        plateau RC-bound differ by an order of magnitude.
+        """
+        import math
+        from repro.circuit import Circuit
+
+        def build():
+            circuit = Circuit("ablation-rc")
+            circuit.add_voltage_source(
+                "Vin", "in", "0",
+                Pulse(0.0, 1.0, delay=0.5e-9, rise=0.1e-9, fall=0.1e-9,
+                      width=3e-9, period=10e-9))
+            circuit.add_resistor("R1", "in", "out", 1e3)
+            circuit.add_capacitor("C1", "out", "0", 1e-12)
+            return circuit
+
+        tau = 1e-9
+
+        def exact(t):
+            if t <= 0.6e-9:
+                return 0.0  # (ignoring the tiny ramp transient)
+            return 1.0 - math.exp(-(t - 0.6e-9) / tau)
+
+        grid = np.linspace(0.8e-9, 3e-9, 50)
+        reference = np.array([exact(float(t)) for t in grid])
+
+        adaptive = SwecTransient(build(), SwecOptions(
+            step=StepControlOptions(epsilon=0.02, h_min=1e-14,
+                                    h_max=1e-9, h_initial=1e-13)))
+        adaptive_result = adaptive.run(3e-9)
+        adaptive_error = float(np.mean(np.abs(
+            adaptive_result.resample(grid, "out") - reference)))
+
+        # fixed step = the smallest step the adaptive run used
+        h_fixed = float(adaptive_result.step_sizes().min())
+        fixed = SwecTransient(build(), SwecOptions(
+            step=StepControlOptions(epsilon=1e9, h_min=h_fixed,
+                                    h_max=h_fixed, h_initial=h_fixed)))
+        fixed_result = fixed.run(3e-9)
+        fixed_error = float(np.mean(np.abs(
+            fixed_result.resample(grid, "out") - reference)))
+
+        print_rows("Ablation: adaptive vs fixed step",
+                   ["scheme", "points", "mean error (V)"],
+                   [["adaptive", len(adaptive_result), adaptive_error],
+                    ["fixed@min", len(fixed_result), fixed_error]])
+        # adaptive uses far fewer points at comparable accuracy
+        assert len(adaptive_result) < 0.5 * len(fixed_result)
+        assert adaptive_error < 5.0 * max(fixed_error, 2e-3)

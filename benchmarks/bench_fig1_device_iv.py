@@ -1,0 +1,54 @@
+"""Fig. 1 regenerator: anticipated nanodevice characteristics.
+
+(a) RTT collector I-V: multiple resonance peaks with a staircase contour.
+(b) CNT/nanowire: staircase conductance (quantum wire behaviour).
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.devices import MultiPeakRTT, QuantizedNanowire
+
+
+def _rtt_curve():
+    rtt = MultiPeakRTT(peak_voltages=(0.5, 1.2, 1.9))
+    voltages = np.linspace(0.0, 2.4, 481)
+    currents = np.array([rtt.current(float(v)) for v in voltages])
+    return voltages, currents
+
+
+def _nanowire_curves():
+    wire = QuantizedNanowire()
+    voltages = np.linspace(0.0, 1.5, 301)
+    conductances = np.array(
+        [wire.conductance_staircase(float(v)) for v in voltages])
+    currents = np.array([wire.current(float(v)) for v in voltages])
+    return voltages, conductances, currents
+
+
+def test_fig1a_rtt_multi_peak_iv(benchmark):
+    voltages, currents = benchmark(_rtt_curve)
+    print_series("Fig 1(a): RTT collector I-V",
+                 {"V_CE": voltages, "I_C": currents})
+    # shape: three local maxima separated by NDR dips
+    maxima = [k for k in range(1, len(currents) - 1)
+              if currents[k] > currents[k - 1]
+              and currents[k] >= currents[k + 1]]
+    assert len(maxima) == 3
+    # staircase contour: each successive peak is at least as high
+    peak_values = [currents[k] for k in maxima]
+    assert peak_values[1] > 0.5 * peak_values[0]
+
+
+def test_fig1b_cnt_staircase_conductance(benchmark):
+    voltages, conductances, currents = benchmark(_nanowire_curves)
+    print_series("Fig 1(b): CNT conductance staircase",
+                 {"V": voltages, "G": conductances, "I": currents})
+    from repro.constants import CONDUCTANCE_QUANTUM
+    # plateaus at multiples of G0 above the contact term
+    plateau_levels = [conductances[np.argmin(np.abs(voltages - v))]
+                      for v in (0.1, 0.35, 0.65, 0.95, 1.3)]
+    steps = np.diff(plateau_levels)
+    assert np.allclose(steps, CONDUCTANCE_QUANTUM, rtol=0.1)
+    # current monotone (quantum wire conducts, never NDR)
+    assert np.all(np.diff(currents) > 0.0)

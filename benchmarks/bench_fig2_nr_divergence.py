@@ -1,0 +1,63 @@
+"""Fig. 2 regenerator: Newton-Raphson's dependence on the initial guess.
+
+The paper's Fig. 2 sketch: from ``x0`` the iteration oscillates between
+two points; from ``x0'`` it converges.  We reproduce it on (a) the
+textbook cubic and (b) an actual RTD load-line equation.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.baselines.newton import scalar_newton
+from repro.devices import SCHULMAN_INGAAS, SchulmanRTD
+
+
+def _cubic_runs():
+    f = lambda x: x**3 - 2.0 * x + 2.0
+    df = lambda x: 3.0 * x * x - 2.0
+    bad = scalar_newton(f, df, 0.0)
+    good = scalar_newton(f, df, -2.0)
+    return bad, good
+
+
+def test_fig2_oscillation_vs_convergence(benchmark):
+    (bad_iterates, bad_converged, bad_oscillating), \
+        (good_iterates, good_converged, good_oscillating) = benchmark(
+            _cubic_runs)
+    n = min(len(bad_iterates), 12)
+    print_series(
+        "Fig 2: NR iterates (bad guess x0=0 vs good guess x0'=-2)",
+        {"iteration": np.arange(n),
+         "bad_guess": np.array(bad_iterates[:n]),
+         "good_guess": np.array(
+             good_iterates[:n] + [good_iterates[-1]] * (n - len(good_iterates))
+             if len(good_iterates) < n else good_iterates[:n])})
+    assert bad_oscillating and not bad_converged
+    assert good_converged and not good_oscillating
+
+
+def test_fig2_rtd_load_line_guess_sensitivity():
+    """NR on I_rtd(v) = (Vs - v)/R: behaviour depends on the guess.
+
+    With a bistable 300-ohm load line at Vs = 1.1 V there are three
+    intersections; NR finds *different* solutions from different guesses
+    — the false-convergence hazard — while some guesses fail entirely.
+    """
+    rtd = SchulmanRTD(SCHULMAN_INGAAS)
+    vs, r = 1.1, 300.0
+    f = lambda v: rtd.current(v) - (vs - v) / r
+    df = lambda v: rtd.differential_conductance(v) + 1.0 / r
+    solutions = {}
+    outcomes = {}
+    for guess in (0.0, 0.6, 1.05):
+        iterates, converged, oscillating = scalar_newton(f, df, guess)
+        outcomes[guess] = (converged, oscillating)
+        if converged:
+            solutions[guess] = round(iterates[-1], 4)
+    print(f"\n=== Fig 2 (RTD load line): solutions by guess: "
+          f"{solutions}, outcomes: {outcomes} ===")
+    assert len(solutions) >= 1
+    distinct = set(solutions.values())
+    failed = sum(1 for c, _ in outcomes.values() if not c)
+    # guess-dependence manifests: either different roots or failures
+    assert len(distinct) > 1 or failed > 0

@@ -1,0 +1,47 @@
+"""Fig. 3 regenerator: PWL segment conductance versus SWEC chord.
+
+Fig. 3(a): the piecewise-linear model linearizes along segment slopes —
+negative inside NDR.  Fig. 3(b): the step-wise model uses the chord
+through the origin — always positive.  We tabulate both over the same
+RTD curve.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.baselines import PwlApproximation
+from repro.devices import SCHULMAN_INGAAS, SchulmanRTD
+
+
+def _both_models():
+    rtd = SchulmanRTD(SCHULMAN_INGAAS)
+    pwl = PwlApproximation(rtd, 0.0, 2.5, max_segments=48)
+    bias = np.linspace(0.05, 2.5, 246)
+    pwl_conductance = np.array(
+        [pwl.segment_model(pwl.segment_of(float(v)))[0] for v in bias])
+    chord = np.array([rtd.chord_conductance(float(v)) for v in bias])
+    return rtd, bias, pwl_conductance, chord
+
+
+def test_fig3_pwl_vs_stepwise_equivalent_conductance(benchmark):
+    rtd, bias, pwl_conductance, chord = benchmark(_both_models)
+    print_series("Fig 3: equivalent conductance, PWL (a) vs SWEC (b)",
+                 {"V": bias, "G_pwl": pwl_conductance, "G_swec": chord})
+    v_peak, v_valley = rtd.ndr_region()
+    inside = (bias > v_peak * 1.05) & (bias < v_valley * 0.95)
+    # (a) the PWL segment conductance goes negative inside NDR
+    assert pwl_conductance[inside].min() < 0.0
+    # (b) the SWEC chord never does, anywhere
+    assert chord.min() > 0.0
+
+
+def test_fig3_pwl_accuracy_vs_segment_count():
+    """Sanity: the PWL model is an *accurate* current fit (its failure
+    is the conductance sign, not the fit quality)."""
+    rtd = SchulmanRTD(SCHULMAN_INGAAS)
+    pwl = PwlApproximation(rtd, 0.0, 2.5, max_segments=64)
+    probe = np.linspace(0.0, 2.5, 401)
+    error = max(abs(pwl.current(float(v)) - rtd.current(float(v)))
+                for v in probe)
+    _, i_peak = rtd.peak()
+    assert error < 0.02 * i_peak

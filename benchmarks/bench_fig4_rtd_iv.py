@@ -1,0 +1,47 @@
+"""Fig. 4 regenerator: RTD I-V characteristics with PDR1/NDR/PDR2.
+
+Tabulates the Schulman curve (eq. 4) for both the paper's Section 5.2
+parameter set and the sub-volt InGaAs set, and verifies the three-region
+structure the figure annotates.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.devices import NANO_SIM_DATE05, SCHULMAN_INGAAS, SchulmanRTD
+
+
+def _curve(parameters, v_max):
+    rtd = SchulmanRTD(parameters)
+    voltages = np.linspace(0.0, v_max, 401)
+    currents = np.array([rtd.current(float(v)) for v in voltages])
+    return rtd, voltages, currents
+
+
+def test_fig4_rtd_iv_regions_ingaas(benchmark):
+    rtd, voltages, currents = benchmark(_curve, SCHULMAN_INGAAS, 2.6)
+    print_series("Fig 4: RTD I-V (InGaAs-style set)",
+                 {"V": voltages, "J": currents})
+    v_peak, v_valley = rtd.ndr_region()
+    print(f"PDR1: 0..{v_peak:.3f} V | NDR: {v_peak:.3f}..{v_valley:.3f} V"
+          f" | PDR2: >{v_valley:.3f} V | PVR={rtd.peak_to_valley_ratio():.1f}")
+    # three regions in order, with meaningful extent
+    assert 0.2 < v_peak < v_valley < 2.6
+    # rising in PDR1, falling in NDR, rising in PDR2
+    in_pdr1 = voltages < v_peak * 0.95
+    in_ndr = (voltages > v_peak * 1.05) & (voltages < v_valley * 0.95)
+    in_pdr2 = voltages > v_valley * 1.05
+    assert np.all(np.diff(currents[in_pdr1]) >= -1e-12)
+    assert np.all(np.diff(currents[in_ndr]) <= 1e-12)
+    assert np.all(np.diff(currents[in_pdr2]) >= -1e-12)
+
+
+def test_fig4_rtd_iv_paper_parameters():
+    rtd, voltages, currents = _curve(NANO_SIM_DATE05, 6.0)
+    print_series("Fig 4: RTD I-V (paper Section 5.2 parameters)",
+                 {"V": voltages, "J": currents})
+    v_peak, i_peak = rtd.peak()
+    assert 2.5 < v_peak < 4.3       # peak below the C/n1 alignment
+    assert i_peak > 0.0
+    # NDR visible inside the 0-5 V operating range of the inverter
+    assert rtd.differential_conductance(4.5) < 0.0

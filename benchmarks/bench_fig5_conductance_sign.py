@@ -1,0 +1,61 @@
+"""Fig. 5 regenerator: RTD conductance as a function of applied bias.
+
+The figure contrasts the differential conductance (used by SPICE/MLA,
+negative in the resistance-decreasing region) with the step-wise
+equivalent conductance (always positive).  We regenerate both curves and
+also trace the equivalent conductance produced live by the SWEC engine
+during a voltage ramp.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.circuits_lib import rtd_divider
+from repro.devices import SCHULMAN_INGAAS, SchulmanRTD
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+from repro.circuit import Pulse
+
+
+def _static_curves():
+    rtd = SchulmanRTD(SCHULMAN_INGAAS)
+    bias = np.linspace(0.02, 2.6, 259)
+    differential = np.array(
+        [rtd.differential_conductance(float(v)) for v in bias])
+    chord = np.array([rtd.chord_conductance(float(v)) for v in bias])
+    return rtd, bias, differential, chord
+
+
+def test_fig5_conductance_vs_bias(benchmark):
+    rtd, bias, differential, chord = benchmark(_static_curves)
+    print_series("Fig 5: RTD conductance vs bias",
+                 {"V": bias, "G_diff": differential, "G_swec": chord})
+    v_peak, v_valley = rtd.ndr_region()
+    inside = (bias > v_peak) & (bias < v_valley)
+    assert (differential[inside] < 0.0).all()
+    assert (chord > 0.0).all()
+    # both agree at the origin limit
+    assert chord[0] == differential[0] or abs(
+        chord[0] - differential[0]) / abs(differential[0]) < 0.2
+
+
+def test_fig5_engine_trace_stays_positive():
+    """The conductance the SWEC *engine* actually stamps during a ramp
+    through the NDR region is positive at every accepted time point."""
+    circuit, info = rtd_divider(resistance=10.0)
+    circuit.voltage_sources[0].waveform = Pulse(
+        0.0, 2.5, delay=0.1e-9, rise=2e-9, fall=1e-9, width=0.5e-9,
+        period=10e-9)
+    circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.05, h_min=1e-12, h_max=0.1e-9,
+                                h_initial=1e-12),
+        trace_conductance=True))
+    result = engine.run(2.2e-9)
+    trace = np.array([g[0] for _, g in result.conductance_trace])
+    voltages = np.array([result.at(t, info.device_node)
+                         for t, _ in result.conductance_trace])
+    rtd = SchulmanRTD(SCHULMAN_INGAAS)
+    v_peak, _ = rtd.peak()
+    assert voltages.max() > v_peak    # the ramp really crossed the peak
+    assert trace.min() >= 0.0

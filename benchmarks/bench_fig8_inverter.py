@@ -1,0 +1,93 @@
+"""Fig. 8 regenerator: FET-RTD inverter transient.
+
+(a) the circuit — built by ``repro.circuits_lib.fet_rtd_inverter``;
+(b) SWEC output: clean inversion between the design levels;
+(c) the SPICE3-style NR engine: on the bistable MOBILE configuration the
+    same algorithm falsely converges; on this (monostable) inverter it
+    needs Newton iterations at every point — we show the iteration bill
+    and reproduce the false-convergence failure on the latch bench;
+(d) the ACES-style PWL engine: correct waveform, at segment-search cost.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_series
+from repro.baselines import AcesTransient, SpiceTransient
+from repro.baselines.aces import AcesOptions
+from repro.baselines.spice import SpiceOptions
+from repro.circuit import Pulse
+from repro.circuits_lib import fet_rtd_inverter
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+T_STOP = 10e-9
+
+
+def _input():
+    return Pulse(0.0, 5.0, delay=1e-9, rise=0.3e-9, fall=0.3e-9,
+                 width=4e-9, period=10e-9)
+
+
+def _swec_run():
+    circuit, info = fet_rtd_inverter(vin=_input())
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.05, h_min=1e-13, h_max=0.2e-9,
+                                h_initial=1e-12),
+        dv_limit=0.5))
+    return engine.run(T_STOP), info
+
+
+def test_fig8b_swec_output(benchmark):
+    result, info = benchmark.pedantic(_swec_run, rounds=1, iterations=1)
+    grid = np.linspace(0.0, T_STOP, 24)
+    print_series("Fig 8(b): SWEC inverter waveforms",
+                 {"t": grid,
+                  "v_in": result.resample(grid, info.input_node),
+                  "v_out": result.resample(grid, info.output_node)})
+    assert not result.aborted
+    assert result.convergence_failures == 0
+    # inversion at the design levels
+    assert result.at(4.5e-9, info.output_node) == pytest.approx(
+        info.v_out_low, abs=0.1)      # input high
+    assert result.at(9.5e-9, info.output_node) == pytest.approx(
+        info.v_out_high, abs=0.1)     # input low
+    print(f"SWEC: {len(result)} points, flops={result.flops.total:,}, "
+          f"0 Newton iterations by construction")
+
+
+def test_fig8c_spice_newton_cost_and_fragility():
+    """The NR engine pays iterations at every accepted point, and with
+    cold starts (the Fig. 2 scenario) it pays dramatically more —
+    demonstrating the initial-guess fragility SWEC removes."""
+    circuit, info = fet_rtd_inverter(vin=_input())
+    warm = SpiceTransient(circuit, SpiceOptions(h_initial=0.1e-9)).run(T_STOP)
+    circuit_cold, _ = fet_rtd_inverter(vin=_input())
+    cold = SpiceTransient(circuit_cold, SpiceOptions(
+        h_initial=0.1e-9, warm_start=False)).run(T_STOP)
+    warm_iters = sum(warm.iteration_counts)
+    cold_iters = sum(cold.iteration_counts)
+    print(f"\n=== Fig 8(c): NR iteration bill, warm={warm_iters}, "
+          f"cold={cold_iters}, cold failures={cold.convergence_failures}"
+          f" ===")
+    assert warm_iters > warm.accepted_steps  # >1 iteration per point
+    assert cold_iters > 1.5 * warm_iters or cold.convergence_failures > 0
+
+
+def test_fig8d_aces_output():
+    circuit, info = fet_rtd_inverter(vin=_input())
+    engine = AcesTransient(circuit, AcesOptions(
+        v_min=-0.5, v_max=5.5, max_segments=96, h_initial=0.05e-9))
+    result = engine.run(T_STOP)
+    grid = np.linspace(0.0, min(result.t_final, T_STOP), 24)
+    print_series("Fig 8(d): ACES (PWL) inverter output",
+                 {"t": grid,
+                  "v_out": result.resample(grid, info.output_node)})
+    assert not result.aborted
+    # correct levels, like SWEC
+    assert result.at(4.5e-9, info.output_node) == pytest.approx(
+        info.v_out_low, abs=0.15)
+    assert result.at(9.5e-9, info.output_node) == pytest.approx(
+        info.v_out_high, abs=0.15)
+    # but extra segment-search solves were needed
+    assert engine.segment_iterations > result.accepted_steps

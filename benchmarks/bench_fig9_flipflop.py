@@ -1,0 +1,103 @@
+"""Fig. 9 regenerator: RTD-D flip-flop (MOBILE latch) transient.
+
+The paper's run: clock with rising edges every 100 ns, data switching at
+t = 300 ns, output latching at the 350 ns rising edge.  We regenerate the
+same experiment at the paper's timing, plus the NR false-convergence
+contrast (the failure Fig. 8(c) illustrates, on the circuit where it
+actually bites).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_series
+from repro.baselines import SpiceTransient
+from repro.baselines.spice import SpiceOptions
+from repro.circuit import DC, Pulse
+from repro.circuits_lib import mobile_dflipflop
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+
+def _compressed():
+    """Time-compressed version of the paper's waveforms (10 ns period,
+    data at 30 ns, latch at the 35 ns edge) — same physics, 10x faster
+    to simulate; the paper-scale run is in the -s printout below."""
+    clock = Pulse(0.0, 1.15, delay=5e-9, rise=0.2e-9, fall=0.2e-9,
+                  width=4.8e-9, period=10e-9)
+    data = Pulse(0.0, 1.2, delay=30e-9, rise=0.2e-9, fall=0.2e-9,
+                 width=1.0, period=float("inf"))
+    return mobile_dflipflop(clock=clock, data=data,
+                            output_capacitance=2e-12)
+
+
+def _swec_run():
+    circuit, info = _compressed()
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.1, h_min=1e-13, h_max=0.2e-9,
+                                h_initial=1e-12),
+        dv_limit=0.2))
+    return engine.run(40e-9), info
+
+
+def test_fig9_dflipflop_latching(benchmark):
+    result, info = benchmark.pedantic(_swec_run, rounds=1, iterations=1)
+    grid = np.linspace(0.0, 40e-9, 24)
+    print_series("Fig 9: RTD-D flip-flop waveforms (compressed 10x)",
+                 {"t": grid,
+                  "clk": result.resample(grid, info.clock_node),
+                  "d": result.resample(grid, info.data_node),
+                  "q": result.resample(grid, info.output_node)})
+    assert not result.aborted
+    q = info.output_node
+    # Data low through the first three rising edges: q evaluates low.
+    for t_eval in (8e-9, 18e-9, 28e-9):
+        assert result.at(t_eval, q) == pytest.approx(info.v_q_low,
+                                                     abs=0.1)
+    # Data switches at 30 ns (clock low): q must NOT change yet.
+    assert result.at(33e-9, q) < 0.1
+    # Output switches at the rising edge of clock at 35 ns.
+    assert result.at(39e-9, q) == pytest.approx(info.v_q_high, abs=0.1)
+    # Edge-triggered timing: the q transition aligns with the clock
+    # edge, not the data edge.
+    from repro.analysis import crossing_times
+    level = 0.5 * (info.v_q_low + info.v_q_high)
+    rising = crossing_times(result.times, result.voltage(q), level,
+                            "rising")
+    latch_edges = rising[rising > 30e-9]
+    assert latch_edges.size >= 1
+    assert latch_edges[0] == pytest.approx(35e-9, abs=1e-9)
+
+
+def test_fig9_nr_false_convergence_contrast():
+    """Plain NR on the same latch: at a large step the rising clock edge
+    lands in the bistable window and Newton silently picks the wrong
+    branch — the output no longer encodes the data at all."""
+    clock = Pulse(0.0, 1.15, delay=2e-9, rise=0.2e-9, fall=0.2e-9,
+                  width=4.8e-9, period=10e-9)
+    circuit, info = mobile_dflipflop(clock=clock, data=DC(0.0),
+                                     output_capacitance=2e-12)
+    result = SpiceTransient(circuit, SpiceOptions(h_initial=0.5e-9)).run(
+        8e-9)
+    q_mid = result.at(6e-9, info.output_node)
+    print(f"\n=== Fig 9 contrast: NR latch output with data low: "
+          f"q={q_mid:.3f} V (physical answer: {info.v_q_low} V) ===")
+    assert abs(q_mid - info.v_q_low) > 0.3
+
+
+def test_fig9_paper_scale_timing():
+    """The full paper-scale run: 400 ns, data switching at t = 300 ns,
+    output latching at the 350 ns rising clock edge — the exact timing
+    Fig. 9 reports (~15 s of adaptive stepping)."""
+    circuit, info = mobile_dflipflop(output_capacitance=2e-12)
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.1, h_min=1e-12, h_max=1e-9,
+                                h_initial=1e-11),
+        dv_limit=0.2))
+    result = engine.run(400e-9)
+    assert not result.aborted
+    q = info.output_node
+    for t_eval in (80e-9, 180e-9, 280e-9):
+        assert result.at(t_eval, q) == pytest.approx(info.v_q_low, abs=0.1)
+    assert result.at(330e-9, q) < 0.1        # data up, clock still low
+    assert result.at(390e-9, q) == pytest.approx(info.v_q_high, abs=0.1)

@@ -1,0 +1,93 @@
+"""Extension bench: the MOBILE logic-gate family (paper ref. [6]).
+
+The paper's Fig. 9 flip-flop is one member of the MOBILE family; this
+bench regenerates the full truth tables of the buffer / inverter / NOR /
+NAND gates under SWEC — the kind of digital-application workload the
+Mazumder reference surveys.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_rows
+from repro.circuit import DC
+from repro.circuits_lib.logic_gates import (
+    GateInfo,
+    mobile_buffer,
+    mobile_inverter,
+    mobile_nand,
+    mobile_nor,
+)
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+OPTS = SwecOptions(
+    step=StepControlOptions(epsilon=0.1, h_min=1e-13, h_max=0.2e-9,
+                            h_initial=1e-12),
+    dv_limit=0.2)
+HIGH = GateInfo().input_high
+
+
+def _evaluate(builder, *input_levels):
+    circuit, info = builder(*[DC(v) for v in input_levels])
+    result = SwecTransient(circuit, OPTS).run(6e-9)
+    assert not result.aborted
+    value = result.at(6e-9, info.output_node)
+    bit = 1 if value > 0.6 else 0
+    return value, bit
+
+
+def test_mobile_gate_truth_tables(benchmark):
+    def run_family():
+        rows = []
+        for a in (0, 1):
+            value, bit = _evaluate(mobile_buffer, a * HIGH)
+            rows.append(["BUF", a, "-", round(value, 3), bit])
+            value, bit = _evaluate(mobile_inverter, a * HIGH)
+            rows.append(["INV", a, "-", round(value, 3), bit])
+        for a in (0, 1):
+            for b in (0, 1):
+                value, bit = _evaluate(mobile_nor, a * HIGH, b * HIGH)
+                rows.append(["NOR", a, b, round(value, 3), bit])
+                value, bit = _evaluate(mobile_nand, a * HIGH, b * HIGH)
+                rows.append(["NAND", a, b, round(value, 3), bit])
+        return rows
+
+    rows = benchmark.pedantic(run_family, rounds=1, iterations=1)
+    print_rows("MOBILE gate family truth tables (SWEC)",
+               ["gate", "a", "b", "q (V)", "bit"], rows)
+    truth = {("BUF", 0, "-"): 0, ("BUF", 1, "-"): 1,
+             ("INV", 0, "-"): 1, ("INV", 1, "-"): 0,
+             ("NOR", 0, 0): 1, ("NOR", 0, 1): 0,
+             ("NOR", 1, 0): 0, ("NOR", 1, 1): 0,
+             ("NAND", 0, 0): 1, ("NAND", 0, 1): 1,
+             ("NAND", 1, 0): 1, ("NAND", 1, 1): 0}
+    for gate, a, b, _value, bit in rows:
+        assert truth[(gate, a, b)] == bit, f"{gate}({a},{b})"
+
+
+def test_psd_of_noisy_latch_node():
+    """Spectral validation (extension): the OU voltage of a noisy RC
+    node shows the Lorentzian knee at lambda / 2 pi."""
+    from repro.stochastic import (
+        LinearSDE,
+        corner_frequency,
+        euler_maruyama,
+        fit_corner_frequency,
+        ou_psd,
+        periodogram_psd,
+    )
+    decay, sigma = 2e9, 1e4
+    sde = LinearSDE([[-decay]], [[sigma]])
+    result = euler_maruyama(sde, [0.0], 100e-9, 8192, n_paths=48,
+                            rng=20050307)
+    dt = result.times[1] - result.times[0]
+    freq, psd = periodogram_psd(result.component(0), dt)
+    fitted = fit_corner_frequency(freq, psd)
+    expected = corner_frequency(decay)
+    print(f"\n=== PSD knee: fitted {fitted / 1e6:.0f} MHz vs analytic "
+          f"{expected / 1e6:.0f} MHz ===")
+    assert fitted == pytest.approx(expected, rel=0.3)
+    band = (freq > 2e7) & (freq < 4e9)
+    ratio = psd[band] / ou_psd(freq[band], decay, sigma)
+    assert np.median(ratio) == pytest.approx(1.0, abs=0.3)

@@ -1,0 +1,38 @@
+"""Shared helpers for the figure/table regenerator benches.
+
+Every bench module regenerates one paper artefact: it prints the same
+rows/series the paper reports (run ``pytest benchmarks/ -s`` to see them)
+and asserts the *shape* claims — who wins, what sign, where the landmarks
+fall.  ``pytest-benchmark`` times the computational kernel of each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def print_series(title: str, columns: dict, max_rows: int = 12) -> None:
+    """Print a down-sampled table of named columns (the figure's data)."""
+    print(f"\n=== {title} ===")
+    names = list(columns)
+    lengths = {len(np.asarray(c)) for c in columns.values()}
+    assert len(lengths) == 1, "columns must be equal length"
+    n = lengths.pop()
+    indices = np.unique(np.linspace(0, n - 1, max_rows).astype(int))
+    header = " ".join(f"{name:>14}" for name in names)
+    print(header)
+    for k in indices:
+        row = " ".join(f"{np.asarray(columns[name])[k]:>14.5g}"
+                       for name in names)
+        print(row)
+
+
+def print_rows(title: str, header: list, rows: list) -> None:
+    """Print explicit table rows (Table-I style)."""
+    print(f"\n=== {title} ===")
+    print(" ".join(f"{h:>16}" for h in header))
+    for row in rows:
+        print(" ".join(
+            f"{v:>16,}" if isinstance(v, int) else f"{v:>16.4g}"
+            if isinstance(v, float) else f"{str(v):>16}"
+            for v in row))

@@ -1,0 +1,63 @@
+"""Power-grid-style statistical analysis: the Section 4 motivation.
+
+The paper motivates stochastic simulation with power-grid analysis under
+random current draws from nanodevices (its refs. [11][12]): "even though
+the average voltage drop is zero, if the transient voltage drop at a
+certain time point exceeds certain constraints, the whole design is
+still going to fail."
+
+This example builds an RC ladder (a grid rail with parasitics), injects
+noisy current draws at every tap, and answers the design question: what
+is the probability the far-end supply droop exceeds the noise budget
+within a clock period?
+
+Run:  python examples/power_grid_noise.py
+"""
+
+import numpy as np
+
+from repro.circuits_lib import noisy_rc_ladder
+from repro.stochastic import VectorOrnsteinUhlenbeck, euler_maruyama
+from repro.stochastic.peak import peak_exceedance_probability
+
+SEED = 20050307
+T_PERIOD = 2e-9
+
+
+def main() -> None:
+    # 6-stage rail, average draw at the head, noisy draws everywhere.
+    sde, nodes = noisy_rc_ladder(stages=6, resistance=200.0,
+                                 capacitance=0.5e-12, drive=2e-4,
+                                 noise_amplitude=2e-9,
+                                 noise_at_every_node=True)
+    far_end = len(nodes) - 1
+    result = euler_maruyama(sde, np.zeros(len(nodes)), T_PERIOD, 800,
+                            n_paths=3000, rng=SEED)
+
+    mean_final = result.mean(far_end)[-1]
+    std_final = result.std(far_end)[-1]
+    print(f"rail model: {len(nodes)} RC sections, noisy draw at every tap")
+    print(f"far-end node at t={T_PERIOD * 1e9:.1f} ns: "
+          f"mean={mean_final:.4f} V, std={std_final:.4f} V")
+
+    # exact covariance from the matrix OU reference
+    exact = VectorOrnsteinUhlenbeck(sde.drift_matrix(0.0), sde.noise,
+                                    sde.drift_offset(0.0))
+    exact_std = exact.std(T_PERIOD, index=far_end)
+    print(f"closed-form std (matrix OU):      {exact_std:.4f} V")
+
+    print(f"\n{'budget (V)':>11} {'P[droop peak > budget]':>24}")
+    for budget_over_mean in (0.01, 0.02, 0.04, 0.08):
+        budget = mean_final + budget_over_mean
+        p = peak_exceedance_probability(result, budget, 0.0, T_PERIOD,
+                                        component=far_end)
+        verdict = "FAIL" if p > 0.01 else "ok"
+        print(f"{budget:>11.4f} {p:>20.4f} ({verdict} at 1%)")
+
+    print("\nThe ensemble mean alone would have passed every budget — "
+          "the transient statistics are what catch the violations "
+          "(the paper's Section 4 argument).")
+
+
+if __name__ == "__main__":
+    main()

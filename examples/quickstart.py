@@ -1,0 +1,78 @@
+"""Quickstart: simulate an RTD voltage divider with Nano-Sim.
+
+Builds the paper's Section 5.1 circuit — a resistor in series with a
+resonant tunneling diode — sweeps it through the negative differential
+resistance (NDR) region with the SWEC DC engine, and runs a pulse
+transient, printing the resulting curves.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Circuit, Pulse, SchulmanRTD, SwecDC, SwecTransient
+from repro.devices import SCHULMAN_INGAAS
+from repro.swec import SwecOptions
+from repro.swec.timestep import StepControlOptions
+
+
+def build_divider() -> Circuit:
+    """A 10-ohm resistor in series with an RTD across a voltage source."""
+    circuit = Circuit("quickstart-divider")
+    circuit.add_voltage_source("Vs", "in", "0", 0.0)
+    circuit.add_resistor("R1", "in", "out", 10.0)
+    circuit.add_device("X1", "out", "0", SchulmanRTD(SCHULMAN_INGAAS))
+    return circuit
+
+
+def dc_sweep() -> None:
+    """Trace the full RTD I-V curve, NDR region included."""
+    circuit = build_divider()
+    dc = SwecDC(circuit)
+    result = dc.sweep("Vs", np.linspace(0.0, 2.6, 131))
+
+    voltages = dc.device_voltages(result, "X1")
+    currents = dc.device_currents(result, "X1")
+    print("DC sweep: RTD I-V curve (SWEC chord-conductance fixed point)")
+    print(f"{'V_RTD (V)':>12} {'I_RTD (mA)':>12}")
+    for k in range(0, len(result), 13):
+        print(f"{voltages[k]:>12.4f} {currents[k] * 1e3:>12.4f}")
+
+    rtd = SchulmanRTD(SCHULMAN_INGAAS)
+    v_peak, i_peak = rtd.peak()
+    print(f"\ncaptured peak: {voltages[np.argmax(currents)]:.3f} V "
+          f"(device peak {v_peak:.3f} V), "
+          f"all {len(result)} points converged: {result.all_converged}")
+
+
+def pulse_transient() -> None:
+    """Drive the divider with a pulse crossing the NDR region."""
+    circuit = build_divider()
+    circuit.voltage_sources[0].waveform = Pulse(
+        0.0, 2.0, delay=0.5e-9, rise=0.3e-9, fall=0.3e-9, width=2e-9,
+        period=8e-9)
+    circuit.add_capacitor("Cload", "out", "0", 1e-12)
+
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.05, h_min=1e-12,
+                                h_max=0.1e-9, h_initial=1e-12)))
+    result = engine.run(5e-9)
+
+    print("\nTransient: output voltage under a 2 V pulse")
+    print(f"{'t (ns)':>8} {'V_in (V)':>10} {'V_out (V)':>10}")
+    for t in np.linspace(0.0, 5e-9, 11):
+        print(f"{t * 1e9:>8.2f} {result.at(t, 'in'):>10.4f} "
+              f"{result.at(t, 'out'):>10.4f}")
+    print(f"\n{result.accepted_steps} adaptive steps, "
+          f"0 Newton iterations, {result.flops.total:,} flops, "
+          f"convergence failures: {result.convergence_failures}")
+
+    from repro.analysis.report import ascii_plot
+    print()
+    print(ascii_plot(result.times, result.voltage("out"),
+                     title="V(out) under the 2 V pulse", height=10))
+
+
+if __name__ == "__main__":
+    dc_sweep()
+    pulse_transient()

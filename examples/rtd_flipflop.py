@@ -1,0 +1,73 @@
+"""RTD-D flip-flop (MOBILE latch): the paper's Fig. 9 experiment.
+
+Simulates the clocked latch with SWEC and prints the clock / data /
+output waveforms, verifying the edge-triggered behaviour: the data line
+switches while the clock is low, and the output follows only at the next
+rising clock edge.  Also demonstrates the false-convergence hazard of the
+Newton-Raphson baseline on the same (bistable) circuit.
+
+Run:  python examples/rtd_flipflop.py
+"""
+
+import numpy as np
+
+from repro import DC, Pulse
+from repro.baselines import SpiceTransient
+from repro.baselines.spice import SpiceOptions
+from repro.circuits_lib import mobile_dflipflop
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+# Time-compressed version of the paper's waveforms (factor 10): clock
+# rising edges at 5, 15, 25, 35 ns; data switches high at 30 ns.
+CLOCK = Pulse(0.0, 1.15, delay=5e-9, rise=0.2e-9, fall=0.2e-9,
+              width=4.8e-9, period=10e-9)
+DATA = Pulse(0.0, 1.2, delay=30e-9, rise=0.2e-9, fall=0.2e-9,
+             width=1.0, period=float("inf"))
+T_STOP = 40e-9
+
+
+def run_swec():
+    circuit, info = mobile_dflipflop(clock=CLOCK, data=DATA,
+                                     output_capacitance=2e-12)
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.1, h_min=1e-13, h_max=0.2e-9,
+                                h_initial=1e-12),
+        dv_limit=0.2))
+    return engine.run(T_STOP), info
+
+
+def main() -> None:
+    result, info = run_swec()
+    print("RTD-D flip-flop (Fig. 9), timing compressed 10x")
+    print(f"{'t (ns)':>7} {'clk':>6} {'data':>6} {'q':>7}")
+    for t in np.linspace(0.0, T_STOP, 21):
+        print(f"{t * 1e9:>7.1f} "
+              f"{result.at(t, info.clock_node):>6.2f} "
+              f"{result.at(t, info.data_node):>6.2f} "
+              f"{result.at(t, info.output_node):>7.3f}")
+
+    q = info.output_node
+    print("\nlatch check:")
+    print(f"  q during clock-high, data low  (t=28 ns): "
+          f"{result.at(28e-9, q):.3f} V  (expect ~{info.v_q_low})")
+    print(f"  q after data rose, clock low   (t=33 ns): "
+          f"{result.at(33e-9, q):.3f} V  (still low: edge-triggered)")
+    print(f"  q after rising edge at 35 ns   (t=39 ns): "
+          f"{result.at(39e-9, q):.3f} V  (expect ~{info.v_q_high})")
+
+    # The NR contrast: with data tied low the output must stay low, but
+    # a large-step Newton march falsely converges onto the high branch.
+    circuit, info = mobile_dflipflop(
+        clock=Pulse(0.0, 1.15, delay=2e-9, rise=0.2e-9, fall=0.2e-9,
+                    width=4.8e-9, period=10e-9),
+        data=DC(0.0), output_capacitance=2e-12)
+    nr = SpiceTransient(circuit, SpiceOptions(h_initial=0.5e-9)).run(8e-9)
+    print(f"\nNewton-Raphson baseline with data LOW: "
+          f"q={nr.at(6e-9, info.output_node):.3f} V — "
+          f"false convergence onto the wrong branch "
+          f"(physical answer {info.v_q_low} V; SWEC gets it right)")
+
+
+if __name__ == "__main__":
+    main()

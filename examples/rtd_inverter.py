@@ -1,0 +1,83 @@
+"""FET-RTD inverter: the paper's Fig. 8 experiment end to end.
+
+Simulates the inverter with three engines — SWEC, the SPICE3-style
+Newton-Raphson baseline and the ACES-style piecewise-linear baseline —
+and prints the waveforms plus the cost comparison that motivates SWEC.
+
+Run:  python examples/rtd_inverter.py
+"""
+
+import numpy as np
+
+from repro import Pulse
+from repro.baselines import AcesTransient, SpiceTransient
+from repro.baselines.aces import AcesOptions
+from repro.baselines.spice import SpiceOptions
+from repro.circuits_lib import fet_rtd_inverter
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+T_STOP = 10e-9
+
+
+def stimulus() -> Pulse:
+    """The paper's input: switching between 0 and 5 V."""
+    return Pulse(0.0, 5.0, delay=1e-9, rise=0.3e-9, fall=0.3e-9,
+                 width=4e-9, period=10e-9)
+
+
+def run_swec():
+    circuit, info = fet_rtd_inverter(vin=stimulus())
+    engine = SwecTransient(circuit, SwecOptions(
+        step=StepControlOptions(epsilon=0.05, h_min=1e-13,
+                                h_max=0.2e-9, h_initial=1e-12),
+        dv_limit=0.5))
+    return engine.run(T_STOP), info
+
+
+def run_spice():
+    circuit, info = fet_rtd_inverter(vin=stimulus())
+    return SpiceTransient(circuit, SpiceOptions(h_initial=0.1e-9)).run(
+        T_STOP), info
+
+
+def run_aces():
+    circuit, info = fet_rtd_inverter(vin=stimulus())
+    engine = AcesTransient(circuit, AcesOptions(
+        v_min=-0.5, v_max=5.5, max_segments=96, h_initial=0.05e-9))
+    return engine.run(T_STOP), info
+
+
+def main() -> None:
+    swec, info = run_swec()
+    spice, _ = run_spice()
+    aces, _ = run_aces()
+
+    grid = np.linspace(0.0, T_STOP, 21)
+    print("FET-RTD inverter (Fig. 8): output at the RTD junction")
+    print(f"{'t (ns)':>7} {'V_in':>7} {'SWEC':>7} {'SPICE-NR':>9} "
+          f"{'ACES-PWL':>9}")
+    for t in grid:
+        print(f"{t * 1e9:>7.2f} "
+              f"{swec.at(t, info.input_node):>7.2f} "
+              f"{swec.at(t, info.output_node):>7.2f} "
+              f"{spice.at(min(t, spice.t_final), info.output_node):>9.2f} "
+              f"{aces.at(min(t, aces.t_final), info.output_node):>9.2f}")
+
+    print("\ncost summary")
+    print(f"  SWEC : {swec.accepted_steps} points, 0 Newton iterations, "
+          f"{swec.flops.total:,} flops")
+    print(f"  SPICE: {spice.accepted_steps} points, "
+          f"{sum(spice.iteration_counts)} Newton iterations, "
+          f"{spice.convergence_failures} convergence failures, "
+          f"{spice.flops.total:,} flops")
+    print(f"  ACES : {aces.accepted_steps} points, "
+          f"{aces.flops.total:,} flops")
+    print(f"\nlogic levels: out(high input)="
+          f"{swec.at(4.5e-9, info.output_node):.2f} V, "
+          f"out(low input)={swec.at(9.5e-9, info.output_node):.2f} V "
+          f"(design: {info.v_out_low} / {info.v_out_high} V)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package to build a PEP 660
+editable install; on offline machines without it, run::
+
+    python setup.py develop
+
+which installs the same editable egg-link without building a wheel.
+"""
+
+from setuptools import setup
+
+setup()

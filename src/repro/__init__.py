@@ -1,0 +1,122 @@
+"""Nano-Sim: step-wise equivalent conductance statistical circuit simulator.
+
+Reproduction of Sukhwani, Padmanabhan & Wang, *Nano-Sim: A Step Wise
+Equivalent Conductance based Statistical Simulator for Nanotechnology
+Circuit Design*, DATE 2005.
+
+Quick start::
+
+    from repro import Circuit, SchulmanRTD, SwecDC
+    import numpy as np
+
+    circuit = Circuit("divider")
+    circuit.add_voltage_source("Vs", "in", "0", 0.0)
+    circuit.add_resistor("R1", "in", "out", 10.0)
+    circuit.add_device("X1", "out", "0", SchulmanRTD())
+    result = SwecDC(circuit).sweep("Vs", np.linspace(0.0, 5.0, 251))
+
+Package map:
+
+- :mod:`repro.circuit` — netlists, elements, waveforms, parser
+- :mod:`repro.devices` — RTD / RTT / nanowire / MOSFET / diode models
+- :mod:`repro.mna` — modified nodal analysis assembly and solves
+- :mod:`repro.swec` — the paper's SWEC transient and DC engines
+- :mod:`repro.baselines` — SPICE-like NR, MLA and ACES-PWL comparators
+- :mod:`repro.stochastic` — Wiener/EM statistical simulation (Section 4)
+- :mod:`repro.analysis` — result containers and measurements
+- :mod:`repro.circuits_lib` — the paper's experiment circuits
+- :mod:`repro.perf` — flop accounting behind Table I
+"""
+
+from repro.circuit import (
+    Circuit,
+    Clock,
+    DC,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    Step,
+)
+from repro.circuit.parser import parse_netlist
+from repro.devices import (
+    Diode,
+    MosfetModel,
+    MultiPeakRTT,
+    NANO_SIM_DATE05,
+    QuantizedNanowire,
+    RTD_LOGIC,
+    SCHULMAN_INGAAS,
+    SchulmanParameters,
+    SchulmanRTD,
+    nmos,
+    pmos,
+)
+from repro.errors import (
+    AnalysisError,
+    AssemblyError,
+    CircuitError,
+    ConvergenceError,
+    NanoSimError,
+    NetlistParseError,
+    SingularMatrixError,
+)
+from repro.swec import SwecDC, SwecOptions, SwecTransient
+from repro.baselines import (
+    AcesTransient,
+    MlaDC,
+    MlaTransient,
+    SpiceDC,
+    SpiceTransient,
+)
+from repro.stochastic import (
+    CircuitSDE,
+    LinearSDE,
+    OrnsteinUhlenbeck,
+    WienerProcess,
+    euler_maruyama,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcesTransient",
+    "AnalysisError",
+    "AssemblyError",
+    "Circuit",
+    "CircuitError",
+    "CircuitSDE",
+    "Clock",
+    "ConvergenceError",
+    "DC",
+    "Diode",
+    "LinearSDE",
+    "MlaDC",
+    "MlaTransient",
+    "MosfetModel",
+    "MultiPeakRTT",
+    "NANO_SIM_DATE05",
+    "NanoSimError",
+    "NetlistParseError",
+    "OrnsteinUhlenbeck",
+    "PiecewiseLinear",
+    "Pulse",
+    "QuantizedNanowire",
+    "RTD_LOGIC",
+    "SCHULMAN_INGAAS",
+    "SchulmanParameters",
+    "SchulmanRTD",
+    "Sine",
+    "SingularMatrixError",
+    "SpiceDC",
+    "SpiceTransient",
+    "Step",
+    "SwecDC",
+    "SwecOptions",
+    "SwecTransient",
+    "WienerProcess",
+    "euler_maruyama",
+    "nmos",
+    "parse_netlist",
+    "pmos",
+    "__version__",
+]

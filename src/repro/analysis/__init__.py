@@ -1,0 +1,55 @@
+"""Result containers and waveform measurements.
+
+Engines return :class:`~repro.analysis.waveforms.TransientResult` or
+:class:`~repro.analysis.dcsweep.DCSweepResult`;
+:mod:`repro.analysis.measure` extracts the quantities the paper's figures
+report (edges, delays, peaks, logic levels).
+"""
+
+from repro.analysis.dcsweep import DCSweepResult
+from repro.analysis.measure import (
+    crossing_times,
+    delay_between,
+    fall_time,
+    logic_level,
+    overshoot,
+    peak_value,
+    rise_time,
+    settling_time,
+)
+from repro.analysis.report import (
+    ascii_plot,
+    ascii_plot_result,
+    from_csv,
+    sweep_to_csv,
+    to_csv,
+)
+from repro.analysis.sensitivity import (
+    landmarks,
+    parameter_sweep,
+    relative_sensitivity,
+    sensitivity_table,
+)
+from repro.analysis.waveforms import TransientResult
+
+__all__ = [
+    "DCSweepResult",
+    "TransientResult",
+    "ascii_plot",
+    "ascii_plot_result",
+    "from_csv",
+    "landmarks",
+    "parameter_sweep",
+    "relative_sensitivity",
+    "sensitivity_table",
+    "sweep_to_csv",
+    "to_csv",
+    "crossing_times",
+    "delay_between",
+    "fall_time",
+    "logic_level",
+    "overshoot",
+    "peak_value",
+    "rise_time",
+    "settling_time",
+]

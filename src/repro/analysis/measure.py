@@ -1,0 +1,173 @@
+"""Waveform measurements.
+
+Free functions over ``(times, values)`` arrays.  They are deliberately
+tolerant of non-uniform time grids (SWEC's adaptive controller produces
+them) — every crossing is located by linear interpolation inside the
+bracketing interval.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _as_arrays(times, values) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape or t.ndim != 1:
+        raise AnalysisError("times and values must be equal-length 1-D arrays")
+    if t.size < 2:
+        raise AnalysisError("need at least two samples")
+    return t, v
+
+
+def crossing_times(times, values, level: float,
+                   direction: str = "both") -> np.ndarray:
+    """Times where the waveform crosses *level*.
+
+    *direction* is ``"rising"``, ``"falling"`` or ``"both"``.  Samples that
+    sit exactly on the level count as a crossing of the following segment's
+    direction.
+    """
+    t, v = _as_arrays(times, values)
+    if direction not in ("rising", "falling", "both"):
+        raise AnalysisError(f"bad direction {direction!r}")
+    shifted = v - level
+    crossings = []
+    # Side of the most recent sample that was NOT exactly on the level;
+    # 0 until one is seen.  Runs of samples sitting on the level are
+    # thereby transparent: [.., -1, 0, 0, +1, ..] still counts one
+    # rising crossing, while touch-and-go ([+1, 0, +1]) counts none.
+    last_side = 0.0
+    for k in range(len(t) - 1):
+        a, b = shifted[k], shifted[k + 1]
+        # A segment crosses when it strictly changes side, or departs
+        # from the level with the last off-level sample on the opposite
+        # side (or no off-level sample yet).  Segments that *end* on the
+        # level are deferred to the departing segment.
+        rising = a < 0.0 < b or (a == 0.0 and b > 0.0 and last_side <= 0.0)
+        falling = a > 0.0 > b or (a == 0.0 and b < 0.0 and last_side >= 0.0)
+        matched = (rising if direction == "rising" else
+                   falling if direction == "falling" else
+                   rising or falling)
+        if matched:
+            t_cross = t[k] + (t[k + 1] - t[k]) * (-a) / (b - a)
+            crossings.append(t_cross)
+        if a != 0.0:
+            last_side = math.copysign(1.0, a)
+    return np.array(crossings)
+
+
+def rise_time(times, values, low_frac: float = 0.1,
+              high_frac: float = 0.9) -> float:
+    """10%-90% (by default) rise time of the first low-to-high transition."""
+    t, v = _as_arrays(times, values)
+    lo, hi = float(v.min()), float(v.max())
+    if hi <= lo:
+        raise AnalysisError("waveform is constant; no rise time")
+    level_lo = lo + low_frac * (hi - lo)
+    level_hi = lo + high_frac * (hi - lo)
+    starts = crossing_times(t, v, level_lo, "rising")
+    ends = crossing_times(t, v, level_hi, "rising")
+    if starts.size == 0 or ends.size == 0:
+        raise AnalysisError("no complete rising transition found")
+    start = starts[0]
+    later = ends[ends > start]
+    if later.size == 0:
+        raise AnalysisError("rising edge never completes")
+    return float(later[0] - start)
+
+
+def fall_time(times, values, high_frac: float = 0.9,
+              low_frac: float = 0.1) -> float:
+    """90%-10% (by default) fall time of the first high-to-low transition."""
+    t, v = _as_arrays(times, values)
+    return rise_time(t, -v, 1.0 - high_frac, 1.0 - low_frac)
+
+
+def delay_between(times_a, values_a, times_b, values_b,
+                  level_a: float, level_b: float,
+                  edge_a: str = "rising", edge_b: str = "rising") -> float:
+    """Delay from the first *edge_a* crossing of waveform A to the first
+    *edge_b* crossing of waveform B occurring at or after it."""
+    t_a = crossing_times(times_a, values_a, level_a, edge_a)
+    if t_a.size == 0:
+        raise AnalysisError("waveform A never crosses its level")
+    t_b = crossing_times(times_b, values_b, level_b, edge_b)
+    after = t_b[t_b >= t_a[0]]
+    if after.size == 0:
+        raise AnalysisError("waveform B never crosses after A's edge")
+    return float(after[0] - t_a[0])
+
+
+def peak_value(times, values, t_start: float = None,
+               t_stop: float = None) -> tuple[float, float]:
+    """``(t_peak, v_peak)`` of the maximum inside the given window."""
+    t, v = _as_arrays(times, values)
+    mask = np.ones(t.shape, dtype=bool)
+    if t_start is not None:
+        mask &= t >= t_start
+    if t_stop is not None:
+        mask &= t <= t_stop
+    if not mask.any():
+        raise AnalysisError("window contains no samples")
+    window_t, window_v = t[mask], v[mask]
+    k = int(np.argmax(window_v))
+    return float(window_t[k]), float(window_v[k])
+
+
+def overshoot(times, values, final_value: float = None) -> float:
+    """Fractional overshoot above the settled value.
+
+    ``final_value`` defaults to the last sample.
+    """
+    t, v = _as_arrays(times, values)
+    final = float(v[-1]) if final_value is None else float(final_value)
+    swing = final - float(v[0])
+    if swing == 0.0:
+        raise AnalysisError("zero swing; overshoot undefined")
+    peak = float(v.max()) if swing > 0.0 else float(v.min())
+    return max(0.0, (peak - final) / abs(swing))
+
+
+def settling_time(times, values, tolerance: float = 0.02,
+                  final_value: float = None) -> float:
+    """Time after which the waveform stays within *tolerance* (fractional,
+    relative to total swing) of the settled value."""
+    t, v = _as_arrays(times, values)
+    final = float(v[-1]) if final_value is None else float(final_value)
+    swing = abs(final - float(v[0]))
+    if swing == 0.0:
+        return float(t[0])
+    band = tolerance * swing
+    outside = np.abs(v - final) > band
+    if not outside.any():
+        return float(t[0])
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside + 1 >= len(t):
+        raise AnalysisError("waveform never settles within tolerance")
+    return float(t[last_outside + 1])
+
+
+def logic_level(times, values, t_sample: float, v_low: float,
+                v_high: float) -> int:
+    """Interpret the waveform as a logic value at *t_sample*.
+
+    Returns 0 or 1; raises when the sampled voltage is in the forbidden
+    middle band (``> v_low`` and ``< v_high``).
+    """
+    t, v = _as_arrays(times, values)
+    if t_sample < t[0] or t_sample > t[-1]:
+        raise AnalysisError(f"sample time {t_sample} outside waveform")
+    sampled = float(np.interp(t_sample, t, v))
+    if sampled <= v_low:
+        return 0
+    if sampled >= v_high:
+        return 1
+    raise AnalysisError(
+        f"voltage {sampled:.4g} at t={t_sample:.4g} is between logic levels "
+        f"({v_low:.4g}, {v_high:.4g})")

@@ -1,0 +1,110 @@
+"""Plotless reporting: ASCII waveform plots and CSV export.
+
+The library runs in headless environments (CI, paper-reproduction
+containers), so the examples and benches render waveforms as terminal
+plots and dump raw data as CSV for external plotting.  Nothing here
+depends on matplotlib.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.units import format_value
+
+
+def ascii_plot(times, values, width: int = 72, height: int = 16,
+               title: str = "", y_label: str = "V") -> str:
+    """Render one waveform as an ASCII chart.
+
+    >>> text = ascii_plot([0, 1, 2], [0.0, 1.0, 0.0], width=20, height=5)
+    >>> "*" in text
+    True
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape or t.ndim != 1 or t.size < 2:
+        raise AnalysisError("need equal-length 1-D arrays of >= 2 samples")
+    if width < 16 or height < 4:
+        raise AnalysisError("plot area too small")
+    v_lo, v_hi = float(v.min()), float(v.max())
+    if v_hi == v_lo:
+        v_hi = v_lo + 1.0
+    # resample onto the character grid
+    grid_t = np.linspace(t[0], t[-1], width)
+    grid_v = np.interp(grid_t, t, v)
+    rows = np.clip(((grid_v - v_lo) / (v_hi - v_lo)
+                    * (height - 1)).round().astype(int), 0, height - 1)
+    canvas = [[" "] * width for _ in range(height)]
+    for column, row in enumerate(rows):
+        canvas[height - 1 - row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = format_value(v_hi, y_label)
+    bottom_label = format_value(v_lo, y_label)
+    label_width = max(len(top_label), len(bottom_label))
+    for k, row_chars in enumerate(canvas):
+        if k == 0:
+            label = top_label.rjust(label_width)
+        elif k == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_chars)}")
+    axis = (f"{' ' * label_width} +{'-' * width}")
+    lines.append(axis)
+    lines.append(f"{' ' * label_width}  {format_value(t[0], 's')}"
+                 f"{format_value(t[-1], 's').rjust(width - 8)}")
+    return "\n".join(lines)
+
+
+def ascii_plot_result(result, nodes, width: int = 72,
+                      height: int = 12) -> str:
+    """ASCII-plot several nodes of a transient result, stacked."""
+    sections = []
+    for node in nodes:
+        sections.append(ascii_plot(result.times, result.voltage(node),
+                                   width=width, height=height,
+                                   title=f"node {node!r} [{result.engine}]"))
+    return "\n\n".join(sections)
+
+
+def to_csv(result, nodes=None) -> str:
+    """Serialize a transient result to CSV text (time + node columns)."""
+    nodes = list(result.node_names if nodes is None else nodes)
+    buffer = io.StringIO()
+    buffer.write(",".join(["time"] + nodes) + "\n")
+    columns = [result.voltage(node) for node in nodes]
+    for k, t in enumerate(result.times):
+        row = [f"{t:.9e}"] + [f"{column[k]:.9e}" for column in columns]
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()
+
+
+def sweep_to_csv(result, nodes=None) -> str:
+    """Serialize a DC sweep result to CSV text."""
+    nodes = list(result.node_names if nodes is None else nodes)
+    buffer = io.StringIO()
+    buffer.write(",".join([result.source_name] + nodes) + "\n")
+    columns = [result.voltage(node) for node in nodes]
+    for k, value in enumerate(result.sweep_values):
+        row = [f"{value:.9e}"] + [f"{column[k]:.9e}" for column in columns]
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()
+
+
+def from_csv(text: str):
+    """Parse :func:`to_csv` output back into ``(header, array)``."""
+    lines = [line for line in text.strip().splitlines() if line]
+    if len(lines) < 2:
+        raise AnalysisError("CSV needs a header and at least one row")
+    header = lines[0].split(",")
+    data = np.array([[float(cell) for cell in line.split(",")]
+                     for line in lines[1:]])
+    if data.shape[1] != len(header):
+        raise AnalysisError("CSV rows do not match the header")
+    return header, data

@@ -1,0 +1,104 @@
+"""Device-parameter sensitivity analysis.
+
+Nanodevice parameters are uncertain (the paper's "potentialities"), so a
+designer needs to know how the RTD landmarks — peak/valley voltage and
+current, peak-to-valley ratio — move with each Schulman parameter.  This
+module provides one-at-a-time relative sensitivities and full parameter
+sweeps, which the ablation benches tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.devices.rtd import SchulmanParameters, SchulmanRTD
+from repro.errors import AnalysisError
+
+#: Parameters that can be perturbed by name.
+TUNABLE = ("a", "b", "c", "d", "n1", "n2", "h")
+
+
+@dataclass(frozen=True)
+class RtdLandmarks:
+    """The figure-of-merit set of one RTD parameterization."""
+
+    v_peak: float
+    i_peak: float
+    v_valley: float
+    i_valley: float
+
+    @property
+    def pvr(self) -> float:
+        """Peak-to-valley current ratio."""
+        return self.i_peak / self.i_valley
+
+    @property
+    def ndr_width(self) -> float:
+        """Voltage extent of the NDR region."""
+        return self.v_valley - self.v_peak
+
+
+def landmarks(parameters: SchulmanParameters) -> RtdLandmarks:
+    """Extract peak/valley landmarks of a parameter set."""
+    rtd = SchulmanRTD(parameters)
+    v_peak, i_peak = rtd.peak()
+    v_valley, i_valley = rtd.valley()
+    return RtdLandmarks(v_peak, i_peak, v_valley, i_valley)
+
+
+def perturb(parameters: SchulmanParameters, name: str,
+            factor: float) -> SchulmanParameters:
+    """Return a copy with parameter *name* multiplied by *factor*."""
+    if name not in TUNABLE:
+        raise AnalysisError(
+            f"unknown parameter {name!r}; tunable: {TUNABLE}")
+    if factor <= 0.0:
+        raise AnalysisError(f"factor must be positive, got {factor!r}")
+    return replace(parameters, **{name: getattr(parameters, name) * factor})
+
+
+def relative_sensitivity(parameters: SchulmanParameters, name: str,
+                         quantity: str = "v_peak",
+                         step: float = 0.01) -> float:
+    """Logarithmic sensitivity ``d ln(quantity) / d ln(parameter)``.
+
+    Central-difference estimate with a +/- *step* relative perturbation.
+    ``quantity`` is any :class:`RtdLandmarks` attribute or property.
+    """
+    up = landmarks(perturb(parameters, name, 1.0 + step))
+    down = landmarks(perturb(parameters, name, 1.0 - step))
+    value_up = getattr(up, quantity)
+    value_down = getattr(down, quantity)
+    if value_up <= 0.0 or value_down <= 0.0:
+        raise AnalysisError(f"{quantity} must stay positive")
+    return float((np.log(value_up) - np.log(value_down))
+                 / (np.log(1.0 + step) - np.log(1.0 - step)))
+
+
+def sensitivity_table(parameters: SchulmanParameters,
+                      quantities=("v_peak", "i_peak", "pvr"),
+                      step: float = 0.01) -> dict[str, dict[str, float]]:
+    """Full one-at-a-time sensitivity table: parameter -> quantity -> S."""
+    table: dict[str, dict[str, float]] = {}
+    for name in TUNABLE:
+        row = {}
+        for quantity in quantities:
+            try:
+                row[quantity] = relative_sensitivity(
+                    parameters, name, quantity, step)
+            except (AnalysisError, ValueError):
+                row[quantity] = float("nan")
+        table[name] = row
+    return table
+
+
+def parameter_sweep(parameters: SchulmanParameters, name: str,
+                    factors, quantity: str = "v_peak") -> np.ndarray:
+    """Landmark *quantity* across multiplicative *factors* of *name*."""
+    values = []
+    for factor in factors:
+        marks = landmarks(perturb(parameters, name, float(factor)))
+        values.append(getattr(marks, quantity))
+    return np.array(values)

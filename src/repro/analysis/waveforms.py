@@ -1,0 +1,158 @@
+"""Transient result container.
+
+A :class:`TransientResult` stores the accepted time points and state
+vectors of a transient run together with engine diagnostics (step counts,
+convergence failures, flop counter).  Engines append rows during the march;
+the container handles interpolation and per-node access.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.perf.flops import FlopCounter
+
+
+class TransientResult:
+    """Time-domain simulation result.
+
+    Parameters
+    ----------
+    node_names:
+        Non-ground node names, in MNA order.
+    engine:
+        Name of the engine that produced the result (for reports).
+    """
+
+    def __init__(self, node_names, engine: str = "unknown") -> None:
+        self.node_names = tuple(node_names)
+        self.engine = engine
+        self._times: list[float] = []
+        self._states: list[np.ndarray] = []
+        self.flops = FlopCounter()
+        self.accepted_steps = 0
+        self.rejected_steps = 0
+        self.convergence_failures = 0
+        #: Per-accepted-point Newton iteration counts (empty for SWEC).
+        self.iteration_counts: list[int] = []
+        #: True when the engine gave up before reaching t_stop.
+        self.aborted = False
+        self.abort_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # Construction (used by engines)
+    # ------------------------------------------------------------------
+
+    def append(self, t: float, state: np.ndarray) -> None:
+        """Record an accepted time point."""
+        if self._times and t <= self._times[-1]:
+            raise AnalysisError(
+                f"non-monotonic time points: {t} after {self._times[-1]}")
+        self._times.append(float(t))
+        self._states.append(np.array(state, dtype=float, copy=True))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Accepted time points as an array."""
+        return np.array(self._times)
+
+    @property
+    def states(self) -> np.ndarray:
+        """State matrix, one row per accepted time point."""
+        if not self._states:
+            return np.zeros((0, len(self.node_names)))
+        return np.vstack(self._states)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def t_final(self) -> float:
+        """Last accepted time."""
+        if not self._times:
+            raise AnalysisError("empty transient result")
+        return self._times[-1]
+
+    def _node_column(self, node: str) -> int:
+        try:
+            return self.node_names.index(node)
+        except ValueError:
+            raise AnalysisError(
+                f"node {node!r} not in result (have {self.node_names})"
+            ) from None
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of *node*'s voltage over the accepted time points."""
+        column = self._node_column(node)
+        return self.states[:, column]
+
+    def at(self, t: float, node: str) -> float:
+        """Linearly interpolated voltage of *node* at time *t*.
+
+        Times within a relative 1e-6 of the simulated range are clamped —
+        adaptive marches accumulate last-step roundoff.
+        """
+        if not self._times:
+            raise AnalysisError("empty transient result")
+        slack = 1e-6 * max(abs(self._times[-1]), abs(self._times[0]))
+        if self._times[-1] < t <= self._times[-1] + slack:
+            t = self._times[-1]
+        if self._times[0] - slack <= t < self._times[0]:
+            t = self._times[0]
+        if t < self._times[0] or t > self._times[-1]:
+            raise AnalysisError(
+                f"time {t} outside simulated range "
+                f"[{self._times[0]}, {self._times[-1]}]")
+        column = self._node_column(node)
+        idx = bisect.bisect_left(self._times, t)
+        if idx < len(self._times) and self._times[idx] == t:
+            return float(self._states[idx][column])
+        t0, t1 = self._times[idx - 1], self._times[idx]
+        v0 = self._states[idx - 1][column]
+        v1 = self._states[idx][column]
+        return float(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+
+    def resample(self, times: np.ndarray, node: str) -> np.ndarray:
+        """Voltage of *node* interpolated onto a uniform grid *times*."""
+        return np.interp(times, self.times, self.voltage(node))
+
+    def final_voltages(self) -> dict[str, float]:
+        """Node -> voltage at the last accepted time point."""
+        if not self._states:
+            raise AnalysisError("empty transient result")
+        last = self._states[-1]
+        return {name: float(last[k]) for k, name in enumerate(self.node_names)}
+
+    def step_sizes(self) -> np.ndarray:
+        """Accepted step sizes ``h_n = t_{n+1} - t_n``."""
+        return np.diff(self.times)
+
+    def summary(self) -> str:
+        """One-paragraph diagnostic summary."""
+        lines = [
+            f"engine={self.engine} points={len(self)} "
+            f"t_final={self._times[-1] if self._times else 0.0:.4g}",
+            f"steps: accepted={self.accepted_steps} "
+            f"rejected={self.rejected_steps} "
+            f"convergence_failures={self.convergence_failures}",
+        ]
+        if self.iteration_counts:
+            counts = np.array(self.iteration_counts)
+            lines.append(
+                f"newton iterations/point: mean={counts.mean():.2f} "
+                f"max={counts.max()}")
+        if self.aborted:
+            lines.append(f"ABORTED: {self.abort_reason}")
+        lines.append(f"flops={self.flops.total:,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"TransientResult(engine={self.engine!r}, points={len(self)}, "
+                f"nodes={len(self.node_names)})")

@@ -1,0 +1,47 @@
+"""Circuit description substrate: elements, waveform sources, netlists.
+
+The central type is :class:`~repro.circuit.netlist.Circuit`, a builder that
+collects elements and device instances and hands them to the MNA assembler.
+Textual SPICE-like netlists are handled by :mod:`repro.circuit.parser`.
+"""
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MosfetInstance,
+    Resistor,
+    TwoTerminalDeviceInstance,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, GROUND_NAMES
+from repro.circuit.sources import (
+    DC,
+    Clock,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    Step,
+    Waveform,
+)
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "Clock",
+    "CurrentSource",
+    "DC",
+    "Element",
+    "GROUND_NAMES",
+    "Inductor",
+    "MosfetInstance",
+    "PiecewiseLinear",
+    "Pulse",
+    "Resistor",
+    "Sine",
+    "Step",
+    "TwoTerminalDeviceInstance",
+    "VoltageSource",
+    "Waveform",
+]

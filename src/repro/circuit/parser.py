@@ -1,0 +1,280 @@
+"""SPICE-like netlist text parser.
+
+Supported card types (case-insensitive, ``*`` and ``;`` comments,
+``+`` continuation lines)::
+
+    R<name> n1 n2 <value>
+    C<name> n1 n2 <value> [IC=<v0>]
+    L<name> n1 n2 <value> [IC=<i0>]
+    V<name> n+ n- <dc value> | PULSE(v1 v2 td tr tf pw per) |
+                               SIN(off ampl freq [delay]) |
+                               PWL(t1 v1 t2 v2 ...)
+    I<name> n+ n- <same waveform syntax>
+    D<name> n+ n- <model>            (diode)
+    X<name> n+ n- <model> [M=<mult>] (two-terminal nanodevice)
+    M<name> nd ng ns <model>         (MOSFET)
+    .MODEL <name> <RTD|NANOWIRE|RTT|DIODE|NMOS|PMOS> [param=value ...]
+    .TITLE <text> / .END
+
+Values accept engineering suffixes (``1k``, ``10p``...).  Device models
+reference ``.MODEL`` cards; the RTD model exposes the Schulman parameters
+under their paper names (``A B C D N1 N2 H``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import DC, PiecewiseLinear, Pulse, Sine, Waveform
+from repro.devices.diode import Diode
+from repro.devices.mosfet import nmos, pmos
+from repro.devices.nanowire import QuantizedNanowire
+from repro.devices.rtd import (
+    NANO_SIM_DATE05,
+    SchulmanParameters,
+    SchulmanRTD,
+)
+from repro.devices.rtt import MultiPeakRTT
+from repro.errors import NetlistParseError
+from repro.units import parse_value
+
+_FUNC_RE = re.compile(r"^(PULSE|SIN|PWL)\s*\((.*)\)$", re.IGNORECASE)
+_PARAM_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(.+)$")
+
+
+def _join_continuations(text: str) -> list[tuple[int, str]]:
+    """Strip comments, join ``+`` continuation lines; keep line numbers."""
+    logical: list[tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not logical:
+                raise NetlistParseError(
+                    "continuation line with nothing to continue",
+                    number, raw)
+            prev_number, prev_line = logical[-1]
+            logical[-1] = (prev_number, prev_line + " " + stripped[1:])
+        else:
+            logical.append((number, stripped))
+    return logical
+
+
+def _split_fields(line: str) -> list[str]:
+    """Tokenize a card, keeping ``FUNC(...)`` groups as single fields."""
+    fields: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in line:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char.isspace() and depth == 0:
+            if current:
+                fields.append("".join(current))
+                current = []
+        else:
+            current.append(char)
+    if current:
+        fields.append("".join(current))
+    return fields
+
+
+def _parse_waveform(fields: list[str], line_number: int,
+                    line: str) -> Waveform:
+    """Parse the source-value tail of a V/I card."""
+    joined = " ".join(fields)
+    match = _FUNC_RE.match(joined)
+    if match is None:
+        if len(fields) == 2 and fields[0].upper() == "DC":
+            return DC(parse_value(fields[1]))
+        if len(fields) == 1:
+            return DC(parse_value(fields[0]))
+        raise NetlistParseError(
+            f"cannot parse source value {joined!r}", line_number, line)
+    kind = match.group(1).upper()
+    arguments = [parse_value(tok) for tok in
+                 re.split(r"[\s,]+", match.group(2).strip()) if tok]
+    try:
+        if kind == "PULSE":
+            names = ("initial", "pulsed", "delay", "rise", "fall",
+                     "width", "period")
+            kwargs = dict(zip(names, arguments))
+            initial = kwargs.pop("initial")
+            pulsed = kwargs.pop("pulsed")
+            if "period" not in kwargs:
+                kwargs["period"] = float("inf")
+            return Pulse(initial, pulsed, **kwargs)
+        if kind == "SIN":
+            return Sine(*arguments)
+        if kind == "PWL":
+            if len(arguments) % 2 != 0:
+                raise ValueError("PWL needs time/value pairs")
+            points = list(zip(arguments[0::2], arguments[1::2]))
+            return PiecewiseLinear(points)
+    except (TypeError, ValueError) as exc:
+        raise NetlistParseError(
+            f"bad {kind} source: {exc}", line_number, line) from exc
+    raise NetlistParseError(
+        f"unknown source function {kind!r}", line_number, line)
+
+
+def _build_model(kind: str, params: dict[str, float], line_number: int,
+                 line: str):
+    """Instantiate a device model from a ``.MODEL`` card."""
+    kind = kind.upper()
+    if kind == "RTD":
+        base = NANO_SIM_DATE05
+        record = SchulmanParameters(
+            a=params.pop("a", base.a), b=params.pop("b", base.b),
+            c=params.pop("c", base.c), d=params.pop("d", base.d),
+            n1=params.pop("n1", base.n1), n2=params.pop("n2", base.n2),
+            h=params.pop("h", base.h),
+            temperature=params.pop("temp", base.temperature))
+        model = SchulmanRTD(record)
+    elif kind == "NANOWIRE":
+        steps = int(params.pop("steps", 4))
+        spacing = params.pop("spacing", 0.3)
+        first = params.pop("first", 0.2)
+        model = QuantizedNanowire(
+            step_voltages=tuple(first + spacing * k for k in range(steps)),
+            smearing=params.pop("smearing", 0.02))
+    elif kind == "RTT":
+        peaks = int(params.pop("peaks", 3))
+        spacing = params.pop("spacing", 0.7)
+        first = params.pop("first", 0.5)
+        model = MultiPeakRTT(
+            peak_voltages=tuple(first + spacing * k for k in range(peaks)),
+            base_drive=params.pop("drive", 1.0))
+    elif kind == "DIODE":
+        model = Diode(saturation_current=params.pop("is", 1e-14),
+                      ideality=params.pop("n", 1.0))
+    elif kind in ("NMOS", "PMOS"):
+        builder = nmos if kind == "NMOS" else pmos
+        model = builder(kp=params.pop("kp", 2e-5),
+                        w=params.pop("w", 10e-6),
+                        l=params.pop("l", 1e-6),
+                        vth=params.pop("vth", 1.0 if kind == "NMOS" else -1.0))
+    else:
+        raise NetlistParseError(
+            f"unknown model kind {kind!r}", line_number, line)
+    if params:
+        raise NetlistParseError(
+            f"unknown {kind} parameters: {sorted(params)}",
+            line_number, line)
+    return model
+
+
+def parse_netlist(text: str) -> Circuit:
+    """Parse *text* into a :class:`~repro.circuit.Circuit`.
+
+    >>> circuit = parse_netlist('''
+    ... .title divider
+    ... Vs in 0 1.0
+    ... R1 in out 10
+    ... .model myrtd RTD
+    ... Xrtd out 0 myrtd
+    ... .end
+    ... ''')
+    >>> circuit.num_nodes
+    2
+    """
+    lines = _join_continuations(text)
+    circuit = Circuit()
+    models: dict[str, object] = {}
+    # First pass: collect models so device cards can reference them in
+    # any order (SPICE allows .MODEL after the instance line).
+    for number, line in lines:
+        fields = _split_fields(line)
+        if fields[0].upper() == ".MODEL":
+            if len(fields) < 3:
+                raise NetlistParseError(".MODEL needs name and kind",
+                                        number, line)
+            name = fields[1].lower()
+            params: dict[str, float] = {}
+            for token in fields[3:]:
+                match = _PARAM_RE.match(token)
+                if match is None:
+                    raise NetlistParseError(
+                        f"bad model parameter {token!r}", number, line)
+                params[match.group(1).lower()] = parse_value(match.group(2))
+            models[name] = _build_model(fields[2], params, number, line)
+
+    for number, line in lines:
+        fields = _split_fields(line)
+        head = fields[0]
+        upper = head.upper()
+        if upper.startswith(".TITLE"):
+            circuit.name = " ".join(fields[1:]) or circuit.name
+            continue
+        if upper in (".END",) or upper.startswith(".MODEL"):
+            continue
+        if upper.startswith("."):
+            raise NetlistParseError(
+                f"unsupported directive {head!r}", number, line)
+        letter = upper[0]
+        try:
+            if letter == "R":
+                circuit.add_resistor(head, fields[1], fields[2],
+                                     parse_value(fields[3]))
+            elif letter == "C":
+                initial = None
+                tail = fields[4:] if len(fields) > 4 else []
+                for token in tail:
+                    match = _PARAM_RE.match(token)
+                    if match and match.group(1).upper() == "IC":
+                        initial = parse_value(match.group(2))
+                circuit.add_capacitor(head, fields[1], fields[2],
+                                      parse_value(fields[3]), initial)
+            elif letter == "L":
+                initial = 0.0
+                for token in fields[4:]:
+                    match = _PARAM_RE.match(token)
+                    if match and match.group(1).upper() == "IC":
+                        initial = parse_value(match.group(2))
+                circuit.add_inductor(head, fields[1], fields[2],
+                                     parse_value(fields[3]), initial)
+            elif letter == "V":
+                circuit.add_voltage_source(
+                    head, fields[1], fields[2],
+                    _parse_waveform(fields[3:], number, line))
+            elif letter == "I":
+                circuit.add_current_source(
+                    head, fields[1], fields[2],
+                    _parse_waveform(fields[3:], number, line))
+            elif letter in ("X", "D"):
+                model_name = fields[3].lower()
+                if model_name not in models:
+                    raise NetlistParseError(
+                        f"unknown model {fields[3]!r}", number, line)
+                multiplicity = 1.0
+                for token in fields[4:]:
+                    match = _PARAM_RE.match(token)
+                    if match and match.group(1).upper() == "M":
+                        multiplicity = parse_value(match.group(2))
+                circuit.add_device(head, fields[1], fields[2],
+                                   models[model_name], multiplicity)
+            elif letter == "M":
+                model_name = fields[4].lower()
+                if model_name not in models:
+                    raise NetlistParseError(
+                        f"unknown model {fields[4]!r}", number, line)
+                circuit.add_mosfet(head, fields[1], fields[2], fields[3],
+                                   models[model_name])
+            else:
+                raise NetlistParseError(
+                    f"unknown card type {head!r}", number, line)
+        except NetlistParseError:
+            raise
+        except IndexError:
+            raise NetlistParseError(
+                f"too few fields for {head!r}", number, line) from None
+        except Exception as exc:
+            raise NetlistParseError(str(exc), number, line) from exc
+    return circuit

@@ -1,0 +1,28 @@
+"""Ready-made circuits used by the paper's experiments.
+
+Each builder returns a fully wired :class:`~repro.circuit.Circuit` plus a
+small info record documenting node names and design values, so examples,
+tests and benches all simulate exactly the same topologies.
+"""
+
+from repro.circuits_lib.dividers import (
+    nanowire_divider,
+    rtd_chain,
+    rtd_divider,
+)
+from repro.circuits_lib.flipflop import mobile_dflipflop
+from repro.circuits_lib.grids import rc_mesh, rtd_mesh
+from repro.circuits_lib.inverter import fet_rtd_inverter
+from repro.circuits_lib.noisy_rc import noisy_rc_node, noisy_rc_ladder
+
+__all__ = [
+    "fet_rtd_inverter",
+    "mobile_dflipflop",
+    "nanowire_divider",
+    "noisy_rc_ladder",
+    "noisy_rc_node",
+    "rc_mesh",
+    "rtd_chain",
+    "rtd_divider",
+    "rtd_mesh",
+]

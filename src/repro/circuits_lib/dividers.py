@@ -1,0 +1,92 @@
+"""Voltage-divider test circuits (paper Section 5.1, Fig. 7, Table I).
+
+The paper's DC experiments sweep a source across a series combination of
+a resistor and a nanodevice and plot the device I-V.  A small series
+resistance keeps the load line single-valued (the curve tracks the full
+NDR region); a large one makes the load line bistable — the stress case
+for Newton-based solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit import Circuit
+from repro.devices import (
+    QuantizedNanowire,
+    SCHULMAN_INGAAS,
+    SchulmanParameters,
+    SchulmanRTD,
+)
+
+
+@dataclass(frozen=True)
+class DividerInfo:
+    """Node and element names of a divider circuit."""
+
+    source: str = "Vs"
+    input_node: str = "in"
+    device_node: str = "out"
+    device: str = "X1"
+    resistor: str = "R1"
+
+
+def rtd_divider(resistance: float = 10.0,
+                parameters: SchulmanParameters = SCHULMAN_INGAAS,
+                ) -> tuple[Circuit, DividerInfo]:
+    """Series resistor + RTD across a voltage source (Fig. 7(a)).
+
+    The default 10-ohm series resistance keeps the load line unique at
+    every bias so the sweep can trace the NDR branch; pass a few hundred
+    ohms to create the bistable case.
+    """
+    info = DividerInfo()
+    circuit = Circuit("rtd-divider")
+    circuit.add_voltage_source(info.source, info.input_node, "0", 0.0)
+    circuit.add_resistor(info.resistor, info.input_node, info.device_node,
+                         resistance)
+    circuit.add_device(info.device, info.device_node, "0",
+                       SchulmanRTD(parameters))
+    return circuit, info
+
+
+def nanowire_divider(resistance: float = 1e4,
+                     nanowire: QuantizedNanowire | None = None,
+                     ) -> tuple[Circuit, DividerInfo]:
+    """Series resistor + quantized nanowire (Fig. 7(b)).
+
+    The default series resistance is comparable to the conductance-quantum
+    scale (``1/G0 ~ 12.9 kOhm``) so the divider actually divides.
+    """
+    info = DividerInfo()
+    circuit = Circuit("nanowire-divider")
+    circuit.add_voltage_source(info.source, info.input_node, "0", 0.0)
+    circuit.add_resistor(info.resistor, info.input_node, info.device_node,
+                         resistance)
+    circuit.add_device(info.device, info.device_node, "0",
+                       nanowire or QuantizedNanowire())
+    return circuit, info
+
+
+def rtd_chain(stages: int,
+              resistance: float = 50.0,
+              parameters: SchulmanParameters = SCHULMAN_INGAAS,
+              ) -> tuple[Circuit, DividerInfo]:
+    """A ladder of ``stages`` R-RTD sections — the scaling workload.
+
+    Node ``n<k>`` carries the k-th RTD; the Table I ablation uses chains
+    of increasing length to show how the SWEC/MLA flop ratio scales with
+    matrix size.
+    """
+    if stages < 1:
+        raise ValueError(f"need at least one stage, got {stages!r}")
+    info = DividerInfo(device_node="n1", device="X1")
+    circuit = Circuit(f"rtd-chain-{stages}")
+    circuit.add_voltage_source(info.source, info.input_node, "0", 0.0)
+    previous = info.input_node
+    for k in range(1, stages + 1):
+        node = f"n{k}"
+        circuit.add_resistor(f"R{k}", previous, node, resistance)
+        circuit.add_device(f"X{k}", node, "0", SchulmanRTD(parameters))
+        previous = node
+    return circuit, info

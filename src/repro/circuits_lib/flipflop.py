@@ -1,0 +1,99 @@
+"""RTD-D flip-flop (MOBILE latch) of paper Fig. 9.
+
+The monostable-bistable transition logic element (MOBILE, Mazumder et al.,
+Proc. IEEE 1998 — the paper's ref. [6]) stacks two RTDs between a clocked
+bias and ground.  While the clock is low the circuit is monostable (output
+near zero).  As the clock rises past roughly twice the RTD peak voltage
+the series pair turns bistable, and the RTD with the *smaller* peak
+current switches into its high-voltage state:
+
+* data low  -> load peak < driver peak  -> the **load** RTD switches,
+  the output stays low;
+* data high -> the data FET (in parallel with the load) adds drive, so
+  the **driver** RTD switches and the output latches high.
+
+The latched value holds until the clock falls — a clocked D latch whose
+output changes only on rising clock edges, exactly the Fig. 9 behaviour
+(data toggles at 300 ns, output follows at the 350 ns rising edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit import Circuit, Clock, Pulse, Waveform
+from repro.circuit.sources import as_waveform
+from repro.devices import RTD_LOGIC, SchulmanParameters, SchulmanRTD, nmos
+
+
+@dataclass(frozen=True)
+class FlipFlopInfo:
+    """Node names, clocking and logic levels of the MOBILE latch."""
+
+    clock_node: str = "clk"
+    data_node: str = "d"
+    output_node: str = "q"
+    clock_high: float = 1.15
+    data_high: float = 1.2
+    clock_period: float = 100e-9
+    #: First rising clock edge (edges repeat every ``clock_period``).
+    first_rising_edge: float = 50e-9
+    v_q_high: float = 1.12
+    v_q_low: float = 0.03
+
+
+def default_clock(info: FlipFlopInfo | None = None) -> Pulse:
+    """Fig. 9(b)-style clock: rising edges at 50, 150, 250, 350 ns."""
+    info = info or FlipFlopInfo()
+    return Pulse(0.0, info.clock_high,
+                 delay=info.first_rising_edge,
+                 rise=2e-9, fall=2e-9,
+                 width=info.clock_period / 2.0 - 2e-9,
+                 period=info.clock_period)
+
+
+def default_data(info: FlipFlopInfo | None = None) -> Pulse:
+    """Fig. 9(c) data: low, switching high at t = 300 ns."""
+    info = info or FlipFlopInfo()
+    return Pulse(0.0, info.data_high, delay=300e-9, rise=2e-9,
+                 fall=2e-9, width=1.0, period=float("inf"))
+
+
+def mobile_dflipflop(clock: Waveform | float | None = None,
+                     data: Waveform | float | None = None,
+                     load_area: float = 0.10,
+                     drive_area: float = 0.12,
+                     fet_beta: float = 0.1,
+                     fet_vth: float = 0.2,
+                     output_capacitance: float = 0.5e-12,
+                     parameters: SchulmanParameters = RTD_LOGIC,
+                     ) -> tuple[Circuit, FlipFlopInfo]:
+    """Build the Fig. 9(a) RTD-D flip-flop.
+
+    ``load_area < drive_area`` makes the load RTD switch (output low) by
+    default; the data FET sits in parallel with the load RTD so a high
+    data input reverses the peak-current comparison and the output
+    latches high.
+    """
+    info = FlipFlopInfo()
+    circuit = Circuit("rtd-d-flipflop")
+    circuit.add_voltage_source("Vclk", info.clock_node, "0",
+                               default_clock(info) if clock is None
+                               else as_waveform(clock))
+    circuit.add_voltage_source("Vd", info.data_node, "0",
+                               default_data(info) if data is None
+                               else as_waveform(data))
+    rtd = SchulmanRTD(parameters)
+    circuit.add_device("Xload", info.clock_node, info.output_node, rtd,
+                       multiplicity=load_area)
+    circuit.add_device("Xdrive", info.output_node, "0", rtd,
+                       multiplicity=drive_area)
+    # Data FET in parallel with the load RTD: drain at the clock rail,
+    # source at the output, gate at the data input.
+    circuit.add_mosfet("M1", info.clock_node, info.data_node,
+                       info.output_node,
+                       nmos(kp=fet_beta, w=1.0, l=1.0, vth=fet_vth))
+    circuit.add_capacitor("Cq", info.output_node, "0", output_capacitance)
+    circuit.add_capacitor("Cd", info.data_node, "0",
+                          output_capacitance / 10.0)
+    return circuit, info

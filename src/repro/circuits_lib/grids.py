@@ -1,0 +1,76 @@
+"""Grid-scale synthetic circuits for the scaling ablations.
+
+Section 1 of the paper argues traditional simulators are "unable to
+analyze practical circuits" because of the per-time-step cost.  These
+generators produce practical-sized workloads: resistive meshes with an
+RTD + capacitor at every node (a nano-crossbar-style fabric) and RC
+interconnect meshes for the sparse-path benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.circuit import Circuit, Waveform
+from repro.devices import SCHULMAN_INGAAS, SchulmanParameters, SchulmanRTD
+
+
+def rtd_mesh(rows: int, cols: int,
+             mesh_resistance: float = 100.0,
+             node_capacitance: float = 0.1e-12,
+             rtd_area: float = 0.05,
+             drive: "Waveform | float" = 1.0,
+             parameters: SchulmanParameters = SCHULMAN_INGAAS,
+             ) -> tuple[Circuit, list[str]]:
+    """``rows x cols`` resistive mesh, RTD + capacitor at every node.
+
+    The source drives the top-left corner; node names are ``n<r>_<c>``.
+    Returns ``(circuit, node_names)``.  System size grows as
+    ``rows * cols``, which is what the sparse-path ablation sweeps.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"need a positive grid, got {rows}x{cols}")
+    circuit = Circuit(f"rtd-mesh-{rows}x{cols}")
+    names = []
+    rtd = SchulmanRTD(parameters)
+    for r in range(rows):
+        for c in range(cols):
+            names.append(f"n{r}_{c}")
+    circuit.add_voltage_source("Vs", "drive", "0", drive)
+    circuit.add_resistor("Rdrive", "drive", "n0_0", mesh_resistance)
+    for r in range(rows):
+        for c in range(cols):
+            node = f"n{r}_{c}"
+            if c + 1 < cols:
+                circuit.add_resistor(f"Rh{r}_{c}", node, f"n{r}_{c + 1}",
+                                     mesh_resistance)
+            if r + 1 < rows:
+                circuit.add_resistor(f"Rv{r}_{c}", node, f"n{r + 1}_{c}",
+                                     mesh_resistance)
+            circuit.add_capacitor(f"C{r}_{c}", node, "0", node_capacitance)
+            circuit.add_device(f"X{r}_{c}", node, "0", rtd,
+                               multiplicity=rtd_area)
+    return circuit, names
+
+
+def rc_mesh(rows: int, cols: int,
+            mesh_resistance: float = 50.0,
+            node_capacitance: float = 0.2e-12,
+            drive: "Waveform | float" = 1.0,
+            ) -> tuple[Circuit, list[str]]:
+    """Linear RC interconnect mesh (no devices) — solver-path testbed."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"need a positive grid, got {rows}x{cols}")
+    circuit = Circuit(f"rc-mesh-{rows}x{cols}")
+    names = [f"n{r}_{c}" for r in range(rows) for c in range(cols)]
+    circuit.add_voltage_source("Vs", "drive", "0", drive)
+    circuit.add_resistor("Rdrive", "drive", "n0_0", mesh_resistance)
+    for r in range(rows):
+        for c in range(cols):
+            node = f"n{r}_{c}"
+            if c + 1 < cols:
+                circuit.add_resistor(f"Rh{r}_{c}", node, f"n{r}_{c + 1}",
+                                     mesh_resistance)
+            if r + 1 < rows:
+                circuit.add_resistor(f"Rv{r}_{c}", node, f"n{r + 1}_{c}",
+                                     mesh_resistance)
+            circuit.add_capacitor(f"C{r}_{c}", node, "0", node_capacitance)
+    return circuit, names

@@ -1,0 +1,74 @@
+"""The FET-RTD inverter of paper Fig. 8.
+
+Topology (MOBILE-style static inverter):
+
+* load RTD from ``vdd`` to ``out`` (area factor ``load_area``),
+* drive RTD from ``out`` to ground,
+* NMOS driver in parallel with the drive RTD, gate at ``in``,
+* load capacitor at ``out``.
+
+The output sits at the junction of the two RTDs, matching the paper's
+"output obtained at the junction of two RTDs".  Design values were chosen
+by load-line analysis so each input level leaves exactly one stable
+operating point: with the paper's RTD parameters and ``Vdd = 5 V``,
+input low gives ``V_out ~ 4.2 V`` and input high gives ``V_out ~ 0.6 V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit import Circuit, Pulse, Waveform
+from repro.circuit.sources import as_waveform
+from repro.devices import NANO_SIM_DATE05, SchulmanParameters, SchulmanRTD, nmos
+
+
+@dataclass(frozen=True)
+class InverterInfo:
+    """Node/element names and design levels of the inverter."""
+
+    input_node: str = "in"
+    output_node: str = "out"
+    supply_node: str = "vdd"
+    vdd: float = 5.0
+    v_out_high: float = 4.18
+    v_out_low: float = 0.61
+
+
+def default_input(vdd: float = 5.0) -> Pulse:
+    """The paper's stimulus: input switching between 0 and 5 V."""
+    return Pulse(0.0, vdd, delay=5e-9, rise=0.5e-9, fall=0.5e-9,
+                 width=15e-9, period=40e-9)
+
+
+def fet_rtd_inverter(vin: Waveform | float | None = None,
+                     vdd: float = 5.0,
+                     load_area: float = 2.0,
+                     drive_area: float = 1.0,
+                     fet_beta: float = 8e-3,
+                     fet_vth: float = 1.0,
+                     load_capacitance: float = 1e-12,
+                     parameters: SchulmanParameters = NANO_SIM_DATE05,
+                     ) -> tuple[Circuit, InverterInfo]:
+    """Build the Fig. 8(a) FET-RTD inverter.
+
+    Parameters default to the load-line-verified design; ``vin`` defaults
+    to the paper's 0-to-5-V switching pulse.
+    """
+    info = InverterInfo(vdd=vdd)
+    waveform = default_input(vdd) if vin is None else as_waveform(vin)
+    circuit = Circuit("fet-rtd-inverter")
+    circuit.add_voltage_source("Vdd", info.supply_node, "0", vdd)
+    circuit.add_voltage_source("Vin", info.input_node, "0", waveform)
+    rtd = SchulmanRTD(parameters)
+    circuit.add_device("Xload", info.supply_node, info.output_node, rtd,
+                       multiplicity=load_area)
+    circuit.add_device("Xdrive", info.output_node, "0", rtd,
+                       multiplicity=drive_area)
+    circuit.add_mosfet("M1", info.output_node, info.input_node, "0",
+                       nmos(kp=fet_beta, w=1.0, l=1.0, vth=fet_vth))
+    circuit.add_capacitor("Cout", info.output_node, "0", load_capacitance)
+    # Small gate load keeps the input node capacitive (and realistic).
+    circuit.add_capacitor("Cg", info.input_node, "0",
+                          load_capacitance / 10.0)
+    return circuit, info

@@ -1,0 +1,229 @@
+"""MOBILE RTD-FET logic gates (Mazumder et al., the paper's ref. [6]).
+
+The RTD-D flip-flop of Fig. 9 is one member of the MOBILE family: two
+stacked RTDs under a clocked bias latch according to which side's peak
+current is larger at the rising edge.  Input FETs in parallel with the
+load RTD *add* to the load side (latch high when on); FETs in parallel
+with the driver RTD add to the driver side (keep low when on).  Wiring
+several input FETs gives the full gate family:
+
+* ``mobile_buffer``  — one FET on the load side (q follows the input);
+* ``mobile_inverter`` — one FET on the driver side (q inverts);
+* ``mobile_nor``     — two driver-side FETs (either input holds q low)
+  on a load-biased latch that otherwise latches high;
+* ``mobile_nand``    — two *series* driver-side FETs (both inputs must
+  conduct to hold q low).
+
+All gates reuse the flip-flop's verified design values (RTD_LOGIC
+devices, 1.15 V clock, 1.2 V logic-high inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit import Circuit, Pulse, Waveform
+from repro.circuit.sources import as_waveform
+from repro.devices import RTD_LOGIC, SchulmanParameters, SchulmanRTD, nmos
+
+
+@dataclass(frozen=True)
+class GateInfo:
+    """Node names and logic levels of a MOBILE gate."""
+
+    clock_node: str = "clk"
+    output_node: str = "q"
+    input_nodes: tuple[str, ...] = ("a",)
+    clock_high: float = 1.15
+    input_high: float = 1.2
+    v_q_high: float = 1.12
+    v_q_low: float = 0.03
+
+
+def gate_clock(period: float = 20e-9, delay: float = 1e-9,
+               rise: float = 1e-9) -> Pulse:
+    """Default gate clock with *slow* (1 ns) edges.
+
+    The default-high gates rely on the monostable-to-bistable fold: the
+    output must track the quasi-static branch during the clock ramp, so
+    the edge has to be slow against the latch RC (~0.1 ns).  A too-fast
+    edge drives the *load* RTD past its peak while the output still
+    lags, latching the wrong state — a physical MOBILE constraint, not a
+    simulator artifact.
+    """
+    return Pulse(0.0, GateInfo().clock_high, delay=delay, rise=rise,
+                 fall=rise, width=period / 2.0 - rise, period=period)
+
+
+def _latch_core(circuit: Circuit, info: GateInfo, clock,
+                load_area: float, drive_area: float,
+                parameters: SchulmanParameters,
+                output_capacitance: float) -> None:
+    """Clock source + stacked RTD pair + output capacitor."""
+    circuit.add_voltage_source("Vclk", info.clock_node, "0",
+                               gate_clock()
+                               if clock is None else as_waveform(clock))
+    rtd = SchulmanRTD(parameters)
+    circuit.add_device("Xload", info.clock_node, info.output_node, rtd,
+                       multiplicity=load_area)
+    circuit.add_device("Xdrive", info.output_node, "0", rtd,
+                       multiplicity=drive_area)
+    circuit.add_capacitor("Cq", info.output_node, "0", output_capacitance)
+
+
+def mobile_buffer(input_a: "Waveform | float",
+                  clock: "Waveform | float | None" = None,
+                  parameters: SchulmanParameters = RTD_LOGIC,
+                  output_capacitance: float = 2e-12,
+                  ) -> tuple[Circuit, GateInfo]:
+    """Clocked buffer: q latches to the input value at rising edges.
+
+    Identical topology to the Fig. 9 flip-flop (load-side input FET,
+    ``load < drive`` so the default latch state is low).
+    """
+    info = GateInfo(input_nodes=("a",))
+    circuit = Circuit("mobile-buffer")
+    _latch_core(circuit, info, clock, 0.10, 0.12, parameters,
+                output_capacitance)
+    circuit.add_voltage_source("Va", "a", "0", as_waveform(input_a))
+    circuit.add_mosfet("M1", info.clock_node, "a", info.output_node,
+                       nmos(kp=0.1, w=1.0, l=1.0, vth=0.2))
+    circuit.add_capacitor("Ca", "a", "0", output_capacitance / 10.0)
+    return circuit, info
+
+
+def mobile_inverter(input_a: "Waveform | float",
+                    clock: "Waveform | float | None" = None,
+                    parameters: SchulmanParameters = RTD_LOGIC,
+                    output_capacitance: float = 2e-12,
+                    ) -> tuple[Circuit, GateInfo]:
+    """Clocked inverter: driver-side input FET on a high-biased latch.
+
+    ``load > drive`` makes the default state high; a conducting input
+    FET strengthens the driver side and forces the latch low.
+    """
+    info = GateInfo(input_nodes=("a",))
+    circuit = Circuit("mobile-inverter")
+    _latch_core(circuit, info, clock, 0.12, 0.10, parameters,
+                output_capacitance)
+    circuit.add_voltage_source("Va", "a", "0", as_waveform(input_a))
+    # FET in parallel with the DRIVER RTD: drain at q, source at ground.
+    circuit.add_mosfet("M1", info.output_node, "a", "0",
+                       nmos(kp=0.1, w=1.0, l=1.0, vth=0.2))
+    circuit.add_capacitor("Ca", "a", "0", output_capacitance / 10.0)
+    return circuit, info
+
+
+def mobile_nor(input_a: "Waveform | float", input_b: "Waveform | float",
+               clock: "Waveform | float | None" = None,
+               parameters: SchulmanParameters = RTD_LOGIC,
+               output_capacitance: float = 2e-12,
+               ) -> tuple[Circuit, GateInfo]:
+    """NOR: two parallel driver-side FETs — either input forces q low."""
+    info = GateInfo(input_nodes=("a", "b"))
+    circuit = Circuit("mobile-nor")
+    _latch_core(circuit, info, clock, 0.12, 0.10, parameters,
+                output_capacitance)
+    for node, waveform in (("a", input_a), ("b", input_b)):
+        circuit.add_voltage_source(f"V{node}", node, "0",
+                                   as_waveform(waveform))
+        circuit.add_mosfet(f"M{node}", info.output_node, node, "0",
+                           nmos(kp=0.1, w=1.0, l=1.0, vth=0.2))
+        circuit.add_capacitor(f"C{node}", node, "0",
+                              output_capacitance / 10.0)
+    return circuit, info
+
+
+def mobile_nand(input_a: "Waveform | float", input_b: "Waveform | float",
+                clock: "Waveform | float | None" = None,
+                parameters: SchulmanParameters = RTD_LOGIC,
+                output_capacitance: float = 2e-12,
+                ) -> tuple[Circuit, GateInfo]:
+    """NAND: two series driver-side FETs — both inputs must conduct to
+    force q low (the series pair halves the drive, sized up 2x)."""
+    info = GateInfo(input_nodes=("a", "b"))
+    circuit = Circuit("mobile-nand")
+    _latch_core(circuit, info, clock, 0.12, 0.10, parameters,
+                output_capacitance)
+    for node, waveform in (("a", input_a), ("b", input_b)):
+        circuit.add_voltage_source(f"V{node}", node, "0",
+                                   as_waveform(waveform))
+        circuit.add_capacitor(f"C{node}", node, "0",
+                              output_capacitance / 10.0)
+    # series stack: q -> mid -> ground
+    circuit.add_mosfet("Ma", info.output_node, "a", "mid",
+                       nmos(kp=0.2, w=1.0, l=1.0, vth=0.2))
+    circuit.add_mosfet("Mb", "mid", "b", "0",
+                       nmos(kp=0.2, w=1.0, l=1.0, vth=0.2))
+    # keep the internal node weakly defined when the stack is off
+    circuit.add_resistor("Rmid", "mid", "0", 1e6)
+    circuit.add_capacitor("Cmid", "mid", "0", output_capacitance / 20.0)
+    return circuit, info
+
+
+@dataclass(frozen=True)
+class PipelineInfo:
+    """Node names and clocking of a MOBILE nanopipeline."""
+
+    data_node: str = "d"
+    stage_outputs: tuple[str, ...] = ("q1", "q2")
+    clock_nodes: tuple[str, ...] = ("clk1", "clk2")
+    clock_period: float = 20e-9
+    clock_high: float = 1.15
+    input_high: float = 1.2
+    v_q_high: float = 1.12
+    v_q_low: float = 0.03
+
+
+def mobile_pipeline(data: "Waveform | float",
+                    stages: int = 2,
+                    clock_period: float = 20e-9,
+                    parameters: SchulmanParameters = RTD_LOGIC,
+                    output_capacitance: float = 2e-12,
+                    ) -> tuple[Circuit, PipelineInfo]:
+    """MOBILE nanopipeline (shift register): cascaded buffer latches
+    under overlapping phase-shifted clocks.
+
+    Stage ``k`` is clocked with a 50%-duty clock delayed by
+    ``(k + 1) * T/4``; consecutive clocks overlap for a quarter period,
+    during which the downstream latch samples the (still-held) upstream
+    output.  Because MOBILE latches are self-latching, the bit then
+    survives the upstream stage's reset — data shifts one stage per
+    clock phase, the gate-level pipelining the MOBILE literature
+    (paper ref. [6]) highlights.
+    """
+    if stages < 1:
+        raise ValueError(f"need at least one stage, got {stages!r}")
+    info = PipelineInfo(
+        stage_outputs=tuple(f"q{k + 1}" for k in range(stages)),
+        clock_nodes=tuple(f"clk{k + 1}" for k in range(stages)),
+        clock_period=clock_period)
+    edge = clock_period / 20.0
+    circuit = Circuit(f"mobile-pipeline-{stages}")
+    circuit.add_voltage_source("Vd", info.data_node, "0",
+                               as_waveform(data))
+    circuit.add_capacitor("Cd", info.data_node, "0",
+                          output_capacitance / 10.0)
+    rtd = SchulmanRTD(parameters)
+    previous = info.data_node
+    for k in range(stages):
+        clock_node = info.clock_nodes[k]
+        output = info.stage_outputs[k]
+        clock = Pulse(0.0, info.clock_high,
+                      delay=(k + 1) * clock_period / 4.0,
+                      rise=edge, fall=edge,
+                      width=clock_period / 2.0 - edge,
+                      period=clock_period)
+        circuit.add_voltage_source(f"Vclk{k + 1}", clock_node, "0", clock)
+        circuit.add_device(f"Xload{k}", clock_node, output, rtd,
+                           multiplicity=0.10)
+        circuit.add_device(f"Xdrive{k}", output, "0", rtd,
+                           multiplicity=0.12)
+        # Later stages are driven by the previous latch's 1.12 V output
+        # rather than a full 1.2 V swing; a stronger FET compensates.
+        beta = 0.1 if k == 0 else 0.2
+        circuit.add_mosfet(f"M{k}", clock_node, previous, output,
+                           nmos(kp=beta, w=1.0, l=1.0, vth=0.2))
+        circuit.add_capacitor(f"Cq{k}", output, "0", output_capacitance)
+        previous = output
+    return circuit, info

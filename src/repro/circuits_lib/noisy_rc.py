@@ -1,0 +1,90 @@
+"""Noisy RC circuits for the stochastic experiments (paper Fig. 10).
+
+The paper's Fig. 10 circuit is "a time-variant nanoscale transistor with
+some parasitic RCs" driven by an uncertain input.  The well-posed core of
+that experiment is a current-driven RC node with white-noise injection —
+an exact Ornstein-Uhlenbeck process, which is what makes the EM-versus-
+analytic comparison possible.  ``noisy_rc_node`` builds the single-node
+version; ``noisy_rc_ladder`` the multi-node parasitic ladder used in the
+vector-OU validation and the power-grid-style example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit import Circuit, Waveform
+from repro.stochastic.analytic import OrnsteinUhlenbeck
+from repro.stochastic.sde import CircuitSDE
+
+
+@dataclass(frozen=True)
+class NoisyRcInfo:
+    """Design record of the noisy RC node."""
+
+    node: str = "n1"
+    resistance: float = 1e3
+    capacitance: float = 1e-12
+    drive_current: float = 0.0
+    noise_amplitude: float = 0.0
+
+
+def noisy_rc_node(resistance: float = 1e3,
+                  capacitance: float = 1e-12,
+                  drive: "Waveform | float" = 0.0,
+                  noise_amplitude: float = 1e-8,
+                  ) -> tuple[CircuitSDE, NoisyRcInfo]:
+    """Single RC node with deterministic drive + white-noise current.
+
+    Returns the assembled :class:`CircuitSDE` and an info record.  When
+    the drive is a constant, the exact solution is the OU process from
+    :meth:`~repro.stochastic.analytic.OrnsteinUhlenbeck.from_rc`.
+    """
+    info = NoisyRcInfo(resistance=resistance, capacitance=capacitance,
+                       noise_amplitude=noise_amplitude)
+    circuit = Circuit("noisy-rc-node")
+    circuit.add_resistor("R1", info.node, "0", resistance)
+    circuit.add_capacitor("C1", info.node, "0", capacitance)
+    circuit.add_current_source("Idrive", "0", info.node, drive)
+    sde = CircuitSDE(circuit, [(info.node, noise_amplitude)])
+    return sde, info
+
+
+def exact_reference(info: NoisyRcInfo,
+                    drive_current: float) -> OrnsteinUhlenbeck:
+    """Closed-form OU process matching a :func:`noisy_rc_node` build."""
+    return OrnsteinUhlenbeck.from_rc(info.resistance, info.capacitance,
+                                     info.noise_amplitude, drive_current)
+
+
+def noisy_rc_ladder(stages: int = 4,
+                    resistance: float = 500.0,
+                    capacitance: float = 0.5e-12,
+                    drive: "Waveform | float" = 1e-4,
+                    noise_amplitude: float = 1e-8,
+                    noise_at_every_node: bool = False,
+                    ) -> tuple[CircuitSDE, tuple[str, ...]]:
+    """RC ladder (parasitic interconnect) with noise at the far end.
+
+    Node names are ``n1 ... n<stages>``; the drive enters at ``n1`` and
+    noise at the last node (or everywhere with
+    ``noise_at_every_node=True``).  Returns ``(sde, node_names)``.
+    """
+    if stages < 1:
+        raise ValueError(f"need at least one stage, got {stages!r}")
+    circuit = Circuit(f"noisy-rc-ladder-{stages}")
+    previous = "0"
+    nodes = []
+    for k in range(1, stages + 1):
+        node = f"n{k}"
+        nodes.append(node)
+        circuit.add_resistor(f"R{k}", previous, node, resistance)
+        circuit.add_capacitor(f"C{k}", node, "0", capacitance)
+        previous = node
+    circuit.add_current_source("Idrive", "0", "n1", drive)
+    if noise_at_every_node:
+        injections = [(node, noise_amplitude) for node in nodes]
+    else:
+        injections = [(nodes[-1], noise_amplitude)]
+    sde = CircuitSDE(circuit, injections)
+    return sde, tuple(nodes)

@@ -1,0 +1,34 @@
+"""Physical constants used by the device models.
+
+All values are CODATA-style SI values; the simulator itself is unit-neutral
+(volts, amperes, seconds, farads, siemens) so only ratios such as the thermal
+voltage ``kT/q`` appear in device equations.
+"""
+
+from __future__ import annotations
+
+#: Elementary charge in coulombs.
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant in joules per kelvin.
+BOLTZMANN = 1.380649e-23
+
+#: Planck constant in joule-seconds.
+PLANCK = 6.62607015e-34
+
+#: Conductance quantum 2 e^2 / h in siemens (per spin-degenerate channel).
+CONDUCTANCE_QUANTUM = 2.0 * ELEMENTARY_CHARGE**2 / PLANCK
+
+#: Default device temperature in kelvin.
+ROOM_TEMPERATURE = 300.0
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at *temperature*.
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature!r}")
+    return BOLTZMANN * temperature / ELEMENTARY_CHARGE

@@ -1,0 +1,37 @@
+"""Nonlinear device models for nanotechnology circuit simulation.
+
+Models are pure I-V descriptions: given a branch voltage they return the
+current, the differential (small-signal) conductance ``dI/dV`` and the SWEC
+chord conductance ``I(V)/V``.  Engines decide which of those to use; the
+paper's point is that the chord is positive where the differential
+conductance goes negative (NDR).
+"""
+
+from repro.devices.base import TwoTerminalDevice, TabulatedDevice
+from repro.devices.diode import Diode
+from repro.devices.mosfet import MosfetModel, nmos, pmos
+from repro.devices.nanowire import QuantizedNanowire
+from repro.devices.rtd import (
+    NANO_SIM_DATE05,
+    RTD_LOGIC,
+    SCHULMAN_INGAAS,
+    SchulmanParameters,
+    SchulmanRTD,
+)
+from repro.devices.rtt import MultiPeakRTT
+
+__all__ = [
+    "Diode",
+    "MosfetModel",
+    "MultiPeakRTT",
+    "NANO_SIM_DATE05",
+    "QuantizedNanowire",
+    "RTD_LOGIC",
+    "SCHULMAN_INGAAS",
+    "SchulmanParameters",
+    "SchulmanRTD",
+    "TabulatedDevice",
+    "TwoTerminalDevice",
+    "nmos",
+    "pmos",
+]

@@ -1,0 +1,139 @@
+"""Base protocol for two-terminal nonlinear devices.
+
+Subclasses must implement :meth:`current`; analytic derivatives are strongly
+preferred but a careful central-difference fallback is provided so that
+tabulated or experimental devices work out of the box.
+
+Conductance vocabulary (paper Section 3.2, Fig. 3):
+
+differential conductance
+    ``g(V) = dI/dV`` — the slope SPICE linearizes around.  Negative inside
+    an NDR region, which is what breaks Newton-Raphson.
+chord conductance
+    ``G_eq(V) = I(V)/V`` — the SWEC equivalent conductance: the slope of the
+    chord from the origin to the operating point.  For any device whose
+    current has the sign of its voltage (passive device), the chord is
+    positive for ``V != 0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class TwoTerminalDevice:
+    """Abstract two-terminal nonlinear device model."""
+
+    #: Voltage magnitude below which the chord conductance switches to its
+    #: analytic limit ``dI/dV(0)`` to avoid 0/0.
+    chord_epsilon: float = 1e-9
+
+    #: Step used by the finite-difference fallbacks.
+    fd_step: float = 1e-6
+
+    def current(self, voltage: float) -> float:
+        """Return device current (amperes) at *voltage* (volts)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Derivatives — override with analytic forms where possible.
+    # ------------------------------------------------------------------
+
+    def differential_conductance(self, voltage: float) -> float:
+        """Return ``dI/dV`` at *voltage*; finite-difference fallback."""
+        h = self.fd_step * max(1.0, abs(voltage))
+        return (self.current(voltage + h) - self.current(voltage - h)) / (2.0 * h)
+
+    def chord_conductance(self, voltage: float) -> float:
+        """Return the SWEC equivalent conductance ``I(V)/V``.
+
+        At ``V -> 0`` the chord tends to the differential conductance at the
+        origin, which is the value returned inside ``chord_epsilon``.
+        """
+        if abs(voltage) < self.chord_epsilon:
+            return self.differential_conductance(0.0)
+        return self.current(voltage) / voltage
+
+    def chord_conductance_derivative(self, voltage: float) -> float:
+        """Return ``dG_eq/dV = (V dI/dV - I) / V^2`` (paper eq. 8).
+
+        Used by the first-order Taylor predictor of eq. (5).  Near the
+        origin the quotient rule degenerates; L'Hopital gives
+        ``I''(0) / 2``, estimated by finite differences.
+        """
+        if abs(voltage) < self.chord_epsilon:
+            h = self.fd_step
+            second = (self.current(h) - 2.0 * self.current(0.0)
+                      + self.current(-h)) / (h * h)
+            return 0.5 * second
+        i = self.current(voltage)
+        g = self.differential_conductance(voltage)
+        return (voltage * g - i) / (voltage * voltage)
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by every model
+    # ------------------------------------------------------------------
+
+    def is_passive_at(self, voltage: float) -> bool:
+        """True when current has the sign of voltage (chord >= 0) there."""
+        i = self.current(voltage)
+        return i == 0.0 or math.copysign(1.0, i) == math.copysign(1.0, voltage)
+
+    def sample_iv(self, v_start: float, v_stop: float, points: int):
+        """Return ``(voltages, currents)`` tuples sampling the I-V curve.
+
+        Plain lists, not arrays — device models are scalar by design so the
+        engines can call them one operating point at a time.
+        """
+        if points < 2:
+            raise ValueError(f"need at least 2 points, got {points}")
+        step = (v_stop - v_start) / (points - 1)
+        voltages = [v_start + k * step for k in range(points)]
+        currents = [self.current(v) for v in voltages]
+        return voltages, currents
+
+
+class TabulatedDevice(TwoTerminalDevice):
+    """Device defined by measured ``(V, I)`` samples, linearly interpolated.
+
+    Useful for importing experimental nanodevice curves.  Outside the table
+    the end segments are extrapolated.
+    """
+
+    def __init__(self, voltages, currents) -> None:
+        voltages = [float(v) for v in voltages]
+        currents = [float(i) for i in currents]
+        if len(voltages) != len(currents):
+            raise ValueError("voltages and currents must have equal length")
+        if len(voltages) < 2:
+            raise ValueError("need at least two table points")
+        if any(b <= a for a, b in zip(voltages, voltages[1:])):
+            raise ValueError("table voltages must be strictly increasing")
+        self.voltages = voltages
+        self.currents = currents
+
+    def _segment(self, voltage: float) -> int:
+        lo, hi = 0, len(self.voltages) - 2
+        if voltage <= self.voltages[0]:
+            return 0
+        if voltage >= self.voltages[-1]:
+            return hi
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.voltages[mid] <= voltage:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def current(self, voltage: float) -> float:
+        k = self._segment(voltage)
+        v0, v1 = self.voltages[k], self.voltages[k + 1]
+        i0, i1 = self.currents[k], self.currents[k + 1]
+        return i0 + (i1 - i0) * (voltage - v0) / (v1 - v0)
+
+    def differential_conductance(self, voltage: float) -> float:
+        k = self._segment(voltage)
+        v0, v1 = self.voltages[k], self.voltages[k + 1]
+        i0, i1 = self.currents[k], self.currents[k + 1]
+        return (i1 - i0) / (v1 - v0)

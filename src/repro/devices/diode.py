@@ -1,0 +1,61 @@
+"""Exponential junction diode.
+
+Not a nanodevice, but the standard monotonic nonlinearity: the Newton
+baselines are validated against it (they must converge easily), and it
+serves as the control case showing that SWEC matches Newton when no NDR is
+present.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import thermal_voltage
+from repro.devices.base import TwoTerminalDevice
+
+
+class Diode(TwoTerminalDevice):
+    """Shockley diode ``I = Is (e^{V / (n VT)} - 1)`` with linear overflow
+    continuation above *v_linear* (mirrors SPICE's junction limiting).
+
+    Parameters
+    ----------
+    saturation_current:
+        ``Is`` in amperes.
+    ideality:
+        Emission coefficient ``n``.
+    temperature:
+        Junction temperature in kelvin.
+    v_linear:
+        Voltage beyond which the exponential is continued linearly to keep
+        Newton iterations finite.  Defaults to 40 thermal voltages.
+    """
+
+    def __init__(self, saturation_current: float = 1e-14,
+                 ideality: float = 1.0, temperature: float = 300.0,
+                 v_linear: float | None = None) -> None:
+        if saturation_current <= 0.0:
+            raise ValueError("saturation current must be positive")
+        if ideality <= 0.0:
+            raise ValueError("ideality must be positive")
+        self.saturation_current = saturation_current
+        self.ideality = ideality
+        self.n_vt = ideality * thermal_voltage(temperature)
+        self.v_linear = 40.0 * self.n_vt if v_linear is None else v_linear
+
+    def current(self, voltage: float) -> float:
+        if voltage <= self.v_linear:
+            return self.saturation_current * math.expm1(voltage / self.n_vt)
+        # Linear continuation, C1-continuous at v_linear.
+        i0 = self.saturation_current * math.expm1(self.v_linear / self.n_vt)
+        g0 = (self.saturation_current / self.n_vt
+              * math.exp(self.v_linear / self.n_vt))
+        return i0 + g0 * (voltage - self.v_linear)
+
+    def differential_conductance(self, voltage: float) -> float:
+        v = min(voltage, self.v_linear)
+        return self.saturation_current / self.n_vt * math.exp(v / self.n_vt)
+
+    def __repr__(self) -> str:
+        return (f"Diode(Is={self.saturation_current!r}, "
+                f"n={self.ideality!r})")

@@ -1,0 +1,235 @@
+"""Schulman physics-based resonant tunneling diode model.
+
+Implements the I-V equation of Schulman, De Los Santos and Chow (IEEE EDL
+1996), which the paper adopts as eq. (4):
+
+.. math::
+
+    J_1(V) = A \\,
+        \\ln\\!\\frac{1 + e^{(B - C + n_1 V) q / kT}}
+                    {1 + e^{(B - C - n_1 V) q / kT}}
+        \\left[ \\frac{\\pi}{2} + \\tan^{-1}\\frac{C - n_1 V}{D} \\right]
+
+    J_2(V) = H \\left( e^{n_2 q V / kT} - 1 \\right)
+
+    J(V) = J_1(V) + J_2(V)
+
+``J_1`` produces the resonance peak and the NDR region, ``J_2`` the
+thermionic valley-to-second-rise current.  The curve has three regions
+(paper Fig. 4): PDR1, NDR, PDR2.
+
+Three parameter sets ship with the model:
+
+``NANO_SIM_DATE05``
+    The exact values printed in the paper's Section 5.2 (FET-RTD inverter
+    experiment).  Peak sits near ``V = C/n1 ~ 4.3 V``.
+``SCHULMAN_INGAAS``
+    Representative InGaAs/AlAs values in the spirit of the original
+    Schulman paper — sub-volt peak, realistic peak-to-valley ratio.
+``RTD_LOGIC``
+    A set tuned for the MOBILE latch experiments: sub-volt peak and a
+    pronounced valley, so two stacked RTDs latch at practical bias.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.constants import thermal_voltage
+from repro.devices.base import TwoTerminalDevice
+
+#: Largest exponent fed to math.exp; larger arguments use asymptotics.
+_EXP_CLIP = 700.0
+
+
+def _softplus(x: float) -> float:
+    """Numerically stable ``ln(1 + e^x)``."""
+    if x > _EXP_CLIP:
+        return x
+    if x < -_EXP_CLIP:
+        return 0.0
+    if x > 0.0:
+        return x + math.log1p(math.exp(-x))
+    return math.log1p(math.exp(x))
+
+
+def _logistic(x: float) -> float:
+    """Numerically stable ``e^x / (1 + e^x)``."""
+    if x >= 0.0:
+        return 1.0 / (1.0 + math.exp(-min(x, _EXP_CLIP)))
+    ex = math.exp(max(x, -_EXP_CLIP))
+    return ex / (1.0 + ex)
+
+
+def _exp_clipped(x: float) -> float:
+    return math.exp(min(x, _EXP_CLIP))
+
+
+@dataclass(frozen=True)
+class SchulmanParameters:
+    """Parameter record for the Schulman RTD equations.
+
+    Attributes use the paper's symbols.  ``a`` (amperes), ``b``, ``c``, ``d``
+    (volts), ``n1``, ``n2`` (dimensionless level factors), ``h`` (amperes),
+    ``temperature`` (kelvin).
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+    n1: float
+    n2: float
+    h: float
+    temperature: float = 300.0
+
+    def scaled(self, area_factor: float) -> "SchulmanParameters":
+        """Return a copy with currents scaled by *area_factor*.
+
+        Scaling ``A`` and ``H`` models a device of different junction area;
+        the voltage landmarks (peak/valley positions) are unchanged.  The
+        MOBILE flip-flop relies on unequal areas between its two RTDs.
+        """
+        if area_factor <= 0.0:
+            raise ValueError(
+                f"area_factor must be positive, got {area_factor!r}")
+        return replace(self, a=self.a * area_factor, h=self.h * area_factor)
+
+
+#: Exact parameter values printed in the paper (Section 5.2).
+NANO_SIM_DATE05 = SchulmanParameters(
+    a=1e-4, b=2.0, c=1.5, d=0.3, n1=0.35, n2=0.0172, h=1.43e-8)
+
+#: Representative sub-volt InGaAs/AlAs-style device (cf. Schulman 1996).
+SCHULMAN_INGAAS = SchulmanParameters(
+    a=1.2e-3, b=0.068, c=0.1035, d=0.0088, n1=0.1862, n2=0.0466, h=2.4e-6)
+
+#: Tuned for MOBILE latch experiments: peak ~0.48 V, valley ~0.89 V,
+#: peak-to-valley ratio ~16, strong second rise before 1.5 V.
+RTD_LOGIC = SchulmanParameters(
+    a=2.5e-3, b=0.30, c=0.22, d=0.01, n1=0.40, n2=0.10, h=5.0e-5)
+
+
+class SchulmanRTD(TwoTerminalDevice):
+    """Resonant tunneling diode with the Schulman I-V law.
+
+    Parameters
+    ----------
+    parameters:
+        A :class:`SchulmanParameters` record; defaults to the paper's set.
+
+    >>> rtd = SchulmanRTD()
+    >>> rtd.current(0.0)
+    0.0
+    """
+
+    def __init__(self,
+                 parameters: SchulmanParameters = NANO_SIM_DATE05) -> None:
+        self.parameters = parameters
+        self._vt = thermal_voltage(parameters.temperature)
+
+    # ------------------------------------------------------------------
+    # I-V law (paper eq. 4)
+    # ------------------------------------------------------------------
+
+    def resonance_current(self, voltage: float) -> float:
+        """Resonant component ``J_1(V)``."""
+        p = self.parameters
+        upper = (p.b - p.c + p.n1 * voltage) / self._vt
+        lower = (p.b - p.c - p.n1 * voltage) / self._vt
+        log_term = _softplus(upper) - _softplus(lower)
+        angle = math.pi / 2.0 + math.atan((p.c - p.n1 * voltage) / p.d)
+        return p.a * log_term * angle
+
+    def thermionic_current(self, voltage: float) -> float:
+        """Valley/second-rise component ``J_2(V)``."""
+        p = self.parameters
+        return p.h * (_exp_clipped(p.n2 * voltage / self._vt) - 1.0)
+
+    def current(self, voltage: float) -> float:
+        """Total current ``J(V) = J_1(V) + J_2(V)``."""
+        return self.resonance_current(voltage) + self.thermionic_current(voltage)
+
+    # ------------------------------------------------------------------
+    # Analytic derivatives (paper eq. 8, re-derived)
+    # ------------------------------------------------------------------
+
+    def differential_conductance(self, voltage: float) -> float:
+        """Analytic ``dJ/dV`` — negative inside the NDR region."""
+        p = self.parameters
+        upper = (p.b - p.c + p.n1 * voltage) / self._vt
+        lower = (p.b - p.c - p.n1 * voltage) / self._vt
+        log_term = _softplus(upper) - _softplus(lower)
+        dlog = (p.n1 / self._vt) * (_logistic(upper) + _logistic(lower))
+        u = (p.c - p.n1 * voltage) / p.d
+        angle = math.pi / 2.0 + math.atan(u)
+        dangle = -(p.n1 / p.d) / (1.0 + u * u)
+        dj1 = p.a * (dlog * angle + log_term * dangle)
+        dj2 = (p.h * p.n2 / self._vt) * _exp_clipped(p.n2 * voltage / self._vt)
+        return dj1 + dj2
+
+    # ------------------------------------------------------------------
+    # Landmark extraction (used by Fig. 4 / Fig. 5 experiments)
+    # ------------------------------------------------------------------
+
+    def peak(self, v_max: float = None, points: int = 4001):
+        """Locate the (first) current peak as ``(V_peak, I_peak)``.
+
+        Scans ``[0, v_max]`` for the first sign change of ``dJ/dV`` and
+        refines it by bisection.  ``v_max`` defaults to just past the
+        resonance alignment voltage ``C/n1``.
+        """
+        p = self.parameters
+        if v_max is None:
+            v_max = 1.5 * p.c / p.n1
+        return self._first_conductance_zero(1e-6, v_max, points, falling=True)
+
+    def valley(self, v_max: float = None, points: int = 4001):
+        """Locate the valley (current minimum past the peak)."""
+        p = self.parameters
+        if v_max is None:
+            v_max = 8.0 * p.c / p.n1
+        v_peak, _ = self.peak()
+        return self._first_conductance_zero(
+            v_peak * 1.0001, v_max, points, falling=False)
+
+    def _first_conductance_zero(self, v_lo: float, v_hi: float, points: int,
+                                falling: bool):
+        step = (v_hi - v_lo) / (points - 1)
+        prev_v = v_lo
+        prev_g = self.differential_conductance(prev_v)
+        for k in range(1, points):
+            v = v_lo + k * step
+            g = self.differential_conductance(v)
+            crossed = (prev_g > 0.0 >= g) if falling else (prev_g < 0.0 <= g)
+            if crossed:
+                lo, hi = prev_v, v
+                for _ in range(60):
+                    mid = 0.5 * (lo + hi)
+                    gm = self.differential_conductance(mid)
+                    if (gm > 0.0) == falling:
+                        lo = mid
+                    else:
+                        hi = mid
+                v_star = 0.5 * (lo + hi)
+                return v_star, self.current(v_star)
+            prev_v, prev_g = v, g
+        raise ValueError(
+            f"no {'peak' if falling else 'valley'} found in "
+            f"[{v_lo:.3g}, {v_hi:.3g}]")
+
+    def peak_to_valley_ratio(self) -> float:
+        """Peak current divided by valley current."""
+        _, i_peak = self.peak()
+        _, i_valley = self.valley()
+        return i_peak / i_valley
+
+    def ndr_region(self) -> tuple[float, float]:
+        """Return ``(V_peak, V_valley)`` — the NDR region boundaries."""
+        v_peak, _ = self.peak()
+        v_valley, _ = self.valley()
+        return v_peak, v_valley
+
+    def __repr__(self) -> str:
+        return f"SchulmanRTD({self.parameters!r})"

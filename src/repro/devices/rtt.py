@@ -1,0 +1,93 @@
+"""Multi-peak resonant tunneling transistor (RTT) collector model.
+
+Paper Fig. 1(a) shows the collector current of an RTT versus collector-
+emitter voltage: *multiple* resonance peaks with a staircase contour, each
+followed by an NDR region.  We model the two-terminal collector
+characteristic as a superposition of Schulman-style resonances with
+shifted alignment voltages plus one shared thermionic background:
+
+.. math::
+
+    J(V) = \\sum_m J_1^{(m)}(V) + J_2(V)
+
+Each resonance reuses the :class:`~repro.devices.rtd.SchulmanRTD`
+machinery, so derivatives stay analytic.  The base terminal is modelled as
+a pure multiplier on the resonance amplitudes (``base_drive``), which is
+how the staircase shifts with base bias in the source literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.devices.base import TwoTerminalDevice
+from repro.devices.rtd import RTD_LOGIC, SchulmanParameters, SchulmanRTD
+
+
+class MultiPeakRTT(TwoTerminalDevice):
+    """RTT collector I-V with several resonance peaks.
+
+    Parameters
+    ----------
+    base:
+        Template :class:`SchulmanParameters`; each peak is a copy with its
+        ``c`` parameter shifted so the alignment voltage ``c/n1`` lands on
+        the requested peak position.
+    peak_voltages:
+        Target positions of the resonance peaks, in volts.
+    peak_scales:
+        Relative amplitude of each resonance (defaults to equal).
+    base_drive:
+        Multiplier applied to every resonance amplitude — a stand-in for
+        the base-emitter drive level.
+    """
+
+    def __init__(self, base: SchulmanParameters = RTD_LOGIC,
+                 peak_voltages=(0.5, 1.2, 1.9),
+                 peak_scales=None, base_drive: float = 1.0) -> None:
+        peaks = tuple(float(v) for v in peak_voltages)
+        if not peaks:
+            raise ValueError("need at least one peak")
+        if any(b <= a for a, b in zip(peaks, peaks[1:])):
+            raise ValueError("peak voltages must be strictly increasing")
+        if base_drive <= 0.0:
+            raise ValueError(f"base_drive must be positive, got {base_drive!r}")
+        if peak_scales is None:
+            peak_scales = (1.0,) * len(peaks)
+        scales = tuple(float(s) for s in peak_scales)
+        if len(scales) != len(peaks):
+            raise ValueError("one scale per peak required")
+
+        self.peak_voltages = peaks
+        self.base_drive = float(base_drive)
+        self._resonances: list[SchulmanRTD] = []
+        for v_peak, scale in zip(peaks, scales):
+            params = replace(base,
+                             c=base.n1 * v_peak,
+                             a=base.a * scale * base_drive,
+                             h=0.0)
+            self._resonances.append(SchulmanRTD(params))
+        # One shared thermionic term keeps the tail monotone at high bias.
+        self._background = SchulmanRTD(replace(base, a=0.0))
+
+    def current(self, voltage: float) -> float:
+        total = self._background.thermionic_current(voltage)
+        for resonance in self._resonances:
+            total += resonance.resonance_current(voltage)
+        return total
+
+    def differential_conductance(self, voltage: float) -> float:
+        total = self._background.differential_conductance(voltage)
+        for resonance in self._resonances:
+            total += resonance.differential_conductance(voltage)
+        # Background object includes a zero-amplitude resonance term whose
+        # derivative is zero, so no double counting occurs.
+        return total
+
+    def num_peaks(self) -> int:
+        """Number of modelled resonance peaks."""
+        return len(self._resonances)
+
+    def __repr__(self) -> str:
+        return (f"MultiPeakRTT(peaks={self.peak_voltages!r}, "
+                f"base_drive={self.base_drive!r})")

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the Nano-Sim reproduction.
+
+Every error raised by the library derives from :class:`NanoSimError` so user
+code can catch the whole family with one ``except`` clause.  The subclasses
+separate the three phases where things go wrong: building a circuit,
+assembling the equations, and running an analysis.
+"""
+
+from __future__ import annotations
+
+
+class NanoSimError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CircuitError(NanoSimError):
+    """A circuit is malformed (unknown node, duplicate name, bad value)."""
+
+
+class NetlistParseError(CircuitError):
+    """A textual netlist could not be parsed.
+
+    Attributes
+    ----------
+    line_number:
+        One-based line number where parsing failed, or ``None`` when the
+        failure is not tied to a single line.
+    line:
+        The offending source line, when available.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        location = f" (line {line_number}: {line!r})" if line_number else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+        self.line = line
+
+
+class AssemblyError(NanoSimError):
+    """MNA system assembly failed (singular topology, missing ground...)."""
+
+
+class AnalysisError(NanoSimError):
+    """An analysis was configured incorrectly or failed to run."""
+
+
+class ConvergenceError(AnalysisError):
+    """An iterative solver failed to converge.
+
+    The Newton-Raphson baselines raise this on NDR-induced oscillation; the
+    SWEC engine never should (that is the paper's claim, and our tests assert
+    it).
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Last residual norm, when meaningful.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        details = []
+        if iterations is not None:
+            details.append(f"iterations={iterations}")
+        if residual is not None:
+            details.append(f"residual={residual:.3e}")
+        suffix = f" [{', '.join(details)}]" if details else ""
+        super().__init__(message + suffix)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularMatrixError(AnalysisError):
+    """The linearized MNA matrix is singular or numerically unusable."""

@@ -1,0 +1,16 @@
+"""Modified nodal analysis: stamping, assembly and linear solution.
+
+:class:`~repro.mna.assembler.MnaSystem` turns a
+:class:`~repro.circuit.Circuit` into the matrices of the paper's eq. (1),
+
+.. math::  G(t)\\,V(t) + C\\,\\dot V(t) = b\\,u_s(t)
+
+with voltage sources and inductors handled through branch-current
+augmentation.  Engines own the time discretization; this package owns the
+matrix structure.
+"""
+
+from repro.mna.assembler import MnaSystem
+from repro.mna.linsolve import LinearSolver, solve_dense
+
+__all__ = ["LinearSolver", "MnaSystem", "solve_dense"]

@@ -1,0 +1,21 @@
+"""Performance accounting: FLOP counters and engine comparisons.
+
+Table I of the paper compares SWEC and MLA by *floating point operation
+counts* rather than wall-clock time, because both were research prototypes.
+We reproduce that: every engine threads a :class:`FlopCounter` through its
+linear solves and device evaluations.
+"""
+
+from repro.perf.flops import (
+    FlopCounter,
+    device_eval_flops,
+    lu_factor_flops,
+    lu_solve_flops,
+)
+
+__all__ = [
+    "FlopCounter",
+    "device_eval_flops",
+    "lu_factor_flops",
+    "lu_solve_flops",
+]

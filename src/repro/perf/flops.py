@@ -1,0 +1,130 @@
+"""Analytic floating-point operation accounting.
+
+The counts are standard dense-linear-algebra formulas (Golub & Van Loan):
+
+* LU factorization of an ``n x n`` matrix: ``2/3 n^3`` flops (leading term,
+  plus the ``n^2`` lower-order terms we keep for small ``n`` honesty).
+* Triangular solve pair: ``2 n^2`` flops.
+* Device model evaluations are charged a per-model constant (an ``exp`` or
+  ``atan`` is counted as one "elementary function" worth ``EF_COST``
+  flops, the convention used by flop-count comparisons of simulators).
+
+A :class:`FlopCounter` accumulates counts per category so reports can show
+*where* an engine spends its operations (factorization vs device evals),
+which is exactly the SWEC-vs-MLA story: MLA pays for repeated Newton
+factorizations, SWEC pays one factorization per time point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Flops charged per elementary function call (exp, log, atan...).
+EF_COST = 20
+
+#: Flops charged per call for each device model family.
+_DEVICE_EVAL_COSTS = {
+    "rtd_current": 4 * EF_COST + 20,        # 2 softplus + atan + exp
+    "rtd_conductance": 5 * EF_COST + 30,    # logistic pair + atan + exp
+    "mosfet": 12,                            # polynomial only
+    "diode": EF_COST + 4,
+    "nanowire": 0,                           # filled in per-channel below
+    "generic": 2 * EF_COST,
+}
+
+
+def lu_factor_flops(n: int) -> int:
+    """Flops for LU factorization of an ``n x n`` dense matrix."""
+    return (2 * n**3) // 3 + n**2
+
+
+def lu_solve_flops(n: int) -> int:
+    """Flops for the forward/back substitution pair."""
+    return 2 * n**2
+
+
+def device_eval_flops(kind: str, channels: int = 0) -> int:
+    """Flops charged for one device-model evaluation of *kind*.
+
+    ``channels`` scales the nanowire cost (one softplus per channel).
+    """
+    if kind == "nanowire":
+        return (channels or 4) * (EF_COST + 4)
+    try:
+        return _DEVICE_EVAL_COSTS[kind]
+    except KeyError:
+        return _DEVICE_EVAL_COSTS["generic"]
+
+
+class FlopCounter:
+    """Accumulates flop counts per category.
+
+    Categories used by the engines:
+
+    - ``factor`` — LU factorizations
+    - ``solve`` — triangular substitutions
+    - ``device`` — nonlinear device model evaluations
+    - ``assembly`` — matrix stamping and vector updates
+    - ``overhead`` — step control, predictor arithmetic
+
+    >>> flops = FlopCounter()
+    >>> flops.add("factor", lu_factor_flops(3))
+    >>> flops.total > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+        self.linear_solves = 0
+        self.factorizations = 0
+        self.device_evaluations = 0
+
+    def add(self, category: str, count: int) -> None:
+        """Add *count* flops to *category*."""
+        if count < 0:
+            raise ValueError(f"flop count must be non-negative, got {count}")
+        self._counts[category] += int(count)
+
+    def count_factorization(self, n: int) -> None:
+        """Record an ``n x n`` LU factorization."""
+        self.add("factor", lu_factor_flops(n))
+        self.factorizations += 1
+
+    def count_solve(self, n: int) -> None:
+        """Record one forward/back substitution pair."""
+        self.add("solve", lu_solve_flops(n))
+        self.linear_solves += 1
+
+    def count_device_eval(self, kind: str, channels: int = 0) -> None:
+        """Record one device model evaluation."""
+        self.add("device", device_eval_flops(kind, channels))
+        self.device_evaluations += 1
+
+    @property
+    def total(self) -> int:
+        """Total flops across all categories."""
+        return sum(self._counts.values())
+
+    def by_category(self) -> dict[str, int]:
+        """Return a copy of the per-category counts."""
+        return dict(self._counts)
+
+    def merge(self, other: "FlopCounter") -> None:
+        """Fold *other*'s counts into this counter."""
+        self._counts.update(other._counts)
+        self.linear_solves += other.linear_solves
+        self.factorizations += other.factorizations
+        self.device_evaluations += other.device_evaluations
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"total flops: {self.total:,}"]
+        for category in sorted(self._counts):
+            lines.append(f"  {category:<10} {self._counts[category]:,}")
+        lines.append(f"  linear solves: {self.linear_solves}, "
+                     f"factorizations: {self.factorizations}, "
+                     f"device evals: {self.device_evaluations}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"FlopCounter(total={self.total})"

@@ -1,0 +1,181 @@
+"""Exact solutions of linear SDEs (Ornstein-Uhlenbeck processes).
+
+Paper Fig. 10 overlays the EM result on the "analytical solution" of its
+test circuit.  A noise-driven RC node is exactly the Ornstein-Uhlenbeck
+process
+
+.. math::  dX = (a - \\lambda X)\\,dt + \\sigma\\,dW
+
+whose transient mean and variance are closed-form:
+
+.. math::
+
+    \\mathbb E[X(t)] = X_0 e^{-\\lambda t} + \\frac{a}{\\lambda}
+                       (1 - e^{-\\lambda t}),
+    \\qquad
+    \\operatorname{Var}[X(t)] = \\frac{\\sigma^2}{2\\lambda}
+                       (1 - e^{-2\\lambda t}).
+
+The scalar class also samples *exact* paths through the Gaussian
+transition density, giving a reference that contains no discretization
+error at all.  :class:`VectorOrnsteinUhlenbeck` extends the mean/
+covariance formulas to the matrix case via the matrix exponential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.errors import AnalysisError
+
+
+class OrnsteinUhlenbeck:
+    """Scalar OU process ``dX = (a - lambda X) dt + sigma dW``."""
+
+    def __init__(self, decay_rate: float, noise_amplitude: float,
+                 drift_level: float = 0.0, x0: float = 0.0) -> None:
+        if decay_rate <= 0.0:
+            raise AnalysisError(
+                f"decay rate must be positive, got {decay_rate!r}")
+        if noise_amplitude < 0.0:
+            raise AnalysisError("noise amplitude must be non-negative")
+        self.decay_rate = float(decay_rate)
+        self.noise_amplitude = float(noise_amplitude)
+        self.drift_level = float(drift_level)
+        self.x0 = float(x0)
+
+    # ------------------------------------------------------------------
+    # Closed forms
+    # ------------------------------------------------------------------
+
+    def mean(self, t) -> np.ndarray:
+        """``E[X(t)]``."""
+        t = np.asarray(t, dtype=float)
+        decay = np.exp(-self.decay_rate * t)
+        settled = self.drift_level / self.decay_rate
+        return self.x0 * decay + settled * (1.0 - decay)
+
+    def variance(self, t) -> np.ndarray:
+        """``Var[X(t)]``."""
+        t = np.asarray(t, dtype=float)
+        return (self.noise_amplitude**2 / (2.0 * self.decay_rate)
+                * (1.0 - np.exp(-2.0 * self.decay_rate * t)))
+
+    def std(self, t) -> np.ndarray:
+        """Standard deviation at *t*."""
+        return np.sqrt(self.variance(t))
+
+    def stationary_variance(self) -> float:
+        """``sigma^2 / (2 lambda)`` — the ``t -> inf`` limit."""
+        return self.noise_amplitude**2 / (2.0 * self.decay_rate)
+
+    def autocovariance(self, t: float, s: float) -> float:
+        """``Cov[X(t), X(s)]`` for ``t, s >= 0``."""
+        lam = self.decay_rate
+        lo, hi = min(t, s), max(t, s)
+        return (self.noise_amplitude**2 / (2.0 * lam)
+                * np.exp(-lam * (hi - lo))
+                * (1.0 - np.exp(-2.0 * lam * lo)))
+
+    # ------------------------------------------------------------------
+    # Exact path sampling (no discretization error)
+    # ------------------------------------------------------------------
+
+    def sample_exact(self, t_final: float, steps: int, n_paths: int = 1,
+                     rng=None) -> tuple[np.ndarray, np.ndarray]:
+        """Sample exact OU paths on a uniform grid.
+
+        Uses the Gaussian transition density
+
+        ``X(t+dt) | X(t) ~ N(m(X(t)), v)`` with
+        ``m(x) = x e^{-lam dt} + (a/lam)(1 - e^{-lam dt})`` and
+        ``v = sigma^2 (1 - e^{-2 lam dt}) / (2 lam)``.
+
+        Returns ``(times, paths)`` with ``paths`` of shape
+        ``(n_paths, steps + 1)``.
+        """
+        if steps < 1:
+            raise AnalysisError("steps must be >= 1")
+        generator = np.random.default_rng(rng)
+        dt = t_final / steps
+        lam = self.decay_rate
+        decay = np.exp(-lam * dt)
+        settled = self.drift_level / lam
+        transition_std = np.sqrt(
+            self.noise_amplitude**2 * (1.0 - decay**2) / (2.0 * lam))
+        times = np.linspace(0.0, t_final, steps + 1)
+        paths = np.empty((n_paths, steps + 1))
+        paths[:, 0] = self.x0
+        for j in range(steps):
+            noise = generator.normal(0.0, transition_std, size=n_paths)
+            paths[:, j + 1] = (paths[:, j] * decay
+                               + settled * (1.0 - decay) + noise)
+        return times, paths
+
+    @classmethod
+    def from_rc(cls, resistance: float, capacitance: float,
+                noise_current: float, drive_current: float = 0.0,
+                x0: float = 0.0) -> "OrnsteinUhlenbeck":
+        """OU parameters of a noisy RC node.
+
+        ``C dV = (I_drive - V/R) dt + i_n dW`` gives
+        ``lambda = 1/(RC)``, ``sigma = i_n / C``, ``a = I_drive / C``.
+        """
+        if resistance <= 0.0 or capacitance <= 0.0:
+            raise AnalysisError("R and C must be positive")
+        return cls(decay_rate=1.0 / (resistance * capacitance),
+                   noise_amplitude=noise_current / capacitance,
+                   drift_level=drive_current / capacitance, x0=x0)
+
+
+class VectorOrnsteinUhlenbeck:
+    """Matrix OU process ``dX = (A X + f) dt + S dW`` (constant A, f, S).
+
+    Provides the exact mean trajectory (matrix exponential) and the
+    transient covariance through numerical quadrature of
+
+    .. math::  P(t) = \\int_0^t e^{A s} S S^T e^{A^T s}\\, ds
+    """
+
+    def __init__(self, drift_matrix, noise_matrix, drift_offset=None,
+                 x0=None) -> None:
+        self.a = np.atleast_2d(np.asarray(drift_matrix, dtype=float))
+        self.s = np.atleast_2d(np.asarray(noise_matrix, dtype=float))
+        n = self.a.shape[0]
+        if self.a.shape != (n, n):
+            raise AnalysisError("drift matrix must be square")
+        self.f = (np.zeros(n) if drift_offset is None
+                  else np.asarray(drift_offset, dtype=float))
+        self.x0 = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float)
+        self.dimension = n
+
+    def mean(self, t: float) -> np.ndarray:
+        """Exact ``E[X(t)]`` via the matrix exponential."""
+        phi = expm(self.a * t)
+        homogeneous = phi @ self.x0
+        # Particular part: A^{-1}(phi - I) f, computed stably via solve.
+        rhs = (phi - np.eye(self.dimension)) @ self.f
+        particular = np.linalg.solve(self.a, rhs)
+        return homogeneous + particular
+
+    def covariance(self, t: float, quadrature_points: int = 401) -> np.ndarray:
+        """``Cov[X(t)]`` by Simpson quadrature of the Lyapunov integral."""
+        if quadrature_points < 3 or quadrature_points % 2 == 0:
+            raise AnalysisError("quadrature_points must be odd and >= 3")
+        grid = np.linspace(0.0, t, quadrature_points)
+        q = self.s @ self.s.T
+        integrands = np.empty((quadrature_points, self.dimension,
+                               self.dimension))
+        for k, s_val in enumerate(grid):
+            phi = expm(self.a * s_val)
+            integrands[k] = phi @ q @ phi.T
+        h = grid[1] - grid[0]
+        weights = np.ones(quadrature_points)
+        weights[1:-1:2] = 4.0
+        weights[2:-1:2] = 2.0
+        return (h / 3.0) * np.einsum("k,kij->ij", weights, integrands)
+
+    def std(self, t: float, index: int = 0) -> float:
+        """Standard deviation of component *index* at time *t*."""
+        return float(np.sqrt(self.covariance(t)[index, index]))

@@ -1,0 +1,72 @@
+"""Ito versus Stratonovich stochastic sums (paper eqs. 15-16).
+
+The paper stresses that, unlike deterministic Riemann sums, the two
+evaluation-point choices
+
+.. math::
+
+    \\sum_j h(t_j)\\,(W_{j+1} - W_j)                 \\qquad \\text{(Ito, eq. 15)}
+
+    \\sum_j h\\!\\left(\\tfrac{t_j + t_{j+1}}{2}\\right)(W_{j+1} - W_j)
+                                                    \\qquad \\text{(eq. 16)}
+
+do **not** converge to the same limit when the integrand itself depends on
+``W``.  The canonical example: :math:`\\int_0^T W\\,dW` is
+``(W(T)^2 - T)/2`` under Ito but ``W(T)^2/2`` under Stratonovich — the
+mismatch ``T/2`` does not vanish as the grid refines.  These helpers
+compute both sums for arbitrary integrand samples so the benches (and
+tests) can exhibit the gap quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(values: np.ndarray, path: np.ndarray) -> None:
+    if values.shape != path.shape:
+        raise ValueError(
+            f"integrand and path shapes differ: {values.shape} vs {path.shape}")
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("need 1-D arrays with at least two samples")
+
+
+def ito_integral(integrand: np.ndarray, path: np.ndarray) -> float:
+    """Left-point (Ito) stochastic sum: eq. (15).
+
+    *integrand* holds ``h(t_j)`` sampled on the same grid as the Wiener
+    *path* values ``W(t_j)``.
+    """
+    integrand = np.asarray(integrand, dtype=float)
+    path = np.asarray(path, dtype=float)
+    _check(integrand, path)
+    return float(np.sum(integrand[:-1] * np.diff(path)))
+
+
+def midpoint_integral(integrand: np.ndarray, path: np.ndarray) -> float:
+    """Midpoint-in-time stochastic sum: eq. (16).
+
+    Uses the average of the two endpoint integrand samples as a stand-in
+    for ``h((t_j + t_{j+1})/2)``; when the integrand is the Wiener path
+    itself this equals the Stratonovich sum exactly.
+    """
+    integrand = np.asarray(integrand, dtype=float)
+    path = np.asarray(path, dtype=float)
+    _check(integrand, path)
+    midpoints = 0.5 * (integrand[:-1] + integrand[1:])
+    return float(np.sum(midpoints * np.diff(path)))
+
+
+def stratonovich_integral(integrand: np.ndarray, path: np.ndarray) -> float:
+    """Alias for the midpoint sum; named for the calculus it realizes."""
+    return midpoint_integral(integrand, path)
+
+
+def ito_w_dw_exact(w_final: float, t_final: float) -> float:
+    """Closed form of the Ito integral :math:`\\int_0^T W\\,dW`."""
+    return 0.5 * (w_final * w_final - t_final)
+
+
+def stratonovich_w_dw_exact(w_final: float) -> float:
+    """Closed form of the Stratonovich integral :math:`\\int_0^T W\\circ dW`."""
+    return 0.5 * w_final * w_final

@@ -1,0 +1,97 @@
+"""Wiener process (Brownian motion) sampling.
+
+Implements the discretized standard Wiener process of paper Section 4.1:
+``W(0) = 0``; increments ``W(t) - W(s) ~ N(0, t - s)`` independent over
+disjoint intervals.  Paths are sampled on a uniform grid ``dt = T/N``; the
+:func:`brownian_bridge` helper refines a coarse path onto a finer grid
+without changing the coarse values — the tool behind strong-convergence
+studies (the fine and coarse solutions must share one Brownian path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WienerProcess:
+    """Sampler for standard Wiener process paths on ``[0, T]``.
+
+    Parameters
+    ----------
+    t_final:
+        Horizon ``T``.
+    steps:
+        Number of increments ``N``; the grid has ``N + 1`` points.
+    rng:
+        ``numpy.random.Generator`` (or seed) for reproducibility.
+    """
+
+    def __init__(self, t_final: float, steps: int, rng=None) -> None:
+        if t_final <= 0.0:
+            raise ValueError(f"t_final must be positive, got {t_final!r}")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps!r}")
+        self.t_final = float(t_final)
+        self.steps = int(steps)
+        self.dt = self.t_final / self.steps
+        self.rng = np.random.default_rng(rng)
+
+    @property
+    def times(self) -> np.ndarray:
+        """The uniform grid ``0, dt, 2dt, ..., T``."""
+        return np.linspace(0.0, self.t_final, self.steps + 1)
+
+    def increments(self, paths: int = 1) -> np.ndarray:
+        """``(paths, N)`` matrix of ``dW ~ N(0, dt)`` increments."""
+        if paths < 1:
+            raise ValueError(f"paths must be >= 1, got {paths!r}")
+        return self.rng.normal(0.0, np.sqrt(self.dt),
+                               size=(paths, self.steps))
+
+    def sample(self, paths: int = 1) -> np.ndarray:
+        """``(paths, N + 1)`` matrix of Wiener paths starting at 0."""
+        dw = self.increments(paths)
+        w = np.zeros((paths, self.steps + 1))
+        np.cumsum(dw, axis=1, out=w[:, 1:])
+        return w
+
+    def antithetic_increments(self, paths: int) -> np.ndarray:
+        """``(2*paths, N)`` increments in antithetic pairs ``(dW, -dW)``.
+
+        Halves Monte-Carlo variance for odd-symmetric functionals.
+        """
+        dw = self.increments(paths)
+        return np.vstack([dw, -dw])
+
+
+def brownian_bridge(coarse_path: np.ndarray, coarse_dt: float,
+                    refinement: int, rng=None) -> np.ndarray:
+    """Refine a Wiener path by conditional (bridge) sampling.
+
+    Given path values on a grid of spacing ``coarse_dt``, returns values
+    on the grid of spacing ``coarse_dt / refinement`` that agree with the
+    input at the coarse points and are distributed as a Wiener process in
+    between.
+
+    The bridge fills each interval recursively by midpoint bisection, so
+    ``refinement`` must be a power of two.
+    """
+    path = np.asarray(coarse_path, dtype=float)
+    if path.ndim != 1 or path.size < 2:
+        raise ValueError("coarse_path must be a 1-D array of >= 2 values")
+    if refinement < 1 or (refinement & (refinement - 1)) != 0:
+        raise ValueError(f"refinement must be a power of two, got {refinement}")
+    generator = np.random.default_rng(rng)
+    current = path
+    dt = float(coarse_dt)
+    levels = int(np.log2(refinement))
+    for _ in range(levels):
+        dt /= 2.0
+        midpoints = 0.5 * (current[:-1] + current[1:])
+        midpoints = midpoints + generator.normal(
+            0.0, np.sqrt(dt / 2.0), size=midpoints.shape)
+        refined = np.empty(2 * current.size - 1)
+        refined[0::2] = current
+        refined[1::2] = midpoints
+        current = refined
+    return current

@@ -1,0 +1,26 @@
+"""Step-Wise Equivalent Conductance (SWEC) engines — the paper's core.
+
+``SwecTransient`` marches the linearized system
+
+.. math::  (G_{eq}(t_n) + C/h_n)\\, x_{n+1} = b(t_{n+1}) + (C/h_n)\\, x_n
+
+with one linear solve per time point: no Newton iterations, hence no NDR
+convergence failure.  ``SwecDC`` performs source-continuation sweeps using
+the chord-conductance fixed point.  ``SwecLinearization`` computes the
+equivalent conductances (with the eq.-5 Taylor predictor) and
+``AdaptiveStepController`` implements the eq.-10/12 step bound.
+"""
+
+from repro.swec.conductance import SwecLinearization
+from repro.swec.dc import SwecDC
+from repro.swec.engine import SwecOptions, SwecTransient
+from repro.swec.timestep import AdaptiveStepController, StepControlOptions
+
+__all__ = [
+    "AdaptiveStepController",
+    "StepControlOptions",
+    "SwecDC",
+    "SwecLinearization",
+    "SwecOptions",
+    "SwecTransient",
+]

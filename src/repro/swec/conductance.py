@@ -1,0 +1,145 @@
+"""Equivalent-conductance evaluation for the SWEC engines.
+
+Given a state vector, :class:`SwecLinearization` computes the chord
+conductance of every nonlinear device (two-terminal and MOSFET) and stamps
+them into a conductance matrix.  It optionally applies the paper's eq. (5)
+first-order Taylor predictor
+
+.. math::  G_{eq}(n+1) = G_{eq}(n) + \\frac{h_n}{2} G'_{eq}(n),
+           \\qquad G'_{eq} = \\frac{dG_{eq}}{dV} \\frac{dV}{dt}
+
+where ``dV/dt`` is estimated from the last two accepted points (eq. 9).
+
+The paper's central claim is encoded in :meth:`device_conductances`: the
+returned values are chords through the origin, which are non-negative for
+passive devices even inside an NDR region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.mna.assembler import MnaSystem
+from repro.perf.flops import FlopCounter
+
+
+class SwecLinearization:
+    """Computes and stamps step-wise equivalent conductances.
+
+    Parameters
+    ----------
+    system:
+        Assembled MNA view of the circuit.
+    use_predictor:
+        Apply the eq. (5) Taylor correction when a previous point is
+        available.  On by default, matching the paper.
+    """
+
+    def __init__(self, system: MnaSystem, use_predictor: bool = True) -> None:
+        self.system = system
+        self.circuit: Circuit = system.circuit
+        self.use_predictor = use_predictor
+        self._device_terminals = system.device_terminals()
+        self._mosfet_terminals = system.mosfet_terminals()
+
+    # ------------------------------------------------------------------
+    # Branch voltage extraction
+    # ------------------------------------------------------------------
+
+    def device_voltages(self, state: np.ndarray) -> np.ndarray:
+        """Branch voltage of each two-terminal device."""
+        voltages = np.zeros(len(self._device_terminals))
+        for k, (anode, cathode) in enumerate(self._device_terminals):
+            va = state[anode] if anode >= 0 else 0.0
+            vc = state[cathode] if cathode >= 0 else 0.0
+            voltages[k] = va - vc
+        return voltages
+
+    def mosfet_voltages(self, state: np.ndarray) -> np.ndarray:
+        """``(vgs, vds)`` rows for each MOSFET."""
+        voltages = np.zeros((len(self._mosfet_terminals), 2))
+        for k, (drain, gate, source) in enumerate(self._mosfet_terminals):
+            vd = state[drain] if drain >= 0 else 0.0
+            vg = state[gate] if gate >= 0 else 0.0
+            vs = state[source] if source >= 0 else 0.0
+            voltages[k, 0] = vg - vs
+            voltages[k, 1] = vd - vs
+        return voltages
+
+    # ------------------------------------------------------------------
+    # Chord conductances (paper Section 3.2 / eq. 5)
+    # ------------------------------------------------------------------
+
+    def device_conductances(self, state: np.ndarray,
+                            prev_state: np.ndarray | None = None,
+                            h_prev: float | None = None,
+                            h_next: float | None = None,
+                            flops: FlopCounter | None = None) -> np.ndarray:
+        """Chord conductance per two-terminal device, Taylor-corrected.
+
+        ``prev_state``/``h_prev`` provide the finite-difference ``dV/dt``
+        of eq. (9); ``h_next`` is the step the prediction targets.
+        """
+        voltages = self.device_voltages(state)
+        conductances = np.zeros_like(voltages)
+        predict = (self.use_predictor and prev_state is not None
+                   and h_prev and h_next)
+        prev_voltages = (self.device_voltages(prev_state)
+                         if predict else None)
+        for k, device in enumerate(self.circuit.devices):
+            v = voltages[k]
+            g = device.chord_conductance(v)
+            if flops is not None:
+                # The chord is one current evaluation plus a division —
+                # cheaper than the Jacobian's current+derivative pair.
+                flops.count_device_eval("rtd_current")
+            if predict:
+                dv_dt = (v - prev_voltages[k]) / h_prev
+                dg_dv = device.chord_conductance_derivative(v)
+                g = g + 0.5 * h_next * dg_dv * dv_dt
+                if flops is not None:
+                    flops.count_device_eval("rtd_conductance")
+            # The chord of a passive device is mathematically >= 0; the
+            # predictor extrapolation may overshoot slightly, so clamp.
+            conductances[k] = max(g, 0.0)
+        return conductances
+
+    def mosfet_conductances(self, state: np.ndarray,
+                            flops: FlopCounter | None = None) -> np.ndarray:
+        """Chord conductance ``Ids/Vds`` per MOSFET (paper eq. 3)."""
+        voltages = self.mosfet_voltages(state)
+        conductances = np.zeros(len(self.circuit.mosfets))
+        for k, mosfet in enumerate(self.circuit.mosfets):
+            vgs, vds = voltages[k]
+            conductances[k] = max(mosfet.chord_conductance(vgs, vds), 0.0)
+            if flops is not None:
+                flops.count_device_eval("mosfet")
+        return conductances
+
+    # ------------------------------------------------------------------
+    # Stamping
+    # ------------------------------------------------------------------
+
+    def stamp(self, matrix: np.ndarray, device_g: np.ndarray,
+              mosfet_g: np.ndarray) -> None:
+        """Stamp all equivalent conductances into *matrix* in place."""
+        for (anode, cathode), g in zip(self._device_terminals, device_g):
+            self.system.stamp_two_terminal(matrix, anode, cathode, float(g))
+        for (drain, _gate, source), g in zip(self._mosfet_terminals,
+                                             mosfet_g):
+            self.system.stamp_two_terminal(matrix, drain, source, float(g))
+
+    def conductance_matrix(self, base: np.ndarray, state: np.ndarray,
+                           prev_state: np.ndarray | None = None,
+                           h_prev: float | None = None,
+                           h_next: float | None = None,
+                           flops: FlopCounter | None = None) -> np.ndarray:
+        """Return ``G(t_n)``: the base stamps plus all equivalent
+        conductances evaluated at *state*."""
+        matrix = base.copy()
+        device_g = self.device_conductances(
+            state, prev_state, h_prev, h_next, flops)
+        mosfet_g = self.mosfet_conductances(state, flops)
+        self.stamp(matrix, device_g, mosfet_g)
+        return matrix

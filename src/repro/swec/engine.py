@@ -1,0 +1,229 @@
+"""The SWEC transient engine (paper Sections 3.2-3.4).
+
+One backward-Euler linear solve per accepted time point:
+
+.. math::
+
+    \\left(G_{eq}(t_n) + \\tfrac{C}{h_n}\\right) x_{n+1}
+        = b(t_{n+1}) + \\tfrac{C}{h_n}\\, x_n
+
+``G_eq`` holds the step-wise equivalent (chord) conductances of every
+nonlinear device, frozen across the step — that is the method's defining
+move.  Because every chord is non-negative, the matrix stays an M-matrix-
+like diffusive operator and the march cannot oscillate the way
+Newton-Raphson does on NDR devices.
+
+A small safety net beyond the paper: an optional per-step voltage-change
+limit rejects a step and halves ``h`` when the solution jumps more than
+``dv_limit`` — this matters only for the stiff latch circuits and is
+disabled by setting ``dv_limit=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.waveforms import TransientResult
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.mna.assembler import MnaSystem
+from repro.mna.linsolve import LinearSolver
+from repro.swec.conductance import SwecLinearization
+from repro.swec.timestep import AdaptiveStepController, StepControlOptions
+
+
+@dataclass
+class SwecOptions:
+    """Engine tunables.
+
+    Attributes
+    ----------
+    step:
+        Adaptive step-control options (paper eqs. 10-12).
+    use_predictor:
+        Apply the eq. (5) Taylor predictor to the chord conductances.
+    initialize_dc:
+        Solve the chord fixed point at ``t = 0`` for a consistent initial
+        state instead of starting from all-zeros.
+    dv_limit:
+        Optional max node-voltage change per step; exceeding it rejects
+        the step and halves ``h``.  ``None`` disables rejection (pure
+        paper behaviour).
+    max_points:
+        Hard cap on accepted points, guarding against ``h_min`` stalls.
+    trace_conductance:
+        When True, record each device's equivalent conductance at every
+        accepted point (used by the Fig. 5 bench).
+    """
+
+    step: StepControlOptions = field(default_factory=StepControlOptions)
+    use_predictor: bool = True
+    initialize_dc: bool = True
+    dv_limit: float | None = None
+    max_points: int = 2_000_000
+    trace_conductance: bool = False
+    #: Integration formula: ``"be"`` (backward Euler, the paper's choice)
+    #: or ``"trap"`` (trapezoidal; second-order, used by the ablation).
+    method: str = "be"
+    #: ``"dense"`` LAPACK solves, or ``"sparse"`` SuperLU for the grid-
+    #: scale workloads.
+    matrix_format: str = "dense"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("be", "trap"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if self.matrix_format not in ("dense", "sparse"):
+            raise ValueError(
+                f"unknown matrix_format {self.matrix_format!r}")
+
+
+class SwecTransient:
+    """Step-wise equivalent conductance transient simulator."""
+
+    def __init__(self, circuit: Circuit,
+                 options: SwecOptions | None = None) -> None:
+        self.circuit = circuit
+        self.options = options or SwecOptions()
+        self.system = MnaSystem(circuit)
+        self.linearization = SwecLinearization(
+            self.system, use_predictor=self.options.use_predictor)
+        self.controller = AdaptiveStepController(self.system,
+                                                 self.options.step)
+        self._g_base = self.system.conductance_base()
+        self._c_matrix = self.system.capacitance_matrix()
+
+    # ------------------------------------------------------------------
+
+    def _dc_initialize(self, x: np.ndarray, result: TransientResult,
+                       t: float = 0.0, max_iter: int = 200,
+                       tol: float = 1e-9) -> np.ndarray:
+        """Chord-conductance fixed point at time *t* (DC operating point)."""
+        solver = LinearSolver(result.flops)
+        b = self.system.source_vector(t)
+        damping = 1.0
+        prev_delta = np.inf
+        for _ in range(max_iter):
+            g = self.linearization.conductance_matrix(
+                self._g_base, x, flops=result.flops)
+            solver.factor(g)
+            x_new = solver.solve(b)
+            delta = float(np.max(np.abs(x_new - x))) if x.size else 0.0
+            if delta > prev_delta and damping > 0.1:
+                damping *= 0.5
+            prev_delta = delta
+            x = x + damping * (x_new - x)
+            if delta < tol:
+                break
+        return x
+
+    # ------------------------------------------------------------------
+
+    def run(self, t_stop: float,
+            initial_state: np.ndarray | None = None) -> TransientResult:
+        """Simulate from ``t = 0`` to *t_stop*; returns the waveforms."""
+        if t_stop <= 0.0:
+            raise AnalysisError(f"t_stop must be positive, got {t_stop!r}")
+        opts = self.options
+        system = self.system
+        result = TransientResult(system.circuit.nodes, engine="swec")
+        if opts.trace_conductance:
+            result.conductance_trace = []  # type: ignore[attr-defined]
+
+        x = (system.initial_state() if initial_state is None
+             else np.array(initial_state, dtype=float, copy=True))
+        if x.shape != (system.size,):
+            raise AnalysisError(
+                f"initial state must have shape ({system.size},), "
+                f"got {x.shape}")
+        if opts.initialize_dc and initial_state is None:
+            x = self._dc_initialize(x, result)
+
+        use_sparse = opts.matrix_format == "sparse"
+        if use_sparse:
+            from repro.mna.sparse import SparseOperators, SparseSolver
+            operators = SparseOperators(system)
+            solver = SparseSolver(result.flops)
+            c = operators.c_matrix
+        else:
+            operators = None
+            solver = LinearSolver(result.flops)
+            c = self._c_matrix
+        trapezoidal = opts.method == "trap"
+
+        t = 0.0
+        result.append(t, x)
+        h = self.controller.initial_step(t_stop)
+        h_prev: float | None = None
+        prev_x: np.ndarray | None = None
+
+        while t < t_stop * (1.0 - 1e-12):
+            if len(result) >= opts.max_points:
+                result.aborted = True
+                result.abort_reason = (
+                    f"max_points={opts.max_points} reached at t={t:.4g}")
+                break
+
+            # Equivalent conductances at t_n (with Taylor prediction).
+            device_g = self.linearization.device_conductances(
+                x, prev_x, h_prev, h, flops=result.flops)
+            mosfet_g = self.linearization.mosfet_conductances(
+                x, flops=result.flops)
+            if use_sparse:
+                g = operators.conductance(device_g, mosfet_g)
+            else:
+                g = self._g_base.copy()
+                self.linearization.stamp(g, device_g, mosfet_g)
+
+            # Adaptive step from the freshly stamped G (eq. 12).
+            h = self.controller.next_step(t, h if h_prev is None else h_prev,
+                                          g, t_stop)
+
+            accepted = False
+            while not accepted:
+                if trapezoidal:
+                    a = 0.5 * g + c / h
+                    rhs = (0.5 * (self.system.source_vector(t)
+                                  + self.system.source_vector(t + h))
+                           + (c @ x) / h - 0.5 * (g @ x))
+                else:
+                    a = g + c / h
+                    rhs = self.system.source_vector(t + h) + (c @ x) / h
+                solver.factor(a.tocsc() if use_sparse else a)
+                x_new = solver.solve(rhs)
+                if opts.dv_limit is not None:
+                    dv = float(np.max(np.abs(
+                        x_new[:system.num_nodes] - x[:system.num_nodes])))
+                    if dv > opts.dv_limit and h > opts.step.h_min * 1.001:
+                        result.rejected_steps += 1
+                        h = max(h * 0.5, opts.step.h_min)
+                        continue
+                accepted = True
+
+            prev_x, h_prev = x, h
+            x = x_new
+            t += h
+            result.append(t, x)
+            result.accepted_steps += 1
+            if opts.trace_conductance:
+                trace = self.linearization.device_conductances(x)
+                result.conductance_trace.append(  # type: ignore[attr-defined]
+                    (t, trace.copy()))
+
+        return result
+
+    # ------------------------------------------------------------------
+
+    def device_current_waveform(self, result: TransientResult,
+                                device_name: str) -> np.ndarray:
+        """Current through a named two-terminal device over a result."""
+        for k, device in enumerate(self.circuit.devices):
+            if device.name == device_name:
+                anode, cathode = self.system.device_terminals()[k]
+                states = result.states
+                va = states[:, anode] if anode >= 0 else 0.0
+                vc = states[:, cathode] if cathode >= 0 else 0.0
+                branch = np.asarray(va) - np.asarray(vc)
+                return np.array([device.current(v) for v in branch])
+        raise AnalysisError(f"no device named {device_name!r}")

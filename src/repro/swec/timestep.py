@@ -1,0 +1,165 @@
+"""Adaptive time-step control (paper Section 3.4).
+
+For a requested local error fraction ``eps`` the paper derives two
+constraints (its eqs. 11-12, after Lin/Marek-Sadowska/Kuh):
+
+input-slope constraint
+    ``h <= 3 eps |V_i0| / alpha_i`` for every active input, where
+    ``alpha_i = dV_in/dt`` is the source slope and ``V_i0`` the present
+    source magnitude.
+node-RC constraint
+    ``h <= eps C_j / sum_k G_jk(t_n)`` for every node ``j`` with grounded
+    capacitance ``C_j``; the denominator is the total conductance hanging
+    off the node — the diagonal of the current ``G`` matrix.
+
+The controller takes the minimum over all constraints, clamps it into
+``[h_min, h_max]``, limits growth to ``growth_limit`` per step, and never
+steps across a source breakpoint (so pulse edges are honoured exactly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.mna.assembler import MnaSystem
+
+
+@dataclass
+class StepControlOptions:
+    """Tunables for :class:`AdaptiveStepController`.
+
+    Attributes
+    ----------
+    epsilon:
+        Target fractional local error (paper's ``eps``); 2% default.
+    h_min, h_max:
+        Hard clamp on the step size.
+    h_initial:
+        First step; defaults to ``h_min`` when ``None``.
+    growth_limit:
+        Maximum ratio ``h_{n+1} / h_n``.
+    voltage_floor:
+        Floor on ``|V_i0|`` in the slope constraint so a source crossing
+        zero does not drive the step to ``h_min`` forever.
+    """
+
+    epsilon: float = 0.02
+    h_min: float = 1e-15
+    h_max: float = math.inf
+    h_initial: float | None = None
+    growth_limit: float = 2.0
+    voltage_floor: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon!r}")
+        if self.h_min <= 0.0:
+            raise ValueError(f"h_min must be positive, got {self.h_min!r}")
+        if self.h_max < self.h_min:
+            raise ValueError("h_max must be >= h_min")
+        if self.growth_limit <= 1.0:
+            raise ValueError("growth_limit must exceed 1")
+
+
+class AdaptiveStepController:
+    """Computes the next SWEC step from the current operating point."""
+
+    def __init__(self, system: MnaSystem,
+                 options: StepControlOptions | None = None) -> None:
+        self.system = system
+        self.options = options or StepControlOptions()
+        circuit: Circuit = system.circuit
+        # Grounded capacitance per node: diagonal of the C matrix restricted
+        # to node rows (branch rows carry -L and are excluded).
+        c_matrix = system.capacitance_matrix()
+        self._node_capacitance = np.diag(c_matrix)[:system.num_nodes].copy()
+        self._sources = list(circuit.voltage_sources) + list(
+            circuit.current_sources)
+        self._breakpoints = self._collect_breakpoints()
+
+    def _collect_breakpoints(self) -> list[float]:
+        points: set[float] = set()
+        for source in self._sources:
+            waveform = source.waveform
+            points.update(waveform.breakpoints())
+        return sorted(points)
+
+    # ------------------------------------------------------------------
+    # Constraint evaluation
+    # ------------------------------------------------------------------
+
+    def slope_bound(self, t: float) -> float:
+        """``min_i 3 eps |V_i0| / alpha_i`` over active sources (eq. 11)."""
+        eps = self.options.epsilon
+        bound = math.inf
+        for source in self._sources:
+            slope = abs(source.slope(t))
+            if slope == 0.0:
+                continue
+            level = max(abs(source.value(t)), self.options.voltage_floor)
+            bound = min(bound, 3.0 * eps * level / slope)
+        return bound
+
+    def node_rc_bound(self, conductance_matrix) -> float:
+        """``min_j eps C_j / sum_k G_jk`` over capacitive nodes (eq. 12).
+
+        Accepts dense arrays and scipy sparse matrices alike (both
+        expose ``.diagonal()``).
+        """
+        eps = self.options.epsilon
+        bound = math.inf
+        diag = np.asarray(conductance_matrix.diagonal()).ravel()
+        for j in range(self.system.num_nodes):
+            c_j = self._node_capacitance[j]
+            g_j = diag[j]
+            if c_j > 0.0 and g_j > 0.0:
+                bound = min(bound, eps * c_j / g_j)
+        return bound
+
+    def breakpoint_bound(self, t: float, h: float, t_stop: float) -> float:
+        """Shrink *h* so the step lands exactly on the next breakpoint or
+        on ``t_stop``, whichever comes first."""
+        limit = t_stop - t
+        for point in self._breakpoints:
+            if t < point < t + h:
+                limit = min(limit, point - t)
+                break
+        # Periodic pulse edges are not in the static list; probe them.
+        for source in self._sources:
+            waveform = source.waveform
+            folder = getattr(waveform, "periodic_breakpoints", None)
+            if folder is None:
+                continue
+            for point in folder(min(t + h, t_stop)):
+                if t < point < t + h:
+                    limit = min(limit, point - t)
+        return min(h, max(limit, 0.0))
+
+    # ------------------------------------------------------------------
+    # Main entry
+    # ------------------------------------------------------------------
+
+    def next_step(self, t: float, h_prev: float,
+                  conductance_matrix, t_stop: float) -> float:
+        """Return the next accepted step size ``h_n`` (paper eq. 12)."""
+        opts = self.options
+        h = min(self.slope_bound(t), self.node_rc_bound(conductance_matrix))
+        if not math.isfinite(h):
+            h = opts.h_max if math.isfinite(opts.h_max) else h_prev * opts.growth_limit
+        h = min(h, h_prev * opts.growth_limit, opts.h_max)
+        h = max(h, opts.h_min)
+        h = self.breakpoint_bound(t, h, t_stop)
+        return max(h, min(opts.h_min, t_stop - t))
+
+    def initial_step(self, t_stop: float) -> float:
+        """First step: explicit option, else a conservative fraction."""
+        if self.options.h_initial is not None:
+            return self.options.h_initial
+        fallback = t_stop * 1e-4
+        if math.isfinite(self.options.h_max):
+            fallback = min(fallback, self.options.h_max)
+        return max(fallback, self.options.h_min)

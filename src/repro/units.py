@@ -1,0 +1,86 @@
+"""Engineering-notation value parsing and formatting.
+
+SPICE netlists write component values as ``1k``, ``2.2u``, ``10meg``,
+``100n`` and so on.  :func:`parse_value` understands that notation, and
+:func:`format_value` produces it for reports.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: SPICE suffix -> multiplier.  ``meg`` must be matched before ``m``.
+_SUFFIXES = (
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+)
+
+_VALUE_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z]*)\s*$")
+
+#: Ordered (multiplier, suffix) pairs for formatting, largest first.
+#: Mega is written ``Meg`` so formatted values reparse correctly under
+#: the SPICE convention where a bare ``m``/``M`` means milli.
+_FORMAT_STEPS = (
+    (1e12, "T"), (1e9, "G"), (1e6, "Meg"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style value such as ``"4.7k"`` or ``"10meg"``.
+
+    Numbers pass through unchanged, letters after a recognized suffix are
+    ignored (so ``"10pF"`` parses as ``10e-12``, matching SPICE behaviour).
+
+    >>> parse_value("4.7k")
+    4700.0
+    >>> parse_value("10pF")
+    1e-11
+    >>> parse_value(3.3)
+    3.3
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse value {text!r}")
+    magnitude = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return magnitude
+    for name, multiplier in _SUFFIXES:
+        if suffix.startswith(name):
+            return magnitude * multiplier
+    # Unknown letters with no numeric meaning (e.g. "V", "F") are units.
+    return magnitude
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format *value* with an engineering suffix.
+
+    >>> format_value(4700.0, "Ohm")
+    '4.7kOhm'
+    >>> format_value(1e-11, "F")
+    '10pF'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for multiplier, suffix in _FORMAT_STEPS:
+        if magnitude >= multiplier:
+            scaled = value / multiplier
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{suffix}{unit}"
+    multiplier, suffix = _FORMAT_STEPS[-1]
+    scaled = value / multiplier
+    return f"{scaled:.{digits}g}{suffix}{unit}"

@@ -1,0 +1,78 @@
+"""Shared fixtures for the Nano-Sim reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Pulse
+from repro.circuits_lib import rtd_divider
+from repro.devices import (
+    Diode,
+    QuantizedNanowire,
+    SCHULMAN_INGAAS,
+    SchulmanRTD,
+    nmos,
+)
+from repro.swec.timestep import StepControlOptions
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for stochastic tests."""
+    return np.random.default_rng(20050307)  # DATE'05 conference date
+
+
+@pytest.fixture
+def rtd():
+    """Sub-volt InGaAs-style RTD (fast landmarks, realistic PVR)."""
+    return SchulmanRTD(SCHULMAN_INGAAS)
+
+
+@pytest.fixture
+def nanowire():
+    return QuantizedNanowire()
+
+
+@pytest.fixture
+def diode():
+    return Diode()
+
+
+@pytest.fixture
+def divider():
+    """Easy-load-line RTD divider circuit (unique DC solution)."""
+    circuit, info = rtd_divider(resistance=10.0)
+    return circuit, info
+
+
+@pytest.fixture
+def bistable_divider():
+    """Large series resistance: bistable load line (NR stress case)."""
+    circuit, info = rtd_divider(resistance=300.0)
+    return circuit, info
+
+
+@pytest.fixture
+def rc_pulse_circuit():
+    """Linear RC lowpass driven by a pulse — analytic reference case."""
+    circuit = Circuit("rc-lowpass")
+    circuit.add_voltage_source(
+        "Vin", "in", "0",
+        Pulse(0.0, 1.0, delay=1e-9, rise=0.01e-9, fall=0.01e-9,
+              width=20e-9, period=50e-9))
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-12)
+    return circuit
+
+
+@pytest.fixture
+def fast_steps():
+    """Step-control options tuned for test speed."""
+    return StepControlOptions(epsilon=0.05, h_min=1e-13, h_max=0.5e-9,
+                              h_initial=1e-12)
+
+
+@pytest.fixture
+def mosfet():
+    return nmos(kp=2e-5, w=10e-6, l=1e-6, vth=1.0)

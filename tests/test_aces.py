@@ -1,0 +1,156 @@
+"""Tests for the ACES-style PWL baseline (paper Figs. 3(a), 8(d))."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AcesTransient, PwlApproximation
+from repro.baselines.aces import AcesOptions
+from repro.circuit import Circuit, Pulse
+from repro.devices import Diode, SchulmanRTD, SCHULMAN_INGAAS
+
+
+class TestPwlApproximation:
+    def test_breakpoints_bracket_window(self, rtd):
+        approx = PwlApproximation(rtd, 0.0, 2.5, max_segments=32)
+        assert approx.voltages[0] == 0.0
+        assert approx.voltages[-1] == 2.5
+        assert approx.num_segments <= 32
+
+    def test_refinement_reduces_error(self, rtd):
+        coarse = PwlApproximation(rtd, 0.0, 2.5, max_segments=4,
+                                  tolerance=0.0)
+        fine = PwlApproximation(rtd, 0.0, 2.5, max_segments=64,
+                                tolerance=0.0)
+        probe = np.linspace(0.0, 2.5, 301)
+        err_coarse = max(abs(coarse.current(float(v)) - rtd.current(float(v)))
+                         for v in probe)
+        err_fine = max(abs(fine.current(float(v)) - rtd.current(float(v)))
+                       for v in probe)
+        assert err_fine < err_coarse / 4.0
+
+    def test_tolerance_met(self, rtd):
+        tolerance = 2e-4
+        approx = PwlApproximation(rtd, 0.0, 2.5, tolerance=tolerance,
+                                  max_segments=256)
+        probe = np.linspace(0.0, 2.5, 501)
+        error = max(abs(approx.current(float(v)) - rtd.current(float(v)))
+                    for v in probe)
+        # greedy insertion probes finitely many points; allow 2x slack
+        assert error < 2.0 * tolerance
+
+    def test_ndr_segments_have_negative_conductance(self, rtd):
+        """Fig. 3(a): the PWL model carries negative segment slopes."""
+        approx = PwlApproximation(rtd, 0.0, 2.5, max_segments=64)
+        assert (approx.conductances() < 0.0).any()
+
+    def test_segment_lookup(self, rtd):
+        approx = PwlApproximation(rtd, 0.0, 2.0, max_segments=16)
+        for v in (0.0, 0.5, 1.7, 2.0):
+            k = approx.segment_of(v)
+            assert approx.voltages[k] <= v <= approx.voltages[k + 1] or \
+                k in (0, approx.num_segments - 1)
+
+    def test_segment_lookup_clamps_outside(self, rtd):
+        approx = PwlApproximation(rtd, 0.0, 2.0, max_segments=8)
+        assert approx.segment_of(-1.0) == 0
+        assert approx.segment_of(3.0) == approx.num_segments - 1
+
+    def test_segment_model_reproduces_endpoints(self, rtd):
+        approx = PwlApproximation(rtd, 0.0, 2.0, max_segments=8)
+        for k in range(approx.num_segments):
+            g, offset = approx.segment_model(k)
+            v0, v1 = approx.voltages[k], approx.voltages[k + 1]
+            assert g * v0 + offset == pytest.approx(approx.currents[k])
+            assert g * v1 + offset == pytest.approx(approx.currents[k + 1])
+
+    def test_validation(self, rtd):
+        with pytest.raises(ValueError):
+            PwlApproximation(rtd, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            PwlApproximation(rtd, 0.0, 1.0, max_segments=0)
+
+
+class TestAcesTransient:
+    def test_linear_rc(self, rc_pulse_circuit):
+        engine = AcesTransient(rc_pulse_circuit,
+                               AcesOptions(h_initial=0.05e-9))
+        result = engine.run(4e-9)
+        import math
+        expected = 1.0 - math.exp(-(4e-9 - 1.01e-9) / 1e-9)
+        assert result.at(4e-9, "out") == pytest.approx(expected, abs=0.03)
+
+    def test_diode_clamp(self):
+        # PWL window capped at 0.8 V: the exponential beyond would eat the
+        # whole segment budget and leave the knee unresolved.
+        circuit = Circuit()
+        circuit.add_voltage_source("Vin", "in", "0", 2.0)
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        circuit.add_device("D1", "out", "0", Diode())
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        engine = AcesTransient(circuit, AcesOptions(
+            v_min=-1.0, v_max=0.8, max_segments=128, h_initial=0.05e-9))
+        result = engine.run(6e-9)
+        assert 0.6 < result.at(6e-9, "out") < 0.75
+
+    def test_rtd_divider_pulse(self, rtd):
+        from repro.circuits_lib import rtd_divider
+        circuit, info = rtd_divider(resistance=10.0)
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 1.0, delay=0.2e-9, rise=0.1e-9, fall=0.1e-9, width=1e-9,
+            period=4e-9)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        engine = AcesTransient(circuit, AcesOptions(
+            v_min=-0.5, v_max=3.0, h_initial=0.02e-9))
+        result = engine.run(2e-9)
+        assert not result.aborted
+        assert result.at(1e-9, info.device_node) > 0.5
+        assert result.at(2e-9, info.device_node) < 0.2
+
+    def test_segment_iterations_counted(self, rtd):
+        from repro.circuits_lib import rtd_divider
+        circuit, info = rtd_divider(resistance=10.0)
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 2.0, delay=0.2e-9, rise=0.2e-9, fall=0.2e-9, width=1e-9,
+            period=4e-9)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        engine = AcesTransient(circuit, AcesOptions(
+            v_min=-0.5, v_max=3.0, h_initial=0.02e-9))
+        result = engine.run(2e-9)
+        # crossing the NDR forces segment switches: more iterations than
+        # accepted steps
+        assert engine.segment_iterations > result.accepted_steps
+
+    def test_matches_swec_on_rtd_divider(self, rtd):
+        """Fig. 8: ACES and SWEC should agree on the easy divider."""
+        from repro.circuits_lib import rtd_divider
+        from repro.swec import SwecOptions, SwecTransient
+        from repro.swec.timestep import StepControlOptions
+
+        waveform = Pulse(0.0, 1.0, delay=0.2e-9, rise=0.1e-9,
+                         fall=0.1e-9, width=1e-9, period=4e-9)
+        circuit_a, info = rtd_divider(resistance=10.0)
+        circuit_a.voltage_sources[0].waveform = waveform
+        circuit_a.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        aces = AcesTransient(circuit_a, AcesOptions(
+            v_min=-0.5, v_max=3.0, h_initial=0.01e-9,
+            max_segments=128)).run(2e-9)
+
+        circuit_b, _ = rtd_divider(resistance=10.0)
+        circuit_b.voltage_sources[0].waveform = waveform
+        circuit_b.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        swec = SwecTransient(circuit_b, SwecOptions(
+            step=StepControlOptions(epsilon=0.02, h_min=1e-13,
+                                    h_max=0.05e-9, h_initial=1e-12),
+        )).run(2e-9)
+
+        # compare on the plateaus (edge timing differs between steppers)
+        grid = np.concatenate([np.linspace(0.8e-9, 1.2e-9, 20),
+                               np.linspace(1.7e-9, 1.95e-9, 20)])
+        difference = np.max(np.abs(aces.resample(grid, info.device_node)
+                                   - swec.resample(grid, info.device_node)))
+        assert difference < 0.05
+
+    def test_rejects_nonpositive_t_stop(self, rc_pulse_circuit):
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            AcesTransient(rc_pulse_circuit).run(0.0)

@@ -1,0 +1,166 @@
+"""Tests for the paper's experiment circuits (inverter, flip-flop...)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import DC, Pulse
+from repro.circuits_lib import (
+    fet_rtd_inverter,
+    mobile_dflipflop,
+    nanowire_divider,
+    noisy_rc_node,
+    rtd_chain,
+    rtd_divider,
+)
+from repro.swec import SwecDC, SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+
+def fast_options(epsilon=0.05, h_max=0.2e-9, dv_limit=None):
+    return SwecOptions(
+        step=StepControlOptions(epsilon=epsilon, h_min=1e-13,
+                                h_max=h_max, h_initial=1e-12),
+        dv_limit=dv_limit)
+
+
+class TestDividers:
+    def test_rtd_divider_wiring(self):
+        circuit, info = rtd_divider()
+        circuit.validate()
+        assert circuit.num_nodes == 2
+        assert len(circuit.devices) == 1
+
+    def test_nanowire_divider_wiring(self):
+        circuit, info = nanowire_divider()
+        circuit.validate()
+        assert len(circuit.devices) == 1
+
+    def test_rtd_chain_scales(self):
+        circuit, info = rtd_chain(stages=5)
+        circuit.validate()
+        assert circuit.num_nodes == 6  # in + 5 chain nodes
+        assert len(circuit.devices) == 5
+
+    def test_rtd_chain_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            rtd_chain(stages=0)
+
+    def test_rtd_chain_simulates(self):
+        circuit, info = rtd_chain(stages=3)
+        result = SwecDC(circuit).sweep(info.source,
+                                       np.linspace(0.0, 1.0, 11))
+        assert result.all_converged
+
+
+class TestInverter:
+    """Paper Fig. 8: FET-RTD inverter, 0-5 V input."""
+
+    def test_wiring(self):
+        circuit, info = fet_rtd_inverter()
+        circuit.validate()
+        assert len(circuit.devices) == 2
+        assert len(circuit.mosfets) == 1
+
+    def test_static_levels(self):
+        """DC solves at both input levels hit the design values."""
+        for vin, expected in ((0.0, 4.18), (5.0, 0.61)):
+            circuit, info = fet_rtd_inverter(vin=DC(vin))
+            engine = SwecTransient(circuit, fast_options())
+            result = engine.run(3e-9)
+            assert result.at(3e-9, info.output_node) == pytest.approx(
+                expected, abs=0.05), f"vin={vin}"
+
+    def test_inversion_transient(self):
+        """Output inverts the paper's 0-to-5-V switching input."""
+        vin = Pulse(0.0, 5.0, delay=1e-9, rise=0.3e-9, fall=0.3e-9,
+                    width=4e-9, period=10e-9)
+        circuit, info = fet_rtd_inverter(vin=vin)
+        engine = SwecTransient(circuit, fast_options(dv_limit=0.5))
+        result = engine.run(10e-9)
+        assert not result.aborted
+        v_high_in = result.at(3.5e-9, info.output_node)   # input high
+        v_low_in = result.at(9.5e-9, info.output_node)    # input low
+        assert v_high_in < 1.0
+        assert v_low_in > 3.5
+
+    def test_output_is_rtd_junction(self):
+        circuit, info = fet_rtd_inverter()
+        load = circuit.element("Xload")
+        drive = circuit.element("Xdrive")
+        assert load.cathode == info.output_node
+        assert drive.anode == info.output_node
+
+
+class TestFlipFlop:
+    """Paper Fig. 9: MOBILE RTD-D flip-flop latching at rising edges."""
+
+    @pytest.fixture
+    def compressed(self):
+        """Compressed timing: rising edges at 5, 15, 25, 35 ns; data
+        switches high at 30 ns -> q must latch at the 35 ns edge."""
+        clock = Pulse(0.0, 1.15, delay=5e-9, rise=0.2e-9, fall=0.2e-9,
+                      width=4.8e-9, period=10e-9)
+        data = Pulse(0.0, 1.2, delay=30e-9, rise=0.2e-9, fall=0.2e-9,
+                     width=1.0, period=float("inf"))
+        return mobile_dflipflop(clock=clock, data=data,
+                                output_capacitance=2e-12)
+
+    def test_wiring(self):
+        circuit, info = mobile_dflipflop()
+        circuit.validate()
+        assert len(circuit.devices) == 2
+        assert len(circuit.mosfets) == 1
+
+    def test_latch_follows_data_at_rising_edge(self, compressed):
+        circuit, info = compressed
+        engine = SwecTransient(circuit,
+                               fast_options(epsilon=0.1, dv_limit=0.2))
+        result = engine.run(40e-9)
+        assert not result.aborted
+        q = info.output_node
+        # data low: q low at every evaluation before 30 ns
+        for t in (8e-9, 18e-9, 28e-9):
+            assert result.at(t, q) == pytest.approx(info.v_q_low, abs=0.1)
+        # data switched at 30 ns while clock low: q still low
+        assert result.at(33e-9, q) < 0.1
+        # after the 35 ns rising edge: q latches high
+        assert result.at(39e-9, q) == pytest.approx(info.v_q_high, abs=0.1)
+
+    def test_output_transitions_only_at_rising_edge(self, compressed):
+        """The Fig. 9 statement: input switches at t_D, output at the
+        *next rising clock edge*."""
+        from repro.analysis import crossing_times
+        circuit, info = compressed
+        engine = SwecTransient(circuit,
+                               fast_options(epsilon=0.1, dv_limit=0.2))
+        result = engine.run(40e-9)
+        level = 0.5 * (info.v_q_low + info.v_q_high)
+        rising = crossing_times(result.times,
+                                result.voltage(info.output_node),
+                                level, "rising")
+        latching = rising[rising > 30e-9]
+        assert latching.size >= 1
+        # the latch transition happens at the 35 ns clock edge, not at
+        # the 30 ns data edge
+        assert latching[0] == pytest.approx(35e-9, abs=1e-9)
+
+    def test_monostable_when_clock_low(self):
+        clock = DC(0.0)
+        circuit, info = mobile_dflipflop(clock=clock, data=DC(1.2),
+                                         output_capacitance=2e-12)
+        engine = SwecTransient(circuit, fast_options(epsilon=0.1))
+        result = engine.run(5e-9)
+        assert abs(result.at(5e-9, info.output_node)) < 0.05
+
+
+class TestNoisyRc:
+    def test_node_info_recorded(self):
+        sde, info = noisy_rc_node(resistance=2e3, capacitance=2e-12,
+                                  noise_amplitude=3e-8)
+        assert info.resistance == 2e3
+        assert sde.dimension == 1
+        assert sde.num_noises == 1
+
+    def test_sde_is_stable(self):
+        sde, _ = noisy_rc_node()
+        assert sde.is_stable()

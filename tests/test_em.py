@@ -1,0 +1,158 @@
+"""Tests for the Euler-Maruyama integrator against exact OU solutions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stochastic import (
+    LinearSDE,
+    OrnsteinUhlenbeck,
+    VectorOrnsteinUhlenbeck,
+    euler_maruyama,
+)
+
+
+@pytest.fixture
+def ou_sde():
+    """dX = (1 - 2X) dt + 0.5 dW."""
+    return LinearSDE([[-2.0]], [[0.5]], drift_offset=[1.0])
+
+
+@pytest.fixture
+def ou_exact():
+    return OrnsteinUhlenbeck(decay_rate=2.0, noise_amplitude=0.5,
+                             drift_level=1.0, x0=0.0)
+
+
+class TestDeterministicLimit:
+    def test_zero_noise_reduces_to_euler(self):
+        """Paper: 'in the deterministic case Equation (19) reduces to
+        Euler's method' — with B = 0 the EM path is the Euler solution."""
+        sde = LinearSDE([[-1.0]], [[0.0]], drift_offset=[1.0])
+        result = euler_maruyama(sde, [0.0], 5.0, 5000, n_paths=1, rng=0)
+        t = result.times
+        exact = 1.0 - np.exp(-t)
+        assert np.max(np.abs(result.component(0)[0] - exact)) < 2e-3
+
+    def test_matrix_exponential_mean(self):
+        a = np.array([[-3.0, 1.0], [0.5, -2.0]])
+        f = np.array([1.0, 0.0])
+        sde = LinearSDE(a, np.zeros((2, 1)), drift_offset=f)
+        result = euler_maruyama(sde, [0.0, 0.0], 2.0, 4000, n_paths=1,
+                                rng=0)
+        exact = VectorOrnsteinUhlenbeck(a, np.zeros((2, 1)), f).mean(2.0)
+        assert np.allclose(result.paths[0, -1, :], exact, atol=2e-3)
+
+
+class TestAgainstExactOU:
+    def test_ensemble_mean(self, ou_sde, ou_exact, rng):
+        result = euler_maruyama(ou_sde, [0.0], 2.0, 500, n_paths=4000,
+                                rng=rng)
+        error = np.max(np.abs(result.mean(0) - ou_exact.mean(result.times)))
+        assert error < 0.02
+
+    def test_ensemble_std(self, ou_sde, ou_exact, rng):
+        result = euler_maruyama(ou_sde, [0.0], 2.0, 500, n_paths=4000,
+                                rng=rng)
+        error = np.max(np.abs(result.std(0) - ou_exact.std(result.times)))
+        assert error < 0.02
+
+    def test_stationary_variance_reached(self, ou_sde, ou_exact, rng):
+        result = euler_maruyama(ou_sde, [0.0], 5.0, 1000, n_paths=3000,
+                                rng=rng)
+        assert result.std(0)[-1] ** 2 == pytest.approx(
+            ou_exact.stationary_variance(), rel=0.1)
+
+    def test_exact_sampler_agrees_with_em(self, ou_exact, ou_sde, rng):
+        _, exact_paths = ou_exact.sample_exact(2.0, 400, n_paths=3000,
+                                               rng=rng)
+        em = euler_maruyama(ou_sde, [0.0], 2.0, 400, n_paths=3000, rng=rng)
+        assert exact_paths[:, -1].mean() == pytest.approx(
+            em.component(0)[:, -1].mean(), abs=0.03)
+        assert exact_paths[:, -1].std() == pytest.approx(
+            em.component(0)[:, -1].std(), rel=0.1)
+
+
+class TestReproducibility:
+    def test_same_seed_same_paths(self, ou_sde):
+        a = euler_maruyama(ou_sde, [0.0], 1.0, 100, n_paths=8, rng=7)
+        b = euler_maruyama(ou_sde, [0.0], 1.0, 100, n_paths=8, rng=7)
+        assert np.array_equal(a.paths, b.paths)
+
+    def test_explicit_increments_respected(self, ou_sde):
+        dw = np.zeros((2, 50, 1))
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 50, n_paths=2, dw=dw)
+        # zero noise: both paths identical and deterministic
+        assert np.allclose(result.paths[0], result.paths[1])
+
+    def test_antithetic_means_cancel_noise_linearly(self, ou_sde):
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 200, n_paths=2000,
+                                rng=3, antithetic=True)
+        # For a linear SDE the antithetic-pair mean equals the *discrete*
+        # deterministic Euler recursion exactly (up to float roundoff).
+        deterministic = euler_maruyama(ou_sde, [0.0], 1.0, 200, n_paths=1,
+                                       dw=np.zeros((1, 200, 1)))
+        assert np.max(np.abs(result.mean(0)
+                             - deterministic.component(0)[0])) < 1e-10
+
+
+class TestResultContainer:
+    def test_quantiles_ordered(self, ou_sde, rng):
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 100, n_paths=500,
+                                rng=rng)
+        q25 = result.quantile(0.25)
+        q75 = result.quantile(0.75)
+        assert np.all(q75 >= q25)
+
+    def test_running_max_monotone(self, ou_sde, rng):
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 100, n_paths=10,
+                                rng=rng)
+        running = result.running_max(0)
+        assert np.all(np.diff(running, axis=1) >= 0.0)
+
+    def test_window_peaks(self, ou_sde, rng):
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 100, n_paths=10,
+                                rng=rng)
+        peaks = result.window_peaks(0.5, 1.0)
+        assert peaks.shape == (10,)
+        full = result.component(0).max(axis=1)
+        assert np.all(peaks <= full + 1e-15)
+
+    def test_std_needs_two_paths(self, ou_sde, rng):
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 10, n_paths=1, rng=rng)
+        with pytest.raises(AnalysisError):
+            result.std(0)
+
+    def test_empty_window_rejected(self, ou_sde, rng):
+        result = euler_maruyama(ou_sde, [0.0], 1.0, 10, n_paths=2, rng=rng)
+        with pytest.raises(AnalysisError):
+            result.window_peaks(5.0, 6.0)
+
+
+class TestValidation:
+    def test_bad_steps(self, ou_sde):
+        with pytest.raises(AnalysisError):
+            euler_maruyama(ou_sde, [0.0], 1.0, 0)
+
+    def test_bad_horizon(self, ou_sde):
+        with pytest.raises(AnalysisError):
+            euler_maruyama(ou_sde, [0.0], -1.0, 10)
+
+    def test_bad_x0_shape(self, ou_sde):
+        with pytest.raises(AnalysisError):
+            euler_maruyama(ou_sde, [0.0, 1.0], 1.0, 10)
+
+    def test_bad_dw_shape(self, ou_sde):
+        with pytest.raises(AnalysisError):
+            euler_maruyama(ou_sde, [0.0], 1.0, 10, n_paths=2,
+                           dw=np.zeros((2, 5, 1)))
+
+    def test_antithetic_needs_even_paths(self, ou_sde):
+        with pytest.raises(AnalysisError):
+            euler_maruyama(ou_sde, [0.0], 1.0, 10, n_paths=3,
+                           antithetic=True)
+
+    def test_per_path_initial_states(self, ou_sde):
+        x0 = np.array([[0.0], [1.0], [2.0]])
+        result = euler_maruyama(ou_sde, x0, 1.0, 10, n_paths=3, rng=0)
+        assert np.allclose(result.paths[:, 0, 0], [0.0, 1.0, 2.0])

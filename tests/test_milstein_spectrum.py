@@ -1,0 +1,182 @@
+"""Tests for the Milstein scheme, GBM (Black-Scholes analogy) and the
+PSD analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stochastic.nonlinear import (
+    GeometricBrownianMotion,
+    ScalarSDE,
+    euler_maruyama_scalar,
+    milstein,
+)
+from repro.stochastic.spectrum import (
+    corner_frequency,
+    fit_corner_frequency,
+    ou_psd,
+    periodogram_psd,
+)
+
+SEED = 20050307
+
+
+class TestScalarSchemes:
+    def test_zero_noise_both_reduce_to_euler(self):
+        sde = ScalarSDE(drift=lambda x, t: -x,
+                        diffusion=lambda x, t: np.zeros_like(x))
+        dw = np.zeros((1, 1000))
+        _, em = euler_maruyama_scalar(sde, 1.0, 3.0, 1000, 1, dw=dw)
+        _, mil = milstein(sde, 1.0, 3.0, 1000, 1, dw=dw)
+        assert np.allclose(em, mil)
+        assert em[0, -1] == pytest.approx(np.exp(-3.0), abs=5e-3)
+
+    def test_additive_noise_milstein_equals_em(self):
+        """With constant diffusion the Milstein correction vanishes."""
+        sde = ScalarSDE(drift=lambda x, t: -x,
+                        diffusion=lambda x, t: np.full_like(x, 0.5),
+                        diffusion_dx=lambda x, t: np.zeros_like(x))
+        rng = np.random.default_rng(SEED)
+        dw = rng.normal(0.0, np.sqrt(1.0 / 200), size=(16, 200))
+        _, em = euler_maruyama_scalar(sde, 0.0, 1.0, 200, 16, dw=dw)
+        _, mil = milstein(sde, 0.0, 1.0, 200, 16, dw=dw)
+        assert np.allclose(em, mil)
+
+    def test_numeric_diffusion_derivative_fallback(self):
+        sde = ScalarSDE(drift=lambda x, t: 0.0 * x,
+                        diffusion=lambda x, t: 0.3 * x)
+        x = np.array([1.0, 2.0])
+        assert np.allclose(sde.diffusion_dx(x, 0.0), 0.3, atol=1e-5)
+
+    def test_validation(self):
+        sde = ScalarSDE(drift=lambda x, t: x,
+                        diffusion=lambda x, t: x)
+        with pytest.raises(AnalysisError):
+            euler_maruyama_scalar(sde, 1.0, 1.0, 0)
+        with pytest.raises(AnalysisError):
+            milstein(sde, 1.0, -1.0, 10)
+        with pytest.raises(AnalysisError):
+            milstein(sde, 1.0, 1.0, 10, n_paths=2,
+                     dw=np.zeros((2, 5)))
+
+
+class TestGeometricBrownianMotion:
+    def test_exact_moments(self):
+        gbm = GeometricBrownianMotion(mu=0.1, sigma=0.3, x0=2.0)
+        assert gbm.mean(1.0) == pytest.approx(2.0 * np.exp(0.1))
+        assert gbm.variance(0.0) == pytest.approx(0.0)
+        assert gbm.variance(1.0) > 0.0
+
+    def test_exact_paths_match_moments(self, rng):
+        gbm = GeometricBrownianMotion(mu=0.05, sigma=0.2, x0=1.0)
+        _, paths = gbm.exact_paths(1.0, 100, n_paths=20000, rng=rng)
+        assert paths[:, -1].mean() == pytest.approx(gbm.mean(1.0),
+                                                    rel=0.01)
+        assert paths[:, -1].var() == pytest.approx(gbm.variance(1.0),
+                                                   rel=0.1)
+
+    def test_paths_stay_positive(self, rng):
+        gbm = GeometricBrownianMotion(mu=0.0, sigma=0.5, x0=1.0)
+        _, paths = gbm.exact_paths(2.0, 200, n_paths=200, rng=rng)
+        assert (paths > 0.0).all()
+
+    def test_milstein_beats_em_strongly(self):
+        """The reason Milstein exists: strong order 1 vs EM's 1/2 under
+        multiplicative noise, measured against the exact GBM solution
+        driven by the same increments."""
+        gbm = GeometricBrownianMotion(mu=0.06, sigma=0.5, x0=1.0)
+        sde = gbm.as_sde()
+        steps = 64
+        rng = np.random.default_rng(SEED)
+        dw = rng.normal(0.0, np.sqrt(1.0 / steps), size=(4000, steps))
+        _, exact = gbm.exact_paths(1.0, steps, n_paths=4000, dw=dw)
+        _, em = euler_maruyama_scalar(sde, 1.0, 1.0, steps, 4000, dw=dw)
+        _, mil = milstein(sde, 1.0, 1.0, steps, 4000, dw=dw)
+        em_error = np.mean(np.abs(em[:, -1] - exact[:, -1]))
+        mil_error = np.mean(np.abs(mil[:, -1] - exact[:, -1]))
+        assert mil_error < 0.5 * em_error
+
+    def test_running_max_cdf_against_monte_carlo(self, rng):
+        gbm = GeometricBrownianMotion(mu=0.05, sigma=0.3, x0=1.0)
+        _, paths = gbm.exact_paths(1.0, 2000, n_paths=4000, rng=rng)
+        peaks = paths.max(axis=1)
+        for level in (1.1, 1.3, 1.6):
+            analytic = gbm.running_max_cdf(level, 1.0)
+            empirical = float(np.mean(peaks <= level))
+            assert empirical == pytest.approx(analytic, abs=0.03), level
+
+    def test_exceedance_complements_cdf(self):
+        gbm = GeometricBrownianMotion(mu=0.0, sigma=0.2, x0=1.0)
+        level = 1.2
+        assert (gbm.running_max_cdf(level, 1.0)
+                + gbm.peak_exceedance(level, 1.0)) == pytest.approx(1.0)
+
+    def test_level_below_start_always_exceeded(self):
+        gbm = GeometricBrownianMotion(mu=0.0, sigma=0.2, x0=1.0)
+        assert gbm.running_max_cdf(0.9, 1.0) == 0.0
+        assert gbm.peak_exceedance(0.9, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            GeometricBrownianMotion(0.1, 0.0)
+        with pytest.raises(AnalysisError):
+            GeometricBrownianMotion(0.1, 0.2, x0=-1.0)
+        gbm = GeometricBrownianMotion(0.1, 0.2)
+        with pytest.raises(AnalysisError):
+            gbm.running_max_cdf(1.5, 0.0)
+
+
+class TestSpectrum:
+    def _ou_paths(self, rng, decay=2e9, sigma=1e4, t_final=50e-9,
+                  steps=4096, n_paths=48):
+        from repro.stochastic import LinearSDE, euler_maruyama
+        sde = LinearSDE([[-decay]], [[sigma]])
+        result = euler_maruyama(sde, [0.0], t_final, steps,
+                                n_paths=n_paths, rng=rng)
+        return result
+
+    def test_psd_matches_lorentzian(self, rng):
+        decay, sigma = 2e9, 1e4
+        result = self._ou_paths(rng, decay, sigma)
+        dt = result.times[1] - result.times[0]
+        freq, psd = periodogram_psd(result.component(0), dt)
+        analytic = ou_psd(freq, decay, sigma)
+        # compare in-band (skip DC and the top octave where aliasing
+        # and detrending bite)
+        band = (freq > 2.0 / result.times[-1]) & (freq < 0.1 / dt)
+        ratio = psd[band] / analytic[band]
+        assert np.median(ratio) == pytest.approx(1.0, abs=0.3)
+
+    def test_fitted_corner_frequency(self, rng):
+        decay = 2e9
+        result = self._ou_paths(rng, decay, 1e4, t_final=100e-9,
+                                steps=8192)
+        dt = result.times[1] - result.times[0]
+        freq, psd = periodogram_psd(result.component(0), dt)
+        fitted = fit_corner_frequency(freq, psd)
+        assert fitted == pytest.approx(corner_frequency(decay), rel=0.3)
+
+    def test_parseval_consistency(self, rng):
+        """Integral of the PSD ~ stationary variance."""
+        decay, sigma = 2e9, 1e4
+        result = self._ou_paths(rng, decay, sigma, t_final=100e-9,
+                                steps=8192, n_paths=64)
+        dt = result.times[1] - result.times[0]
+        # use the settled tail only
+        tail = result.component(0)[:, 4096:]
+        freq, psd = periodogram_psd(tail, dt)
+        power = np.trapezoid(psd, freq)
+        stationary = sigma**2 / (2.0 * decay)
+        assert power == pytest.approx(stationary, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            periodogram_psd(np.zeros((2, 4)), 1e-9)
+        with pytest.raises(AnalysisError):
+            periodogram_psd(np.zeros((2, 100)), -1.0)
+        with pytest.raises(AnalysisError):
+            ou_psd(np.array([1.0]), -1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            corner_frequency(0.0)
+        with pytest.raises(AnalysisError):
+            fit_corner_frequency(np.array([1.0, 2.0]), np.array([1.0]))

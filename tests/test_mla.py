@@ -1,0 +1,144 @@
+"""Tests for the MLA baseline (Bhattacharya & Mazumder augmentations)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MlaDC, MlaTransient
+from repro.baselines.mla import MlaOptions, RtdRegionLimiter
+from repro.circuit import Circuit, Pulse
+from repro.devices import SchulmanRTD, SCHULMAN_INGAAS
+from repro.mna.assembler import MnaSystem
+
+
+def _divider(resistance=10.0):
+    from repro.circuits_lib import rtd_divider
+    return rtd_divider(resistance=resistance)
+
+
+class TestRegionLimiter:
+    def _system(self):
+        circuit, info = _divider()
+        return MnaSystem(circuit), info
+
+    def test_small_updates_untouched(self, rtd):
+        system, info = self._system()
+        limiter = RtdRegionLimiter(system)
+        x = np.array([0.3, 0.2, 0.0])
+        dx = np.array([0.0, 0.01, 0.0])
+        assert np.allclose(limiter(x, dx), dx)
+
+    def test_region_hop_is_clamped(self, rtd):
+        system, info = self._system()
+        limiter = RtdRegionLimiter(system)
+        v_peak, v_valley = rtd.ndr_region()
+        # from PDR1, try to jump across the entire NDR in one update
+        x = np.array([0.3, v_peak - 0.1, 0.0])
+        dx = np.array([0.0, (v_valley - v_peak) + 1.0, 0.0])
+        limited = limiter(x, dx)
+        new_v = x[1] + limited[1]
+        assert new_v < v_valley  # did not skip past the valley
+
+    def test_direction_preserved(self, rtd):
+        system, info = self._system()
+        limiter = RtdRegionLimiter(system)
+        x = np.array([0.3, 0.45, 0.0])
+        dx = np.array([0.1, 2.0, -0.01])
+        limited = limiter(x, dx)
+        # scaling, not projection: all components shrink by one factor
+        ratio = limited / dx
+        assert np.allclose(ratio, ratio[0])
+        assert 0.0 < ratio[0] <= 1.0
+
+    def test_negative_direction_clamped_too(self, rtd):
+        system, info = self._system()
+        limiter = RtdRegionLimiter(system)
+        v_peak, v_valley = rtd.ndr_region()
+        x = np.array([2.0, v_valley + 0.1, 0.0])
+        dx = np.array([0.0, -(v_valley - v_peak) - 1.0, 0.0])
+        limited = limiter(x, dx)
+        assert x[1] + limited[1] > v_peak - 0.3
+
+    def test_monotonic_devices_ignored(self, nanowire):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "out", 1e4)
+        circuit.add_device("W1", "out", "0", nanowire)
+        limiter = RtdRegionLimiter(MnaSystem(circuit))
+        dx = np.array([0.0, 5.0, 0.0])
+        assert np.allclose(limiter(np.zeros(3), dx), dx)
+
+
+class TestMlaDC:
+    def test_easy_sweep_converges(self):
+        circuit, info = _divider()
+        result = MlaDC(circuit).sweep(info.source, np.linspace(0, 2.5, 51))
+        assert result.all_converged
+
+    def test_matches_swec_in_pdr1(self):
+        from repro.swec import SwecDC
+        values = np.linspace(0.0, 0.4, 21)
+        circuit_a, info = _divider()
+        circuit_b, _ = _divider()
+        mla = MlaDC(circuit_a).sweep(info.source, values)
+        swec = SwecDC(circuit_b).sweep(info.source, values)
+        assert np.allclose(mla.voltage(info.device_node),
+                           swec.voltage(info.device_node), atol=1e-6)
+
+    def test_substepping_on_bistable_load_line(self):
+        """With the 300-ohm load line MLA needs extra Newton iterations
+        (its current-stepping rescue) — more than the easy case."""
+        circuit_easy, info = _divider(10.0)
+        circuit_hard, _ = _divider(300.0)
+        values = np.linspace(0.0, 4.0, 81)
+        easy = MlaDC(circuit_easy).sweep(info.source, values)
+        hard = MlaDC(circuit_hard).sweep(info.source, values)
+        assert hard.total_iterations > easy.total_iterations
+
+    def test_device_current_extraction(self):
+        circuit, info = _divider()
+        dc = MlaDC(circuit)
+        result = dc.sweep(info.source, np.linspace(0.1, 1.0, 10))
+        i = dc.device_currents(result, info.device)
+        v = dc.device_voltages(result, info.device)
+        assert i.shape == v.shape == (10,)
+        assert (i > 0.0).all()
+
+    def test_captures_rtd_peak_like_swec(self, rtd):
+        """Fig. 7(a): both engines trace the peak; MLA is the comparator."""
+        circuit, info = _divider()
+        dc = MlaDC(circuit)
+        result = dc.sweep(info.source, np.linspace(0, 2.6, 131))
+        i = dc.device_currents(result, info.device)
+        v_peak, i_peak = rtd.peak()
+        assert i.max() == pytest.approx(i_peak, rel=0.03)
+
+
+class TestMlaTransient:
+    def test_rtd_divider_pulse(self):
+        circuit, info = _divider()
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 1.0, delay=0.2e-9, rise=0.1e-9, fall=0.1e-9, width=1e-9,
+            period=4e-9)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        result = MlaTransient(circuit,
+                              MlaOptions(h_initial=0.02e-9)).run(2e-9)
+        assert not result.aborted
+        # follows the pulse: high during the plateau, low at the end
+        assert result.at(1e-9, info.device_node) > 0.5
+        assert result.at(2e-9, info.device_node) < 0.2
+
+    def test_costs_more_iterations_than_swec_solves(self):
+        """The Table-I story in transient form: MLA spends multiple NR
+        iterations per accepted point, SWEC exactly one solve."""
+        from repro.swec import SwecOptions, SwecTransient
+        from repro.swec.timestep import StepControlOptions
+        circuit_a, info = _divider()
+        circuit_a.voltage_sources[0].waveform = Pulse(
+            0.0, 1.0, delay=0.2e-9, rise=0.1e-9, fall=0.1e-9, width=1e-9,
+            period=4e-9)
+        circuit_a.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        mla = MlaTransient(circuit_a, MlaOptions(h_initial=0.02e-9))
+        mla_result = mla.run(2e-9)
+        iterations_per_point = (sum(mla_result.iteration_counts)
+                                / max(len(mla_result.iteration_counts), 1))
+        assert iterations_per_point > 1.5

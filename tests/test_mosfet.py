@@ -1,0 +1,126 @@
+"""Tests for the level-1 MOSFET model (paper eqs. 2-3)."""
+
+import pytest
+
+from repro.devices import MosfetModel, nmos, pmos
+
+
+class TestRegions:
+    def test_cutoff(self, mosfet):
+        assert mosfet.current(0.5, 2.0) == 0.0
+
+    def test_triode_formula(self, mosfet):
+        vgs, vds = 3.0, 0.5  # vov = 2 > vds
+        expected = mosfet.beta * (vgs - 1.0 - vds / 2.0) * vds
+        assert mosfet.current(vgs, vds) == pytest.approx(expected)
+
+    def test_saturation_formula(self, mosfet):
+        vgs, vds = 2.0, 3.0  # vov = 1 < vds
+        expected = 0.5 * mosfet.beta * (vgs - 1.0) ** 2
+        assert mosfet.current(vgs, vds) == pytest.approx(expected)
+
+    def test_continuity_at_pinchoff(self, mosfet):
+        vgs = 2.5
+        vov = vgs - 1.0
+        below = mosfet.current(vgs, vov - 1e-9)
+        above = mosfet.current(vgs, vov + 1e-9)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_current_increases_with_vgs(self, mosfet):
+        assert mosfet.current(4.0, 2.0) > mosfet.current(3.0, 2.0)
+
+
+class TestSymmetry:
+    def test_negative_vds_antisymmetric_through_terminal_swap(self, mosfet):
+        # Swapping drain and source: Ids(vgs, -vds) = -Ids(vgs - vds, vds)
+        vgs, vds = 3.0, 1.0
+        assert mosfet.current(vgs, -vds) == pytest.approx(
+            -mosfet.current(vgs + vds, vds))
+
+    def test_zero_vds_zero_current(self, mosfet):
+        assert mosfet.current(3.0, 0.0) == 0.0
+
+
+class TestPolarity:
+    def test_pmos_mirrors_nmos(self):
+        n = nmos(kp=2e-5, w=10e-6, l=1e-6, vth=1.0)
+        p = pmos(kp=2e-5, w=10e-6, l=1e-6, vth=1.0)
+        assert p.current(-3.0, -2.0) == pytest.approx(-n.current(3.0, 2.0))
+
+    def test_pmos_off_for_positive_vgs(self):
+        assert pmos().current(1.0, -2.0) == 0.0
+
+    def test_is_on(self):
+        assert nmos(vth=1.0).is_on(2.0)
+        assert not nmos(vth=1.0).is_on(0.5)
+        assert pmos(vth=1.0).is_on(-2.0)
+        assert not pmos(vth=1.0).is_on(-0.5)
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetModel(polarity=2)
+
+
+class TestPartials:
+    @pytest.mark.parametrize("vgs,vds", [(3.0, 0.5), (2.0, 3.0),
+                                         (3.0, -1.0), (0.2, 1.0)])
+    def test_partials_match_finite_differences(self, mosfet, vgs, vds):
+        h = 1e-7
+        gm_fd = (mosfet.current(vgs + h, vds)
+                 - mosfet.current(vgs - h, vds)) / (2 * h)
+        gds_fd = (mosfet.current(vgs, vds + h)
+                  - mosfet.current(vgs, vds - h)) / (2 * h)
+        gm, gds = mosfet.partials(vgs, vds)
+        assert gm == pytest.approx(gm_fd, abs=1e-9)
+        assert gds == pytest.approx(gds_fd, abs=1e-9)
+
+    def test_channel_length_modulation_gives_positive_gds_in_sat(self):
+        m = nmos(channel_modulation=0.05)
+        _, gds = m.partials(3.0, 4.0)
+        assert gds > 0.0
+
+    def test_zero_modulation_zero_sat_gds(self, mosfet):
+        _, gds = mosfet.partials(3.0, 4.0)
+        assert gds == 0.0
+
+
+class TestChordConductance:
+    """Paper eq. 3: G(t) = Ids/Vds per operating region."""
+
+    def test_triode_chord(self, mosfet):
+        vgs, vds = 3.0, 0.5
+        expected = mosfet.beta * (vgs - 1.0 - vds / 2.0)
+        assert mosfet.chord_conductance(vgs, vds) == pytest.approx(expected)
+
+    def test_saturation_chord(self, mosfet):
+        vgs, vds = 2.0, 3.0
+        expected = 0.5 * mosfet.beta * (vgs - 1.0) ** 2 / vds
+        assert mosfet.chord_conductance(vgs, vds) == pytest.approx(expected)
+
+    def test_cutoff_chord_is_zero(self, mosfet):
+        assert mosfet.chord_conductance(0.5, 2.0) == 0.0
+
+    def test_vds_zero_limit_is_channel_conductance(self, mosfet):
+        expected = mosfet.beta * 2.0  # vov = 2
+        assert mosfet.chord_conductance(3.0, 0.0) == pytest.approx(expected)
+
+    def test_chord_always_nonnegative(self, mosfet):
+        for vgs in (-1.0, 0.0, 2.0, 5.0):
+            for vds in (-3.0, -0.5, 0.0, 0.5, 3.0):
+                assert mosfet.chord_conductance(vgs, vds) >= 0.0
+
+
+class TestValidation:
+    def test_nonpositive_kp_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetModel(kp=0.0)
+
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MosfetModel(w=0.0)
+        with pytest.raises(ValueError):
+            MosfetModel(l=-1.0)
+
+    def test_beta(self):
+        m = nmos(kp=2e-5, w=20e-6, l=2e-6)
+        assert m.beta == pytest.approx(2e-4)

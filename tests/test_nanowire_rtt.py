@@ -1,0 +1,231 @@
+"""Tests for the quantized nanowire and multi-peak RTT models (Fig. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import CONDUCTANCE_QUANTUM
+from repro.devices import MultiPeakRTT, QuantizedNanowire
+from repro.devices.rtd import RTD_LOGIC
+
+
+class TestNanowireStaircase:
+    """Paper Fig. 1(b): conductance climbs in quantum steps."""
+
+    def test_conductance_monotonically_increasing(self, nanowire):
+        voltages = np.linspace(0.0, 1.5, 200)
+        conductances = [nanowire.conductance_staircase(float(v))
+                        for v in voltages]
+        assert all(b >= a - 1e-15 for a, b in
+                   zip(conductances, conductances[1:]))
+
+    def test_step_heights_are_one_quantum(self, nanowire):
+        # Between well-separated steps the plateau difference is ~G0.
+        plateau_below = nanowire.conductance_staircase(0.35)
+        plateau_above = nanowire.conductance_staircase(0.65)
+        assert plateau_above - plateau_below == pytest.approx(
+            CONDUCTANCE_QUANTUM, rel=0.02)
+
+    def test_all_channels_open_at_high_bias(self, nanowire):
+        total = nanowire.conductance_staircase(5.0)
+        expected = (nanowire.contact_conductance
+                    + nanowire.num_channels() * CONDUCTANCE_QUANTUM)
+        assert total == pytest.approx(expected, rel=1e-3)
+
+    def test_contact_conductance_at_zero(self, nanowire):
+        assert nanowire.conductance_staircase(0.0) == pytest.approx(
+            nanowire.contact_conductance, rel=0.05)
+
+
+class TestNanowireCurrent:
+    def test_zero_at_zero(self, nanowire):
+        assert nanowire.current(0.0) == 0.0
+
+    def test_odd_symmetry(self, nanowire):
+        for v in (0.1, 0.4, 0.9, 1.6):
+            assert nanowire.current(-v) == pytest.approx(-nanowire.current(v))
+
+    def test_current_strictly_increasing(self, nanowire):
+        voltages = np.linspace(-1.5, 1.5, 121)
+        currents = [nanowire.current(float(v)) for v in voltages]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_current_consistent_with_conductance(self, nanowire):
+        """dI/dV must equal the analytic staircase (model consistency)."""
+        for v in (0.15, 0.35, 0.52, 0.95, 1.3):
+            h = 1e-6
+            numeric = (nanowire.current(v + h)
+                       - nanowire.current(v - h)) / (2 * h)
+            assert numeric == pytest.approx(
+                nanowire.conductance_staircase(v), rel=1e-4)
+
+    def test_chord_conductance_positive(self, nanowire):
+        for v in (-1.0, -0.3, 0.3, 1.0):
+            assert nanowire.chord_conductance(v) > 0.0
+
+
+class TestNanowireValidation:
+    def test_rejects_empty_steps(self):
+        with pytest.raises(ValueError):
+            QuantizedNanowire(step_voltages=())
+
+    def test_rejects_unsorted_steps(self):
+        with pytest.raises(ValueError):
+            QuantizedNanowire(step_voltages=(0.5, 0.2))
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            QuantizedNanowire(step_voltages=(-0.1, 0.5))
+
+    def test_rejects_nonpositive_smearing(self):
+        with pytest.raises(ValueError):
+            QuantizedNanowire(smearing=0.0)
+
+    def test_rejects_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            QuantizedNanowire(step_voltages=(0.2, 0.5),
+                              step_weights=(1.0,))
+
+    def test_weights_scale_steps(self):
+        single = QuantizedNanowire(step_voltages=(0.2,),
+                                   contact_conductance=0.0)
+        double = QuantizedNanowire(step_voltages=(0.2,),
+                                   step_weights=(2.0,),
+                                   contact_conductance=0.0)
+        assert double.conductance_staircase(1.0) == pytest.approx(
+            2.0 * single.conductance_staircase(1.0))
+
+
+class TestMultiPeakRTT:
+    """Paper Fig. 1(a): multiple resonance peaks with NDR regions."""
+
+    def test_number_of_ndr_regions_matches_peaks(self):
+        rtt = MultiPeakRTT(peak_voltages=(0.5, 1.2, 1.9))
+        voltages = np.linspace(0.05, 2.4, 800)
+        conductances = [rtt.differential_conductance(float(v))
+                        for v in voltages]
+        falling = sum(1 for a, b in zip(conductances, conductances[1:])
+                      if a > 0.0 >= b)
+        assert falling == 3
+
+    def test_peaks_near_requested_positions(self):
+        rtt = MultiPeakRTT(peak_voltages=(0.5, 1.2))
+        voltages = np.linspace(0.05, 1.6, 2000)
+        currents = np.array([rtt.current(float(v)) for v in voltages])
+        # local maxima
+        maxima = [voltages[k] for k in range(1, len(voltages) - 1)
+                  if currents[k] > currents[k - 1]
+                  and currents[k] >= currents[k + 1]]
+        assert len(maxima) == 2
+        assert maxima[0] == pytest.approx(0.5, abs=0.1)
+        assert maxima[1] == pytest.approx(1.2, abs=0.15)
+
+    def test_current_passive(self):
+        rtt = MultiPeakRTT()
+        for v in np.linspace(0.01, 2.5, 50):
+            assert rtt.current(float(v)) > 0.0
+
+    def test_base_drive_scales_peaks(self):
+        weak = MultiPeakRTT(base_drive=1.0)
+        strong = MultiPeakRTT(base_drive=2.0)
+        assert strong.current(0.5) > 1.5 * weak.current(0.5)
+
+    def test_peak_scales(self):
+        rtt = MultiPeakRTT(peak_voltages=(0.5, 1.2),
+                           peak_scales=(1.0, 0.5))
+        # second peak noticeably smaller than twice-range first peak
+        first = rtt.current(0.5)
+        second_increment = rtt.current(1.2) - rtt.current(0.9)
+        assert second_increment < first
+
+    def test_chord_positive_everywhere(self):
+        rtt = MultiPeakRTT()
+        for v in np.linspace(0.05, 2.5, 60):
+            assert rtt.chord_conductance(float(v)) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPeakRTT(peak_voltages=())
+        with pytest.raises(ValueError):
+            MultiPeakRTT(peak_voltages=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            MultiPeakRTT(base_drive=0.0)
+        with pytest.raises(ValueError):
+            MultiPeakRTT(peak_voltages=(0.5,), peak_scales=(1.0, 2.0))
+
+
+class TestDiode:
+    def test_shockley_law(self, diode):
+        v = 0.6
+        expected = 1e-14 * (math.exp(v / diode.n_vt) - 1.0)
+        assert diode.current(v) == pytest.approx(expected, rel=1e-9)
+
+    def test_reverse_saturation(self, diode):
+        assert diode.current(-5.0) == pytest.approx(-1e-14, rel=1e-3)
+
+    def test_linear_continuation_is_c1(self, diode):
+        v = diode.v_linear
+        below = diode.current(v - 1e-9)
+        above = diode.current(v + 1e-9)
+        assert above == pytest.approx(below, rel=1e-6)
+        g_below = diode.differential_conductance(v - 1e-9)
+        g_above = diode.differential_conductance(v + 1e-9)
+        assert g_above == pytest.approx(g_below, rel=1e-4)
+
+    def test_no_overflow_at_huge_bias(self, diode):
+        assert math.isfinite(diode.current(1000.0))
+
+    def test_monotone(self, diode):
+        # Non-strict: deep reverse bias saturates to exactly -Is.
+        voltages = np.linspace(-1.0, 2.0, 100)
+        currents = [diode.current(float(v)) for v in voltages]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+        # Strict around the knee.
+        knee = np.linspace(0.2, 1.0, 50)
+        currents = [diode.current(float(v)) for v in knee]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_validation(self):
+        from repro.devices import Diode
+        with pytest.raises(ValueError):
+            Diode(saturation_current=0.0)
+        with pytest.raises(ValueError):
+            Diode(ideality=-1.0)
+
+
+class TestTabulatedDevice:
+    def test_interpolation(self):
+        from repro.devices import TabulatedDevice
+        table = TabulatedDevice([0.0, 1.0, 2.0], [0.0, 1e-3, 1.5e-3])
+        assert table.current(0.5) == pytest.approx(0.5e-3)
+        assert table.current(1.5) == pytest.approx(1.25e-3)
+
+    def test_extrapolation_uses_end_segments(self):
+        from repro.devices import TabulatedDevice
+        table = TabulatedDevice([0.0, 1.0], [0.0, 1e-3])
+        assert table.current(2.0) == pytest.approx(2e-3)
+        assert table.current(-1.0) == pytest.approx(-1e-3)
+
+    def test_differential_conductance_is_segment_slope(self):
+        from repro.devices import TabulatedDevice
+        table = TabulatedDevice([0.0, 1.0, 2.0], [0.0, 1e-3, 3e-3])
+        assert table.differential_conductance(0.5) == pytest.approx(1e-3)
+        assert table.differential_conductance(1.5) == pytest.approx(2e-3)
+
+    def test_validation(self):
+        from repro.devices import TabulatedDevice
+        with pytest.raises(ValueError):
+            TabulatedDevice([0.0], [0.0])
+        with pytest.raises(ValueError):
+            TabulatedDevice([0.0, 0.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            TabulatedDevice([0.0, 1.0], [0.0])
+
+    def test_ndr_table_chord_positive(self):
+        """A tabulated NDR device still yields positive chords."""
+        from repro.devices import TabulatedDevice
+        table = TabulatedDevice([0.0, 0.5, 1.0, 1.5],
+                                [0.0, 5e-3, 1e-3, 6e-3])
+        assert table.differential_conductance(0.75) < 0.0
+        assert table.chord_conductance(0.75) > 0.0

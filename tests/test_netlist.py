@@ -1,0 +1,166 @@
+"""Tests for circuit elements and the Circuit builder."""
+
+import pytest
+
+from repro.circuit import Circuit, DC, Pulse
+from repro.circuit.elements import Capacitor, Resistor
+from repro.circuit.netlist import is_ground
+from repro.devices import SchulmanRTD, nmos
+from repro.errors import CircuitError
+
+
+class TestElements:
+    def test_resistor_conductance(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        assert r.conductance == pytest.approx(0.01)
+
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_resistor_rejects_nan(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", float("nan"))
+
+    def test_capacitor_initial_voltage(self):
+        c = Capacitor("C1", "a", "0", 1e-12, initial_voltage=2.0)
+        assert c.initial_voltage == 2.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "", 1.0)
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "ground"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    def test_regular_node_is_not_ground(self):
+        assert not is_ground("out")
+
+
+class TestCircuitBuilder:
+    def test_node_ordering_first_appearance(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "b", "a", 1.0)
+        circuit.add_resistor("R2", "a", "0", 1.0)
+        assert circuit.nodes == ("b", "a")
+
+    def test_ground_not_a_node(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        assert circuit.num_nodes == 1
+
+    def test_node_index(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "b", 1.0)
+        assert circuit.node_index("a") == 0
+        assert circuit.node_index("b") == 1
+        assert circuit.node_index("0") == -1
+
+    def test_unknown_node_raises(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.node_index("zz")
+
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.add_capacitor("R1", "a", "0", 1e-12)
+
+    def test_element_lookup(self):
+        circuit = Circuit()
+        resistor = circuit.add_resistor("R1", "a", "0", 1.0)
+        assert circuit.element("R1") is resistor
+        with pytest.raises(CircuitError):
+            circuit.element("R9")
+
+    def test_element_count(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        circuit.add_capacitor("C1", "a", "0", 1e-12)
+        circuit.add_voltage_source("V1", "a", "0", 1.0)
+        assert circuit.num_elements == 3
+
+    def test_nonlinear_flag(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        assert not circuit.nonlinear()
+        circuit.add_device("X1", "a", "0", SchulmanRTD())
+        assert circuit.nonlinear()
+
+    def test_mosfet_nodes(self):
+        circuit = Circuit()
+        m = circuit.add_mosfet("M1", "d", "g", "0", nmos())
+        assert m.drain == "d"
+        assert m.gate == "g"
+        assert m.source == "0"
+        circuit.add_resistor("Rd", "d", "0", 1.0)
+        circuit.add_capacitor("Cg", "g", "0", 1e-12)
+        circuit.validate()
+
+    def test_source_waveform_coercion(self):
+        circuit = Circuit()
+        source = circuit.add_voltage_source("V1", "a", "0", 5.0)
+        assert isinstance(source.waveform, DC)
+        assert source.value(0.0) == 5.0
+
+    def test_source_slope_passthrough(self):
+        circuit = Circuit()
+        pulse = Pulse(0.0, 1.0, delay=1.0, rise=0.1, fall=0.1, width=1.0)
+        source = circuit.add_voltage_source("V1", "a", "0", pulse)
+        assert source.slope(1.05) == pytest.approx(10.0)
+
+    def test_device_multiplicity_scales_current(self):
+        circuit = Circuit()
+        device = circuit.add_device("X1", "a", "0", SchulmanRTD(),
+                                    multiplicity=2.0)
+        single = SchulmanRTD().current(1.0)
+        assert device.current(1.0) == pytest.approx(2.0 * single)
+
+    def test_nonpositive_multiplicity_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.add_device("X1", "a", "0", SchulmanRTD(),
+                               multiplicity=0.0)
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().validate()
+
+    def test_missing_ground_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            circuit.validate()
+
+    def test_dangling_passive_node_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        circuit.add_resistor("R2", "b", "0", 1.0)
+        circuit.add_capacitor("C1", "c", "dangling", 1e-12)
+        circuit.add_resistor("R3", "c", "0", 1.0)
+        with pytest.raises(CircuitError, match="dangling"):
+            circuit.validate()
+
+    def test_valid_circuit_passes(self, divider):
+        circuit, _ = divider
+        circuit.validate()
+
+    def test_source_driven_single_node_ok(self):
+        # A source driving one resistor is legitimate.
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "0", 1.0)
+        circuit.validate()

@@ -1,0 +1,128 @@
+"""Integration tests pinning the paper's headline claims (fast versions).
+
+Each test here is a miniature of one benchmark experiment; the full-size
+regenerators live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MlaDC, SpiceDC
+from repro.circuits_lib import rtd_divider
+from repro.perf.comparison import compare_dc_sweep, format_table
+from repro.swec import SwecDC
+from repro.swec.dc import SwecDCOptions
+
+
+class TestTableIShape:
+    """Table I: SWEC uses far fewer flops than MLA on DC workloads."""
+
+    def test_swec_beats_mla_on_ndr_crossing_sweep(self):
+        values = np.linspace(0.0, 4.0, 101)
+        circuit_a, info = rtd_divider(resistance=300.0)
+        circuit_b, _ = rtd_divider(resistance=300.0)
+        swec = SwecDC(circuit_a, SwecDCOptions(mode="stepwise"))
+        mla = MlaDC(circuit_b)
+        row = compare_dc_sweep("rtd-bistable", swec, mla, info.source,
+                               values)
+        assert row.flop_speedup > 5.0, row.as_table_line()
+
+    def test_swec_stepwise_beats_plain_spice_even_on_easy_sweep(self):
+        values = np.linspace(0.0, 2.5, 101)
+        circuit_a, info = rtd_divider(resistance=10.0)
+        circuit_b, _ = rtd_divider(resistance=10.0)
+        swec = SwecDC(circuit_a, SwecDCOptions(mode="stepwise"))
+        spice = SpiceDC(circuit_b)
+        row = compare_dc_sweep("rtd-easy", swec, spice, info.source,
+                               values, baseline_name="spice")
+        assert row.flop_speedup > 2.0
+
+    def test_comparison_row_formatting(self):
+        values = np.linspace(0.0, 1.0, 11)
+        circuit_a, info = rtd_divider(resistance=10.0)
+        circuit_b, _ = rtd_divider(resistance=10.0)
+        row = compare_dc_sweep(
+            "smoke", SwecDC(circuit_a, SwecDCOptions(mode="stepwise")),
+            MlaDC(circuit_b), info.source, values)
+        table = format_table([row])
+        assert "workload" in table
+        assert "smoke" in table
+        assert row.flop_speedup > 0.0
+        assert row.wall_speedup > 0.0
+
+
+class TestFig5Shape:
+    """Fig. 5: differential conductance goes negative in the RDR, the
+    SWEC equivalent conductance never does."""
+
+    def test_conductance_sign_contrast(self, rtd):
+        v_peak, v_valley = rtd.ndr_region()
+        bias = np.linspace(0.05, v_valley * 1.3, 200)
+        differential = np.array(
+            [rtd.differential_conductance(float(v)) for v in bias])
+        chord = np.array([rtd.chord_conductance(float(v)) for v in bias])
+        assert differential.min() < 0.0
+        assert chord.min() > 0.0
+        # inside NDR specifically
+        inside = (bias > v_peak) & (bias < v_valley)
+        assert (differential[inside] < 0.0).all()
+
+
+class TestFig7Shape:
+    """Fig. 7: SWEC DC captures the full non-monotonic I-V curve."""
+
+    def test_iv_curve_has_three_regions(self, rtd):
+        circuit, info = rtd_divider(resistance=10.0)
+        dc = SwecDC(circuit)
+        result = dc.sweep(info.source, np.linspace(0.0, 3.0, 301))
+        i = dc.device_currents(result, info.device)
+        k_peak = int(np.argmax(i))
+        k_valley = k_peak + int(np.argmin(i[k_peak:]))
+        assert 0 < k_peak < k_valley < len(i) - 1
+        # rising, falling, rising again
+        assert i[k_peak] > 2.0 * i[k_valley]
+        assert i[-1] > 1.5 * i[k_valley]
+
+
+class TestFig10Shape:
+    """Fig. 10: EM statistics match the analytic (OU) solution and a
+    performance peak appears within the observation window."""
+
+    def test_em_vs_analytic_and_peak(self, rng):
+        from repro.circuits_lib import noisy_rc_node
+        from repro.circuits_lib.noisy_rc import exact_reference
+        from repro.stochastic import euler_maruyama
+
+        # sized so the deterministic settled level is ~0.5 V and noise
+        # adds ~0.1 V fluctuation: peak ~0.6 V in the 0-1 ns window, the
+        # shape Fig. 10 reports.
+        sde, info = noisy_rc_node(resistance=1e3, capacitance=0.2e-12,
+                                  drive=0.5e-3, noise_amplitude=1e-9)
+        exact = exact_reference(info, 0.5e-3)
+        result = euler_maruyama(sde, [0.0], 1e-9, 400, n_paths=2000,
+                                rng=rng)
+        t = result.times
+        # EM tracks the analytic mean and std
+        assert np.max(np.abs(result.mean(0) - exact.mean(t))) < 0.02
+        assert np.max(np.abs(result.std(0) - exact.std(t))) < 0.02
+        # peak performance ~0.6 V within the 1 ns window
+        peaks = result.window_peaks(0.0, 1e-9)
+        assert peaks.mean() == pytest.approx(0.6, abs=0.1)
+
+
+class TestHysteresis:
+    """Extension experiment: up/down sweeps over a bistable load line
+    disagree inside the bistable window (physical hysteresis)."""
+
+    def test_up_down_sweep_hysteresis(self):
+        circuit, info = rtd_divider(resistance=300.0)
+        dc = SwecDC(circuit)
+        up_values = np.linspace(0.0, 4.0, 201)
+        up = dc.sweep(info.source, up_values)
+        down = dc.sweep(info.source, up_values[::-1])
+        v_up = up.voltage(info.device_node)
+        v_down = down.voltage(info.device_node)[::-1]
+        gap = np.abs(v_up - v_down)
+        assert gap.max() > 0.3       # bistable window exists
+        assert gap[0] < 1e-3          # branches agree at the ends
+        assert gap[-1] < 1e-3

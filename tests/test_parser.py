@@ -1,0 +1,250 @@
+"""Tests for the SPICE-like netlist parser."""
+
+import pytest
+
+from repro.circuit.parser import parse_netlist
+from repro.circuit.sources import DC, PiecewiseLinear, Pulse, Sine
+from repro.devices import Diode, MosfetModel, QuantizedNanowire, SchulmanRTD
+from repro.devices.rtt import MultiPeakRTT
+from repro.errors import NetlistParseError
+
+
+class TestBasicCards:
+    def test_divider(self):
+        circuit = parse_netlist("""
+        .title divider
+        Vs in 0 1.0
+        R1 in out 10
+        .model m RTD
+        X1 out 0 m
+        .end
+        """)
+        assert circuit.name == "divider"
+        assert circuit.num_nodes == 2
+        assert len(circuit.resistors) == 1
+        assert len(circuit.devices) == 1
+        assert isinstance(circuit.devices[0].model, SchulmanRTD)
+
+    def test_engineering_values(self):
+        circuit = parse_netlist("""
+        V1 a 0 5
+        R1 a b 4.7k
+        C1 b 0 10pF
+        """)
+        assert circuit.resistors[0].resistance == pytest.approx(4700.0)
+        assert circuit.capacitors[0].capacitance == pytest.approx(10e-12)
+
+    def test_comments_and_blank_lines(self):
+        circuit = parse_netlist("""
+        * a comment
+        V1 a 0 1   ; trailing comment
+
+        R1 a 0 1k
+        """)
+        assert circuit.num_elements == 2
+
+    def test_continuation_lines(self):
+        circuit = parse_netlist("""
+        V1 a 0
+        + PULSE(0 5 1n
+        + 0.1n 0.1n 5n 20n)
+        R1 a 0 1k
+        """)
+        assert isinstance(circuit.voltage_sources[0].waveform, Pulse)
+
+    def test_capacitor_initial_condition(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 1k
+        C1 b 0 1p IC=2.5
+        """)
+        assert circuit.capacitors[0].initial_voltage == pytest.approx(2.5)
+
+    def test_inductor(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        L1 a b 1u IC=1m
+        R1 b 0 50
+        """)
+        assert circuit.inductors[0].inductance == pytest.approx(1e-6)
+        assert circuit.inductors[0].initial_current == pytest.approx(1e-3)
+
+
+class TestSourceWaveforms:
+    def test_dc_keyword(self):
+        circuit = parse_netlist("V1 a 0 DC 3\nR1 a 0 1")
+        waveform = circuit.voltage_sources[0].waveform
+        assert isinstance(waveform, DC)
+        assert waveform.value(0.0) == 3.0
+
+    def test_pulse(self):
+        circuit = parse_netlist(
+            "V1 a 0 PULSE(0 5 1n 0.1n 0.1n 5n 20n)\nR1 a 0 1")
+        waveform = circuit.voltage_sources[0].waveform
+        assert isinstance(waveform, Pulse)
+        assert waveform.value(3e-9) == pytest.approx(5.0)
+
+    def test_pulse_without_period(self):
+        circuit = parse_netlist("V1 a 0 PULSE(0 5 1n 0.1n 0.1n 5n)\nR1 a 0 1")
+        waveform = circuit.voltage_sources[0].waveform
+        assert waveform.value(1e3) == 0.0
+
+    def test_sin(self):
+        circuit = parse_netlist("V1 a 0 SIN(1 0.5 1meg)\nR1 a 0 1")
+        waveform = circuit.voltage_sources[0].waveform
+        assert isinstance(waveform, Sine)
+        assert waveform.frequency == pytest.approx(1e6)
+
+    def test_pwl(self):
+        circuit = parse_netlist("I1 0 a PWL(0 0 1n 1m 2n 0)\nR1 a 0 1")
+        waveform = circuit.current_sources[0].waveform
+        assert isinstance(waveform, PiecewiseLinear)
+        assert waveform.value(0.5e-9) == pytest.approx(0.5e-3)
+
+    def test_pwl_odd_arguments_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("V1 a 0 PWL(0 0 1n)\nR1 a 0 1")
+
+
+class TestModels:
+    def test_rtd_custom_parameters(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 10
+        .model myrtd RTD A=1e-3 B=0.3 C=0.22 D=0.01 N1=0.4 N2=0.1 H=5e-5
+        X1 b 0 myrtd
+        """)
+        model = circuit.devices[0].model
+        assert isinstance(model, SchulmanRTD)
+        assert model.parameters.a == pytest.approx(1e-3)
+        assert model.parameters.n1 == pytest.approx(0.4)
+
+    def test_model_card_after_instance(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 10
+        X1 b 0 late
+        .model late RTD
+        """)
+        assert isinstance(circuit.devices[0].model, SchulmanRTD)
+
+    def test_device_multiplicity(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 10
+        .model m RTD
+        X1 b 0 m M=2.5
+        """)
+        assert circuit.devices[0].multiplicity == pytest.approx(2.5)
+
+    def test_nanowire_model(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 10k
+        .model wire NANOWIRE steps=3 first=0.1 spacing=0.2
+        X1 b 0 wire
+        """)
+        model = circuit.devices[0].model
+        assert isinstance(model, QuantizedNanowire)
+        assert model.num_channels() == 3
+
+    def test_rtt_model(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 10
+        .model t RTT peaks=2 first=0.5 spacing=0.6
+        X1 b 0 t
+        """)
+        model = circuit.devices[0].model
+        assert isinstance(model, MultiPeakRTT)
+        assert model.num_peaks() == 2
+
+    def test_diode_model(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        R1 a b 1k
+        .model dd DIODE IS=1e-12 N=1.5
+        D1 b 0 dd
+        """)
+        model = circuit.devices[0].model
+        assert isinstance(model, Diode)
+        assert model.ideality == pytest.approx(1.5)
+
+    def test_mosfet_model(self):
+        circuit = parse_netlist("""
+        V1 d 0 5
+        Vg g 0 3
+        R1 d x 1k
+        C1 g 0 1p
+        .model mn NMOS KP=5e-5 W=20u L=2u VTH=0.7
+        M1 x g 0 mn
+        """)
+        model = circuit.mosfets[0].model
+        assert isinstance(model, MosfetModel)
+        assert model.vth == pytest.approx(0.7)
+        assert model.polarity == 1
+
+    def test_pmos_model(self):
+        circuit = parse_netlist("""
+        V1 s 0 5
+        R1 s d 1k
+        C1 g 0 1p
+        Vg g 0 2
+        .model mp PMOS
+        M1 d g s mp
+        """)
+        assert circuit.mosfets[0].model.polarity == -1
+
+    def test_unknown_model_kind_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".model m JOSEPHSON\nR1 a 0 1")
+
+    def test_unknown_model_parameter_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".model m RTD ZZ=1\nR1 a 0 1")
+
+    def test_missing_model_reference_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("V1 a 0 1\nX1 a 0 nomodel")
+
+
+class TestErrors:
+    def test_unknown_card_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("Q1 a b c model")
+
+    def test_too_few_fields(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("R1 a 0")
+
+    def test_unknown_directive(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".tran 1n 10n")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("+ PULSE(0 1)")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_netlist("V1 a 0 1\nR1 a 0 zz")
+        except NetlistParseError as exc:
+            assert exc.line_number == 2
+        else:
+            pytest.fail("expected NetlistParseError")
+
+
+class TestEndToEnd:
+    def test_parsed_circuit_simulates(self):
+        import numpy as np
+        from repro.swec import SwecDC
+        circuit = parse_netlist("""
+        .title parsed-divider
+        Vs in 0 0
+        R1 in out 10
+        .model m RTD A=1.2e-3 B=0.068 C=0.1035 D=0.0088 N1=0.1862
+        + N2=0.0466 H=2.4e-6
+        X1 out 0 m
+        """)
+        result = SwecDC(circuit).sweep("Vs", np.linspace(0.0, 2.0, 41))
+        assert result.all_converged

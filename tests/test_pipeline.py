@@ -1,0 +1,72 @@
+"""Tests for the MOBILE nanopipeline (shift register)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Pulse
+from repro.circuits_lib.logic_gates import PipelineInfo, mobile_pipeline
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+OPTS = SwecOptions(
+    step=StepControlOptions(epsilon=0.1, h_min=1e-13, h_max=0.5e-9,
+                            h_initial=1e-12),
+    dv_limit=0.2)
+
+
+@pytest.fixture(scope="module")
+def pipeline_run():
+    """One shared 3-period simulation of a 2-stage pipeline with the
+    data going high in the second period."""
+    T = 20e-9
+    data = Pulse(0.0, 1.2, delay=T, rise=1e-9, fall=1e-9,
+                 width=T - 1e-9, period=2 * T)
+    circuit, info = mobile_pipeline(data, stages=2, clock_period=T)
+    result = SwecTransient(circuit, OPTS).run(3 * T)
+    assert not result.aborted
+    return result, info, T
+
+
+class TestPipeline:
+    def test_structure(self):
+        circuit, info = mobile_pipeline(0.0, stages=3)
+        assert info.stage_outputs == ("q1", "q2", "q3")
+        assert len(circuit.devices) == 6
+        assert len(circuit.mosfets) == 3
+        circuit.validate()
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            mobile_pipeline(0.0, stages=0)
+
+    def test_zero_data_stays_zero(self, pipeline_run):
+        result, info, T = pipeline_run
+        # first period: data low -> both stages low at their eval times
+        assert result.at(0.55 * T, "q1") < 0.1
+        assert result.at(0.70 * T, "q2") < 0.1
+
+    def test_bit_enters_stage1_at_its_clock(self, pipeline_run):
+        result, info, T = pipeline_run
+        # data high in period 2; clk1 high during [1.25T, 1.75T]
+        assert result.at(1.60 * T, "q1") == pytest.approx(
+            info.v_q_high, abs=0.1)
+
+    def test_bit_shifts_to_stage2_one_phase_later(self, pipeline_run):
+        result, info, T = pipeline_run
+        # clk2 high during [1.5T, 2.0T]: q2 carries the bit late in it
+        assert result.at(1.85 * T, "q2") == pytest.approx(
+            info.v_q_high, abs=0.1)
+
+    def test_stage2_holds_after_stage1_resets(self, pipeline_run):
+        """Self-latching: q1 has already reset (clk1 low) while q2
+        still holds the shifted bit."""
+        result, info, T = pipeline_run
+        t_probe = 1.9 * T    # clk1 low, clk2 still high
+        assert result.at(t_probe, "q1") < 0.15
+        assert result.at(t_probe, "q2") == pytest.approx(
+            info.v_q_high, abs=0.1)
+
+    def test_bit_cleared_next_period(self, pipeline_run):
+        result, info, T = pipeline_run
+        # period 3: data low again -> the shifted zero reaches q2
+        assert result.at(2.85 * T, "q2") < 0.15

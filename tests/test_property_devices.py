@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for device-model invariants.
+
+These encode the paper's central mathematical claim as properties: for
+any passive device at any bias, the chord conductance is non-negative —
+even where the differential conductance is negative.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    Diode,
+    MultiPeakRTT,
+    QuantizedNanowire,
+    SCHULMAN_INGAAS,
+    SchulmanParameters,
+    SchulmanRTD,
+    nmos,
+)
+
+voltages = st.floats(min_value=-5.0, max_value=5.0,
+                     allow_nan=False, allow_infinity=False)
+positive_voltages = st.floats(min_value=1e-6, max_value=5.0,
+                              allow_nan=False, allow_infinity=False)
+
+# Schulman parameter space around physically sensible values.
+schulman_params = st.builds(
+    SchulmanParameters,
+    a=st.floats(1e-5, 1e-2),
+    b=st.floats(0.05, 2.5),
+    c=st.floats(0.05, 1.6),
+    d=st.floats(0.005, 0.5),
+    n1=st.floats(0.05, 0.5),
+    n2=st.floats(0.005, 0.2),
+    h=st.floats(1e-9, 1e-4),
+)
+
+
+class TestRtdProperties:
+    @given(params=schulman_params, v=voltages)
+    @settings(max_examples=200, deadline=None)
+    def test_current_finite_everywhere(self, params, v):
+        assert math.isfinite(SchulmanRTD(params).current(v))
+
+    @given(params=schulman_params, v=positive_voltages)
+    @settings(max_examples=200, deadline=None)
+    def test_chord_nonnegative_at_positive_bias(self, params, v):
+        """THE paper claim, over the whole parameter space."""
+        assert SchulmanRTD(params).chord_conductance(v) >= 0.0
+
+    @given(params=schulman_params, v=positive_voltages)
+    @settings(max_examples=100, deadline=None)
+    def test_passivity(self, params, v):
+        rtd = SchulmanRTD(params)
+        assert rtd.current(v) >= 0.0
+        assert rtd.current(-v) <= 0.0
+
+    @given(params=schulman_params)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_bias_zero_current(self, params):
+        assert SchulmanRTD(params).current(0.0) == pytest.approx(
+            0.0, abs=1e-15)
+
+    @given(v=st.floats(0.01, 3.0), factor=st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_area_scaling_linear_in_current(self, v, factor):
+        base = SchulmanRTD(SCHULMAN_INGAAS)
+        scaled = SchulmanRTD(SCHULMAN_INGAAS.scaled(factor))
+        assert scaled.current(v) == pytest.approx(
+            factor * base.current(v), rel=1e-9)
+
+    @given(params=schulman_params, v=st.floats(0.05, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_analytic_derivative_consistent(self, params, v):
+        rtd = SchulmanRTD(params)
+        h = 1e-6 * max(1.0, abs(v))
+        numeric = (rtd.current(v + h) - rtd.current(v - h)) / (2.0 * h)
+        analytic = rtd.differential_conductance(v)
+        scale = max(abs(numeric), abs(analytic), 1e-12)
+        assert abs(analytic - numeric) / scale < 1e-3
+
+
+class TestNanowireProperties:
+    @given(v=voltages)
+    @settings(max_examples=100, deadline=None)
+    def test_odd_current(self, v):
+        wire = QuantizedNanowire()
+        assert wire.current(-v) == pytest.approx(-wire.current(v),
+                                                 rel=1e-9, abs=1e-15)
+
+    @given(v1=voltages, v2=voltages)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_current(self, v1, v2):
+        wire = QuantizedNanowire()
+        lo, hi = sorted((v1, v2))
+        assert wire.current(lo) <= wire.current(hi) + 1e-15
+
+    @given(v=voltages)
+    @settings(max_examples=100, deadline=None)
+    def test_conductance_bounded(self, v):
+        wire = QuantizedNanowire()
+        g = wire.conductance_staircase(v)
+        total = (wire.contact_conductance
+                 + wire.num_channels() * wire.quantum)
+        assert 0.0 <= g <= total * (1.0 + 1e-9)
+
+
+class TestMosfetProperties:
+    @given(vgs=st.floats(-2.0, 6.0), vds=st.floats(-5.0, 5.0))
+    @settings(max_examples=200, deadline=None)
+    def test_chord_nonnegative(self, vgs, vds):
+        assert nmos().chord_conductance(vgs, vds) >= 0.0
+
+    @given(vgs=st.floats(-2.0, 6.0), vds=st.floats(-5.0, 5.0))
+    @settings(max_examples=200, deadline=None)
+    def test_current_sign_follows_vds(self, vgs, vds):
+        ids = nmos().current(vgs, vds)
+        if vds > 0:
+            assert ids >= 0.0
+        elif vds < 0:
+            assert ids <= 0.0
+        else:
+            assert ids == 0.0
+
+    @given(vgs=st.floats(1.01, 6.0), vds=st.floats(0.0, 5.0),
+           dv=st.floats(0.01, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_vds(self, vgs, vds, dv):
+        m = nmos()
+        assert m.current(vgs, vds + dv) >= m.current(vgs, vds) - 1e-15
+
+    @given(vgs=st.floats(-2.0, 6.0), vds=st.floats(-5.0, 5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_partials_finite(self, vgs, vds):
+        gm, gds = nmos().partials(vgs, vds)
+        assert math.isfinite(gm) and math.isfinite(gds)
+
+
+class TestDiodeProperties:
+    @given(v=st.floats(-10.0, 100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_finite_and_monotone_slope(self, v):
+        d = Diode()
+        assert math.isfinite(d.current(v))
+        assert d.differential_conductance(v) > 0.0
+
+    @given(v=positive_voltages)
+    @settings(max_examples=100, deadline=None)
+    def test_chord_nonnegative(self, v):
+        assert Diode().chord_conductance(v) >= 0.0
+
+
+class TestRttProperties:
+    @given(v=st.floats(0.01, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_chord_positive(self, v):
+        assert MultiPeakRTT().chord_conductance(v) > 0.0
+
+    @given(v=st.floats(-3.0, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_finite(self, v):
+        assert math.isfinite(MultiPeakRTT().current(v))

@@ -1,0 +1,173 @@
+"""Property-based tests for waveforms, units, MNA and stochastic invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.circuit import Circuit, PiecewiseLinear, Pulse, Step
+from repro.mna import MnaSystem, solve_dense
+from repro.stochastic.wiener import WienerProcess
+from repro.units import format_value, parse_value
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+class TestUnitsProperties:
+    @given(value=st.floats(min_value=1e-14, max_value=1e13))
+    @settings(max_examples=200, deadline=None)
+    def test_format_parse_roundtrip(self, value):
+        assert parse_value(format_value(value, digits=9)) == pytest.approx(
+            value, rel=1e-6)
+
+    @given(value=st.floats(min_value=-1e12, max_value=-1e-12))
+    @settings(max_examples=100, deadline=None)
+    def test_negative_roundtrip(self, value):
+        assert parse_value(format_value(value, digits=9)) == pytest.approx(
+            value, rel=1e-6)
+
+
+class TestWaveformProperties:
+    @given(initial=finite, final=finite,
+           time=st.floats(0.0, 1e3), rise=st.floats(1e-9, 10.0),
+           t=st.floats(-10.0, 1e3))
+    @settings(max_examples=200, deadline=None)
+    def test_step_bounded_by_levels(self, initial, final, time, rise, t):
+        step = Step(initial, final, time, rise)
+        lo, hi = sorted((initial, final))
+        assert lo - 1e-9 <= step.value(t) <= hi + 1e-9
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_pwl_value_within_hull(self, data):
+        n = data.draw(st.integers(2, 8))
+        times = sorted(data.draw(st.lists(
+            st.floats(0.0, 100.0), min_size=n, max_size=n, unique=True)))
+        values = data.draw(st.lists(finite, min_size=n, max_size=n))
+        pwl = PiecewiseLinear(list(zip(times, values)))
+        t = data.draw(st.floats(-10.0, 110.0))
+        assert min(values) - 1e-9 <= pwl.value(t) <= max(values) + 1e-9
+
+    @given(t=st.floats(0.2, 100.0), period=st.floats(0.5, 10.0),
+           width_frac=st.floats(0.1, 0.7))
+    @settings(max_examples=200, deadline=None)
+    def test_pulse_periodicity(self, t, period, width_frac):
+        # Periodicity holds from the initial delay onward (before the
+        # delay the source sits at its initial value — SPICE semantics).
+        pulse = Pulse(0.0, 1.0, delay=0.2, rise=0.01 * period,
+                      fall=0.01 * period, width=width_frac * period,
+                      period=period)
+        assert pulse.value(t) == pytest.approx(pulse.value(t + period),
+                                               abs=1e-9)
+
+    @given(t=st.floats(0.0, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_pulse_slope_consistent_with_finite_difference(self, t):
+        pulse = Pulse(0.0, 2.0, delay=1.0, rise=0.5, fall=0.5, width=3.0,
+                      period=10.0)
+        h = 1e-7
+        numeric = (pulse.value(t + h) - pulse.value(t - h)) / (2.0 * h)
+        analytic = pulse.slope(t)
+        # They disagree only within h of a breakpoint.
+        phase = (t - 1.0) % 10.0
+        near_break = any(abs(phase - edge) < 1e-5
+                         for edge in (0.0, 0.5, 3.5, 4.0, 10.0))
+        if not near_break:
+            assert analytic == pytest.approx(numeric, abs=1e-4)
+
+
+class TestMnaProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_resistor_ladder_satisfies_kcl(self, data):
+        """For any ladder of positive resistors, the MNA solution
+        satisfies Kirchhoff's current law at every internal node."""
+        n = data.draw(st.integers(2, 7))
+        resistances = data.draw(st.lists(
+            st.floats(1.0, 1e5), min_size=n, max_size=n))
+        vs = data.draw(st.floats(-100.0, 100.0))
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "n0", "0", vs)
+        for k, r in enumerate(resistances):
+            circuit.add_resistor(f"R{k}", f"n{k}", f"n{k + 1}", r)
+        circuit.add_resistor("Rend", f"n{n}", "0", 1e3)
+        system = MnaSystem(circuit)
+        x = solve_dense(system.conductance_base(),
+                        system.source_vector(0.0))
+        voltages = system.voltages(x)
+        voltages["0"] = 0.0
+        for k in range(1, n):  # internal ladder nodes
+            i_in = (voltages[f"n{k - 1}"] - voltages[f"n{k}"]) / resistances[k - 1]
+            i_out = (voltages[f"n{k}"] - voltages[f"n{k + 1}"]) / resistances[k]
+            assert i_in == pytest.approx(i_out, rel=1e-6, abs=1e-12)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_conductance_matrix_node_block_symmetric(self, data):
+        n = data.draw(st.integers(1, 6))
+        circuit = Circuit()
+        for k in range(n):
+            circuit.add_resistor(
+                f"R{k}", f"n{k}", "0",
+                data.draw(st.floats(1.0, 1e6)))
+            if k:
+                circuit.add_resistor(
+                    f"Rb{k}", f"n{k - 1}", f"n{k}",
+                    data.draw(st.floats(1.0, 1e6)))
+        system = MnaSystem(circuit)
+        g = system.conductance_base()
+        block = g[:system.num_nodes, :system.num_nodes]
+        assert np.allclose(block, block.T)
+        # diagonally dominant with positive diagonal
+        for j in range(system.num_nodes):
+            off = np.sum(np.abs(block[j])) - abs(block[j, j])
+            assert block[j, j] > 0.0
+            assert block[j, j] >= off - 1e-12
+
+
+class TestWienerProperties:
+    @given(steps=st.integers(2, 200), t_final=st.floats(0.1, 10.0),
+           seed=st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_path_shape_and_start(self, steps, t_final, seed):
+        w = WienerProcess(t_final, steps, seed)
+        path = w.sample(1)[0]
+        assert path.shape == (steps + 1,)
+        assert path[0] == 0.0
+        assert np.all(np.isfinite(path))
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_bridge_refinement_consistency(self, seed):
+        from repro.stochastic.wiener import brownian_bridge
+        w = WienerProcess(1.0, 16, seed)
+        coarse = w.sample(1)[0]
+        fine = brownian_bridge(coarse, 1.0 / 16, refinement=2, rng=seed)
+        assert np.allclose(fine[::2], coarse)
+
+
+class TestMeasureProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_crossings_alternate_in_direction(self, data):
+        """Between two rising crossings there must be a falling one."""
+        from repro.analysis import crossing_times
+        n = data.draw(st.integers(8, 40))
+        t = np.linspace(0.0, 1.0, n)
+        v = np.array(data.draw(st.lists(
+            st.floats(-2.0, 2.0), min_size=n, max_size=n)))
+        level = data.draw(st.floats(-1.5, 1.5))
+        rising = crossing_times(t, v, level, "rising")
+        falling = crossing_times(t, v, level, "falling")
+        merged = sorted([(tc, +1) for tc in rising]
+                        + [(tc, -1) for tc in falling])
+        times_only = [tc for tc, _ in merged]
+        # A spike narrower than float resolution puts two opposite
+        # crossings at the same instant; their order is undefined, so
+        # such degenerate draws are discarded.
+        assume(all(tb - ta > 1e-12
+                   for ta, tb in zip(times_only, times_only[1:])))
+        for (_, da), (_, db) in zip(merged, merged[1:]):
+            assert da != db, "two same-direction crossings in a row"

@@ -1,0 +1,145 @@
+"""Tests for ASCII/CSV reporting and the RTD sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    ascii_plot,
+    ascii_plot_result,
+    from_csv,
+    sweep_to_csv,
+    to_csv,
+)
+from repro.analysis.sensitivity import (
+    TUNABLE,
+    landmarks,
+    parameter_sweep,
+    perturb,
+    relative_sensitivity,
+    sensitivity_table,
+)
+from repro.analysis.waveforms import TransientResult
+from repro.devices.rtd import SCHULMAN_INGAAS
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def small_result():
+    result = TransientResult(("a", "b"), engine="test")
+    for k in range(6):
+        t = k * 1e-9
+        result.append(t, np.array([np.sin(k), float(k)]))
+    return result
+
+
+class TestAsciiPlot:
+    def test_contains_stars_and_labels(self):
+        t = np.linspace(0.0, 1e-9, 50)
+        v = np.sin(2 * np.pi * t / 1e-9)
+        text = ascii_plot(t, v, title="sine")
+        assert "sine" in text
+        assert "*" in text
+        assert "1n" in text  # time axis label
+
+    def test_extremes_reach_canvas_edges(self):
+        t = np.linspace(0.0, 1.0, 64)
+        v = np.linspace(-1.0, 1.0, 64)
+        text = ascii_plot(t, v, width=32, height=8)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "*" in lines[0]     # max on top row
+        assert "*" in lines[-1]    # min on bottom row
+
+    def test_constant_waveform_ok(self):
+        t = np.linspace(0.0, 1.0, 10)
+        text = ascii_plot(t, np.ones(10))
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([0.0], [1.0])
+        with pytest.raises(AnalysisError):
+            ascii_plot([0.0, 1.0], [1.0, 2.0], width=2)
+
+    def test_plot_result_stacks_nodes(self, small_result):
+        text = ascii_plot_result(small_result, ("a", "b"))
+        assert "node 'a'" in text
+        assert "node 'b'" in text
+
+
+class TestCsv:
+    def test_roundtrip(self, small_result):
+        text = to_csv(small_result)
+        header, data = from_csv(text)
+        assert header == ["time", "a", "b"]
+        assert data.shape == (6, 3)
+        assert np.allclose(data[:, 0], small_result.times)
+        assert np.allclose(data[:, 2], small_result.voltage("b"))
+
+    def test_node_subset(self, small_result):
+        header, data = from_csv(to_csv(small_result, nodes=("b",)))
+        assert header == ["time", "b"]
+        assert data.shape == (6, 2)
+
+    def test_sweep_csv(self):
+        from repro.analysis.dcsweep import DCSweepResult
+        sweep = DCSweepResult(("out",), "Vs", engine="swec")
+        for k in range(3):
+            sweep.append(float(k), np.array([k * 0.5]), 1, True)
+        header, data = from_csv(sweep_to_csv(sweep))
+        assert header == ["Vs", "out"]
+        assert np.allclose(data[:, 1], [0.0, 0.5, 1.0])
+
+    def test_malformed_csv_rejected(self):
+        with pytest.raises(AnalysisError):
+            from_csv("time,a")
+        with pytest.raises(AnalysisError):
+            from_csv("time,a\n1.0")
+
+
+class TestSensitivity:
+    def test_landmarks_match_device_methods(self, rtd):
+        marks = landmarks(SCHULMAN_INGAAS)
+        v_peak, i_peak = rtd.peak()
+        assert marks.v_peak == pytest.approx(v_peak, rel=1e-6)
+        assert marks.i_peak == pytest.approx(i_peak, rel=1e-6)
+        assert marks.pvr > 1.0
+        assert marks.ndr_width > 0.0
+
+    def test_perturb_changes_only_named_parameter(self):
+        perturbed = perturb(SCHULMAN_INGAAS, "a", 2.0)
+        assert perturbed.a == pytest.approx(2.0 * SCHULMAN_INGAAS.a)
+        assert perturbed.b == SCHULMAN_INGAAS.b
+
+    def test_perturb_validation(self):
+        with pytest.raises(AnalysisError):
+            perturb(SCHULMAN_INGAAS, "zz", 1.1)
+        with pytest.raises(AnalysisError):
+            perturb(SCHULMAN_INGAAS, "a", 0.0)
+
+    def test_peak_current_scales_with_a(self):
+        """I_peak is (nearly) proportional to A: sensitivity ~ 1."""
+        s = relative_sensitivity(SCHULMAN_INGAAS, "a", "i_peak")
+        assert s == pytest.approx(1.0, abs=0.05)
+
+    def test_peak_voltage_insensitive_to_a(self):
+        s = relative_sensitivity(SCHULMAN_INGAAS, "a", "v_peak")
+        assert abs(s) < 0.1
+
+    def test_peak_voltage_follows_c_over_n1(self):
+        """V_peak ~ C/n1: raising C raises V_peak, raising n1 lowers it."""
+        s_c = relative_sensitivity(SCHULMAN_INGAAS, "c", "v_peak")
+        s_n1 = relative_sensitivity(SCHULMAN_INGAAS, "n1", "v_peak")
+        assert s_c > 0.3
+        assert s_n1 < -0.3
+
+    def test_sensitivity_table_covers_all_parameters(self):
+        table = sensitivity_table(SCHULMAN_INGAAS,
+                                  quantities=("v_peak", "i_peak"))
+        assert set(table) == set(TUNABLE)
+        for row in table.values():
+            assert set(row) == {"v_peak", "i_peak"}
+
+    def test_parameter_sweep_monotone_for_c(self):
+        factors = [0.9, 1.0, 1.1]
+        v_peaks = parameter_sweep(SCHULMAN_INGAAS, "c", factors, "v_peak")
+        assert v_peaks[0] < v_peaks[1] < v_peaks[2]

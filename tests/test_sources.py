@@ -1,0 +1,191 @@
+"""Tests for waveform sources."""
+
+import math
+
+import pytest
+
+from repro.circuit.sources import (
+    DC,
+    Clock,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    Step,
+    Waveform,
+    as_waveform,
+)
+
+
+class TestDC:
+    def test_constant_value(self):
+        assert DC(5.0).value(0.0) == 5.0
+        assert DC(5.0).value(1e9) == 5.0
+
+    def test_zero_slope(self):
+        assert DC(5.0).slope(1.0) == 0.0
+
+    def test_no_breakpoints(self):
+        assert DC(5.0).breakpoints() == ()
+
+
+class TestStep:
+    def test_before_after(self):
+        step = Step(0.0, 2.0, time=1.0, rise=0.5)
+        assert step.value(0.5) == 0.0
+        assert step.value(2.0) == 2.0
+
+    def test_midramp(self):
+        step = Step(0.0, 2.0, time=1.0, rise=0.5)
+        assert step.value(1.25) == pytest.approx(1.0)
+
+    def test_slope_during_ramp(self):
+        step = Step(0.0, 2.0, time=1.0, rise=0.5)
+        assert step.slope(1.25) == pytest.approx(4.0)
+        assert step.slope(0.5) == 0.0
+        assert step.slope(3.0) == 0.0
+
+    def test_zero_rise_gets_finite_slope(self):
+        step = Step(0.0, 1.0, time=1.0, rise=0.0)
+        assert math.isfinite(step.slope(1.0 + step.rise / 2.0))
+
+    def test_falling_step(self):
+        step = Step(3.0, 1.0, time=0.0, rise=1.0)
+        assert step.value(0.5) == pytest.approx(2.0)
+        assert step.slope(0.5) == pytest.approx(-2.0)
+
+    def test_breakpoints(self):
+        step = Step(0.0, 1.0, time=2.0, rise=0.5)
+        assert step.breakpoints() == (2.0, 2.5)
+
+
+class TestPulse:
+    def make(self):
+        return Pulse(0.0, 5.0, delay=1.0, rise=0.1, fall=0.2, width=2.0,
+                     period=5.0)
+
+    def test_initial_level_before_delay(self):
+        assert self.make().value(0.5) == 0.0
+
+    def test_high_plateau(self):
+        assert self.make().value(2.0) == 5.0
+
+    def test_rise_interpolation(self):
+        assert self.make().value(1.05) == pytest.approx(2.5)
+
+    def test_fall_interpolation(self):
+        pulse = self.make()
+        assert pulse.value(1.0 + 0.1 + 2.0 + 0.1) == pytest.approx(2.5)
+
+    def test_low_after_fall(self):
+        assert self.make().value(4.0) == 0.0
+
+    def test_periodicity(self):
+        pulse = self.make()
+        assert pulse.value(2.0 + 5.0) == pulse.value(2.0)
+        assert pulse.value(2.0 + 50.0) == pulse.value(2.0)
+
+    def test_slopes(self):
+        pulse = self.make()
+        assert pulse.slope(1.05) == pytest.approx(50.0)
+        assert pulse.slope(3.2) == pytest.approx(-25.0)
+        assert pulse.slope(2.0) == 0.0
+
+    def test_aperiodic_pulse(self):
+        pulse = Pulse(0.0, 1.0, delay=1.0, rise=0.1, fall=0.1, width=2.0)
+        assert pulse.value(100.0) == 0.0
+
+    def test_period_shorter_than_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, rise=1.0, fall=1.0, width=2.0, period=3.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, width=-1.0)
+
+    def test_periodic_breakpoints_cover_horizon(self):
+        pulse = self.make()
+        points = pulse.periodic_breakpoints(11.0)
+        assert max(points) <= 11.0
+        # two full periods plus the start of the third
+        assert sum(1 for p in points if abs(p - 1.0) < 1e-12 or
+                   abs(p - 6.0) < 1e-12 or abs(p - 11.0) < 1e-12) == 3
+
+
+class TestClock:
+    def test_fifty_percent_duty(self):
+        clock = Clock(0.0, 1.0, period=10.0)
+        high_samples = sum(clock.value(t) > 0.5
+                           for t in [2.0, 3.0, 4.0])
+        low_samples = sum(clock.value(t) < 0.5
+                          for t in [7.0, 8.0, 9.0])
+        assert high_samples == 3
+        assert low_samples == 3
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            Clock(0.0, 1.0, period=0.0)
+
+
+class TestSine:
+    def test_offset_before_delay(self):
+        sine = Sine(1.0, 0.5, frequency=1.0, delay=2.0)
+        assert sine.value(1.0) == 1.0
+
+    def test_quarter_period_peak(self):
+        sine = Sine(0.0, 2.0, frequency=1.0)
+        assert sine.value(0.25) == pytest.approx(2.0)
+
+    def test_slope_at_zero_crossing(self):
+        sine = Sine(0.0, 1.0, frequency=1.0)
+        assert sine.slope(0.0) == pytest.approx(2.0 * math.pi)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Sine(0.0, 1.0, frequency=0.0)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        pwl = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)])
+        assert pwl.value(0.5) == pytest.approx(1.0)
+        assert pwl.value(2.0) == pytest.approx(1.0)
+
+    def test_holds_ends(self):
+        pwl = PiecewiseLinear([(1.0, 3.0), (2.0, 5.0)])
+        assert pwl.value(0.0) == 3.0
+        assert pwl.value(10.0) == 5.0
+
+    def test_slope(self):
+        pwl = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)])
+        assert pwl.slope(0.5) == pytest.approx(2.0)
+        assert pwl.slope(2.0) == pytest.approx(-1.0)
+        assert pwl.slope(10.0) == 0.0
+
+    def test_breakpoints_are_knots(self):
+        pwl = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0)])
+        assert pwl.breakpoints() == (0.0, 1.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([(0.0, 1.0)])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear([(1.0, 0.0), (0.5, 1.0)])
+
+
+class TestAsWaveform:
+    def test_number_becomes_dc(self):
+        waveform = as_waveform(3.0)
+        assert isinstance(waveform, DC)
+        assert waveform.value(0.0) == 3.0
+
+    def test_waveform_passthrough(self):
+        pulse = Pulse(0.0, 1.0, width=1.0)
+        assert as_waveform(pulse) is pulse
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Waveform().value(0.0)
+        with pytest.raises(NotImplementedError):
+            Waveform().slope(0.0)

@@ -1,0 +1,171 @@
+"""Tests for the SPICE3-style baseline (DC strategies + transient)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpiceDC, SpiceTransient
+from repro.baselines.spice import SpiceOptions
+from repro.baselines.newton import NewtonOptions
+from repro.circuit import Circuit, DC, Pulse  # noqa: F401 (DC used below)
+from repro.devices import Diode, SchulmanRTD, SCHULMAN_INGAAS
+from repro.errors import AnalysisError
+
+
+class TestOperatingPoint:
+    def test_direct_strategy_on_linear_circuit(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", 6.0)
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        circuit.add_resistor("R2", "out", "0", 2e3)
+        x, iterations, strategy = SpiceDC(circuit).operating_point()
+        assert strategy == "direct"
+        assert x[1] == pytest.approx(4.0)
+
+    def test_diode_circuit_converges(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", 5.0)
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        circuit.add_device("D1", "out", "0", Diode())
+        options = SpiceOptions(
+            newton=NewtonOptions(max_iterations=100, dv_limit=0.5))
+        x, iterations, strategy = SpiceDC(circuit, options).operating_point()
+        assert 0.6 < x[1] < 0.9
+
+    def test_rtd_divider_easy_bias(self, divider):
+        circuit, info = divider
+        circuit.voltage_sources[0].waveform = DC(0.3)
+        x, _, _ = SpiceDC(circuit).operating_point()
+        assert 0.0 < x[1] < 0.3
+
+    def test_rescue_strategies_reported(self, rtd):
+        """Biasing straight into the NDR from a zero guess exercises the
+        stepping rescues; whatever succeeds must label itself."""
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", 1.3)
+        circuit.add_resistor("R1", "in", "out", 10.0)
+        circuit.add_device("X1", "out", "0", rtd)
+        x, iterations, strategy = SpiceDC(circuit).operating_point()
+        assert strategy in ("direct", "source-stepping", "gmin-stepping")
+        # solution satisfies KCL regardless of the strategy used
+        i_r = (1.3 - x[1]) / 10.0
+        assert rtd.current(x[1]) == pytest.approx(i_r, rel=1e-4)
+
+
+class TestDCSweep:
+    def test_easy_sweep_matches_swec(self, rtd):
+        from repro.circuits_lib import rtd_divider
+        from repro.swec import SwecDC
+        values = np.linspace(0.0, 0.4, 21)  # PDR1 only: both must agree
+        circuit_a, info = rtd_divider(resistance=10.0)
+        circuit_b, _ = rtd_divider(resistance=10.0)
+        spice = SpiceDC(circuit_a).sweep(info.source, values)
+        swec = SwecDC(circuit_b).sweep(info.source, values)
+        assert spice.all_converged
+        assert np.allclose(spice.voltage(info.device_node),
+                           swec.voltage(info.device_node), atol=1e-6)
+
+    def test_bistable_sweep_has_failures_or_jumps(self, bistable_divider):
+        """The NR stress case: with a 300-ohm load line the sweep either
+        fails to converge somewhere or jumps discontinuously (false
+        convergence onto the other branch)."""
+        circuit, info = bistable_divider
+        result = SpiceDC(circuit).sweep(info.source, np.linspace(0, 4, 161))
+        jumps = np.max(np.abs(np.diff(result.voltage(info.device_node))))
+        assert (not result.all_converged) or jumps > 0.3
+
+    def test_empty_sweep_rejected(self, divider):
+        circuit, info = divider
+        with pytest.raises(AnalysisError):
+            SpiceDC(circuit).sweep(info.source, [])
+
+
+class TestTransient:
+    def test_linear_rc_matches_analytic(self, rc_pulse_circuit):
+        engine = SpiceTransient(rc_pulse_circuit,
+                                SpiceOptions(h_initial=0.02e-9))
+        result = engine.run(8e-9)
+        tau = 1e-9
+        t_probe = 4e-9
+        expected = 1.0 - math.exp(-(t_probe - 1.01e-9) / tau)
+        assert result.at(t_probe, "out") == pytest.approx(expected, abs=0.02)
+
+    def test_newton_iterations_recorded(self, rc_pulse_circuit):
+        engine = SpiceTransient(rc_pulse_circuit,
+                                SpiceOptions(h_initial=0.1e-9))
+        result = engine.run(2e-9)
+        assert len(result.iteration_counts) >= result.accepted_steps
+
+    def test_diode_rectifier(self):
+        circuit = Circuit()
+        circuit.add_voltage_source(
+            "Vin", "in", "0",
+            Pulse(-1.0, 1.0, delay=0.0, rise=1e-9, fall=1e-9, width=3e-9,
+                  period=10e-9))
+        circuit.add_resistor("R1", "in", "out", 100.0)
+        circuit.add_device("D1", "out", "0", Diode())
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        options = SpiceOptions(
+            h_initial=0.05e-9,
+            newton=NewtonOptions(max_iterations=100, dv_limit=0.3))
+        result = SpiceTransient(circuit, options).run(10e-9)
+        v_out = result.voltage("out")
+        # forward phase clamps near the diode drop, reverse phase follows
+        assert v_out.max() < 1.0
+        assert v_out.max() > 0.5
+        assert v_out.min() < -0.8
+
+    def test_rejects_nonpositive_t_stop(self, rc_pulse_circuit):
+        with pytest.raises(AnalysisError):
+            SpiceTransient(rc_pulse_circuit).run(-1.0)
+
+    def test_initial_state_override(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "out", "0", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        engine = SpiceTransient(circuit, SpiceOptions(h_initial=0.05e-9))
+        result = engine.run(1e-9, initial_state=np.array([2.0]))
+        assert result.voltage("out")[0] == pytest.approx(2.0)
+        assert result.voltage("out")[-1] < 1.0
+
+
+class TestNdrFailure:
+    """Figs. 2 / 8(c): NR-based simulation fails on bistable nanocircuits.
+
+    On the MOBILE latch (two stacked RTDs, bistable while the clock is
+    high) a large-step NR solve lands on whichever solution branch the
+    iteration happens to reach — *false convergence*.  The physically
+    correct small-signal trajectory (SWEC follows it) keeps the output low
+    while data is low; plain NR mislatches.
+    """
+
+    def _compressed_flipflop(self):
+        from repro.circuits_lib import mobile_dflipflop
+        clock = Pulse(0.0, 1.15, delay=2e-9, rise=0.2e-9, fall=0.2e-9,
+                      width=4.8e-9, period=10e-9)
+        data = DC(0.0)  # data low for ever: q must stay low
+        return mobile_dflipflop(clock=clock, data=data)
+
+    def test_nr_false_convergence_on_mobile_latch(self):
+        circuit, info = self._compressed_flipflop()
+        spice = SpiceTransient(circuit, SpiceOptions(h_initial=0.5e-9))
+        result = spice.run(8e-9)
+        # NR "converges" -- but onto the wrong branch: q latches high
+        # although data is low.
+        q_mid = result.at(6e-9, info.output_node)
+        assert abs(q_mid - info.v_q_low) > 0.3, (
+            "plain NR unexpectedly found the physical branch")
+
+    def test_swec_latches_correctly_where_nr_fails(self):
+        from repro.swec import SwecOptions, SwecTransient
+        from repro.swec.timestep import StepControlOptions
+        circuit, info = self._compressed_flipflop()
+        swec = SwecTransient(circuit, SwecOptions(
+            step=StepControlOptions(epsilon=0.1, h_min=1e-13,
+                                    h_max=0.2e-9, h_initial=1e-12),
+            dv_limit=0.2))
+        result = swec.run(8e-9)
+        assert not result.aborted
+        q_mid = result.at(6e-9, info.output_node)
+        assert q_mid == pytest.approx(info.v_q_low, abs=0.1)

@@ -1,0 +1,249 @@
+"""Tests for circuit-derived SDEs, Monte-Carlo statistics and peak
+prediction (paper Section 4 / Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, PiecewiseLinear
+from repro.circuits_lib import noisy_rc_ladder, noisy_rc_node
+from repro.circuits_lib.noisy_rc import exact_reference
+from repro.errors import AnalysisError
+from repro.stochastic import (
+    CircuitSDE,
+    OrnsteinUhlenbeck,
+    VectorOrnsteinUhlenbeck,
+    euler_maruyama,
+    run_ensemble,
+)
+from repro.stochastic.montecarlo import strong_error_study, weak_error_study
+from repro.stochastic.peak import (
+    brownian_max_cdf,
+    expected_brownian_max,
+    peak_exceedance_probability,
+    predict_peak,
+)
+
+
+class TestCircuitSDE:
+    def test_single_rc_node_matches_ou(self, rng):
+        sde, info = noisy_rc_node(resistance=1e3, capacitance=1e-12,
+                                  drive=1e-4, noise_amplitude=1e-8)
+        exact = exact_reference(info, 1e-4)
+        result = euler_maruyama(sde, [0.0], 5e-9, 500, n_paths=4000,
+                                rng=rng)
+        t = result.times
+        mean_error = np.max(np.abs(result.mean(0) - exact.mean(t)))
+        std_error = np.max(np.abs(result.std(0) - exact.std(t)))
+        assert mean_error < 0.02 * max(abs(exact.mean(5e-9)), 1.0)
+        assert std_error < 0.1 * exact.std(5e-9)
+
+    def test_time_varying_drive(self, rng):
+        ramp = PiecewiseLinear([(0.0, 0.0), (2e-9, 2e-4)])
+        sde, info = noisy_rc_node(drive=ramp, noise_amplitude=0.0)
+        result = euler_maruyama(sde, [0.0], 2e-9, 2000, n_paths=1, rng=rng)
+        # with zero noise the node follows the ramp through the RC
+        final = result.component(0)[0, -1]
+        assert 0.0 < final < 2e-4 * 1e3  # below the settled 0.2 V
+
+    def test_rejects_voltage_sources(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "a", "0", 1.0)
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        circuit.add_capacitor("C1", "a", "0", 1e-12)
+        with pytest.raises(AnalysisError, match="Norton"):
+            CircuitSDE(circuit, [("a", 1e-9)])
+
+    def test_rejects_singular_capacitance(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "b", 1.0)
+        circuit.add_resistor("R2", "b", "0", 1.0)
+        circuit.add_capacitor("C1", "a", "0", 1e-12)  # node b has no cap
+        with pytest.raises(AnalysisError, match="singular"):
+            CircuitSDE(circuit, [("a", 1e-9)])
+
+    def test_rejects_noise_at_ground(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "a", "0", 1.0)
+        circuit.add_capacitor("C1", "a", "0", 1e-12)
+        with pytest.raises(AnalysisError, match="ground"):
+            CircuitSDE(circuit, [("0", 1e-9)])
+
+    def test_stability_of_rc_ladder(self):
+        sde, nodes = noisy_rc_ladder(stages=3)
+        assert sde.is_stable()
+        assert sde.dimension == 3
+
+    def test_ladder_matches_vector_ou(self, rng):
+        sde, nodes = noisy_rc_ladder(stages=2, drive=0.0,
+                                     noise_amplitude=1e-8)
+        t_final = 2e-9
+        result = euler_maruyama(sde, np.zeros(2), t_final, 400,
+                                n_paths=3000, rng=rng)
+        exact = VectorOrnsteinUhlenbeck(sde.drift_matrix(0.0), sde.noise)
+        cov = exact.covariance(t_final)
+        em_var = result.component(1)[:, -1].var(ddof=1)
+        assert em_var == pytest.approx(cov[1, 1], rel=0.15)
+
+    def test_nonlinear_device_linearized(self, rtd, rng):
+        """An RTD in the noisy node makes G time-varying through the
+        chord (paper: 'Since G is time variant, Equation (13) also
+        includes cases with the nonlinear nanodevices')."""
+        circuit = Circuit("noisy-rtd")
+        circuit.add_resistor("R1", "n1", "0", 1e3)
+        circuit.add_capacitor("C1", "n1", "0", 1e-12)
+        circuit.add_device("X1", "n1", "0", rtd)
+        circuit.add_current_source("Id", "0", "n1", 2e-3)
+        sde = CircuitSDE(circuit, [("n1", 1e-9)])
+        operating = np.array([0.25])
+        sde.set_operating_state(operating)
+        result = euler_maruyama(sde, operating, 1e-9, 200, n_paths=200,
+                                rng=rng)
+        assert np.isfinite(result.paths).all()
+        # effective decay includes the RTD chord: faster than plain RC
+        g_chord = rtd.chord_conductance(0.25)
+        a = sde.drift_matrix(0.0)[0, 0]
+        assert a == pytest.approx(-(1e-3 + g_chord) / 1e-12, rel=1e-6)
+
+
+class TestEnsembleStatistics:
+    def test_band_contains_mean(self, rng):
+        sde, _ = noisy_rc_node(drive=1e-4, noise_amplitude=1e-8)
+        stats = run_ensemble(sde, [0.0], 3e-9, 300, n_paths=600, rng=rng)
+        assert np.all(stats.lower <= stats.mean + 1e-12)
+        assert np.all(stats.mean <= stats.upper + 1e-12)
+
+    def test_standard_error_scales(self, rng):
+        sde, _ = noisy_rc_node(drive=0.0, noise_amplitude=1e-8)
+        small = run_ensemble(sde, [0.0], 2e-9, 100, n_paths=100, rng=rng)
+        large = run_ensemble(sde, [0.0], 2e-9, 100, n_paths=1600, rng=rng)
+        ratio = small.standard_error[-1] / large.standard_error[-1]
+        assert ratio == pytest.approx(4.0, rel=0.5)
+
+    def test_confidence_validation(self, rng):
+        sde, _ = noisy_rc_node()
+        with pytest.raises(AnalysisError):
+            run_ensemble(sde, [0.0], 1e-9, 10, n_paths=10, confidence=1.5)
+
+
+class TestConvergenceStudies:
+    def test_weak_order_one(self, rng):
+        """EM weak error shrinks roughly linearly in dt."""
+        from repro.stochastic import LinearSDE
+        sde = LinearSDE([[-1.0]], [[0.4]], drift_offset=[1.0])
+        exact = OrnsteinUhlenbeck(1.0, 0.4, 1.0).mean(1.0)
+        errors = weak_error_study(sde, [0.0], 1.0, float(exact),
+                                  step_counts=(8, 64), n_paths=20000,
+                                  rng=rng)
+        assert errors[64] < errors[8]
+
+    def test_strong_error_decreases_with_dt(self, rng):
+        from repro.stochastic import LinearSDE
+        sde = LinearSDE([[-1.0]], [[0.4]], drift_offset=[1.0])
+        errors = strong_error_study(sde, [0.0], 1.0, fine_steps=256,
+                                    coarsenings=(4, 16, 64),
+                                    n_paths=200, rng=rng)
+        assert errors[4] < errors[16] < errors[64]
+
+    def test_strong_study_validates_divisibility(self, rng):
+        from repro.stochastic import LinearSDE
+        sde = LinearSDE([[-1.0]], [[0.4]])
+        with pytest.raises(AnalysisError):
+            strong_error_study(sde, [0.0], 1.0, fine_steps=100,
+                               coarsenings=(3,), rng=rng)
+
+
+class TestPeakPrediction:
+    def test_brownian_max_cdf_properties(self):
+        assert brownian_max_cdf(-1.0, 1.0) == 0.0
+        assert brownian_max_cdf(0.0, 1.0) == 0.0
+        assert 0.0 < brownian_max_cdf(1.0, 1.0) < 1.0
+        assert brownian_max_cdf(100.0, 1.0) == pytest.approx(1.0)
+
+    def test_expected_brownian_max_formula(self):
+        assert expected_brownian_max(1.0, 1.0) == pytest.approx(
+            np.sqrt(2.0 / np.pi))
+
+    def test_mc_matches_reflection_principle(self, rng):
+        """Driftless noise-only node over a window << RC behaves like
+        Brownian motion: the MC peak mean must match sigma*sqrt(2T/pi)."""
+        from repro.stochastic import LinearSDE
+        sigma = 0.3
+        sde = LinearSDE([[-1e-3]], [[sigma]])  # negligible decay
+        prediction, peaks = predict_peak(sde, [0.0], 0.0, 1.0, 2000,
+                                         n_paths=3000, rng=rng)
+        assert prediction.mean_peak == pytest.approx(
+            expected_brownian_max(1.0, sigma), rel=0.05)
+
+    def test_exceedance_probability(self, rng):
+        from repro.stochastic import LinearSDE
+        sde = LinearSDE([[-1e-3]], [[0.3]])
+        result = euler_maruyama(sde, [0.0], 1.0, 500, n_paths=2000,
+                                rng=rng)
+        p_low = peak_exceedance_probability(result, 0.01, 0.0, 1.0)
+        p_high = peak_exceedance_probability(result, 1.5, 0.0, 1.0)
+        assert p_low > 0.9
+        assert p_high < 0.01
+        # consistency with the reflection-principle CDF
+        expected = 1.0 - brownian_max_cdf(0.6, 1.0, 0.3)
+        measured = peak_exceedance_probability(result, 0.6, 0.0, 1.0)
+        assert measured == pytest.approx(expected, abs=0.05)
+
+    def test_quantiles_ordered(self, rng):
+        from repro.stochastic import LinearSDE
+        sde = LinearSDE([[-1.0]], [[0.5]])
+        prediction, _ = predict_peak(sde, [0.0], 0.2, 1.0, 400,
+                                     n_paths=500, rng=rng)
+        assert (prediction.quantile_50 <= prediction.quantile_95
+                <= prediction.quantile_99)
+
+    def test_validation(self, rng):
+        from repro.stochastic import LinearSDE
+        sde = LinearSDE([[-1.0]], [[0.5]])
+        with pytest.raises(AnalysisError):
+            predict_peak(sde, [0.0], 1.0, 0.5, 10, rng=rng)
+        with pytest.raises(AnalysisError):
+            brownian_max_cdf(1.0, -1.0)
+        with pytest.raises(AnalysisError):
+            expected_brownian_max(1.0, 0.0)
+
+
+class TestAnalyticOU:
+    def test_autocovariance_symmetry(self):
+        ou = OrnsteinUhlenbeck(2.0, 0.5)
+        assert ou.autocovariance(0.5, 1.0) == pytest.approx(
+            ou.autocovariance(1.0, 0.5))
+
+    def test_autocovariance_at_equal_times_is_variance(self):
+        ou = OrnsteinUhlenbeck(2.0, 0.5)
+        assert ou.autocovariance(0.7, 0.7) == pytest.approx(
+            float(ou.variance(0.7)))
+
+    def test_from_rc_mapping(self):
+        ou = OrnsteinUhlenbeck.from_rc(1e3, 1e-12, 1e-8, 1e-4)
+        assert ou.decay_rate == pytest.approx(1e9)
+        assert ou.noise_amplitude == pytest.approx(1e4)
+        assert ou.drift_level == pytest.approx(1e8)
+
+    def test_settled_mean_is_ir_drop(self):
+        ou = OrnsteinUhlenbeck.from_rc(1e3, 1e-12, 0.0, 1e-4)
+        assert float(ou.mean(1e-6)) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            OrnsteinUhlenbeck(0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            OrnsteinUhlenbeck(1.0, -1.0)
+        with pytest.raises(AnalysisError):
+            OrnsteinUhlenbeck.from_rc(-1.0, 1.0, 1.0)
+
+    def test_vector_ou_covariance_quadrature_validation(self):
+        exact = VectorOrnsteinUhlenbeck([[-1.0]], [[1.0]])
+        with pytest.raises(AnalysisError):
+            exact.covariance(1.0, quadrature_points=4)
+
+    def test_vector_ou_scalar_case_matches_scalar_ou(self):
+        scalar = OrnsteinUhlenbeck(2.0, 0.5, 1.0)
+        vector = VectorOrnsteinUhlenbeck([[-2.0]], [[0.5]], [1.0])
+        assert vector.mean(1.3)[0] == pytest.approx(float(scalar.mean(1.3)))
+        assert vector.std(1.3) == pytest.approx(float(scalar.std(1.3)),
+                                                rel=1e-4)

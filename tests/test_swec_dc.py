@@ -1,0 +1,163 @@
+"""Tests for the SWEC DC engine (paper Section 5.1, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits_lib import nanowire_divider, rtd_divider
+from repro.errors import AnalysisError
+from repro.swec import SwecDC
+from repro.swec.dc import SwecDCOptions
+
+
+class TestFixedPointSweep:
+    def test_converges_everywhere(self, divider):
+        circuit, info = divider
+        result = SwecDC(circuit).sweep(info.source, np.linspace(0, 2.5, 51))
+        assert result.all_converged
+
+    def test_captures_rtd_peak(self, divider, rtd):
+        """Fig. 7(a): the swept device I-V shows the resonance peak."""
+        circuit, info = divider
+        dc = SwecDC(circuit)
+        result = dc.sweep(info.source, np.linspace(0, 2.6, 201))
+        v = dc.device_voltages(result, info.device)
+        i = dc.device_currents(result, info.device)
+        k = int(np.argmax(i))
+        v_peak, i_peak = rtd.peak()
+        assert v[k] == pytest.approx(v_peak, abs=0.03)
+        assert i[k] == pytest.approx(i_peak, rel=0.02)
+
+    def test_tracks_ndr_branch(self, divider, rtd):
+        """With a small series R the sweep passes through the NDR region
+        continuously (the paper's 'captures the negative resistance
+        region very closely')."""
+        circuit, info = divider
+        dc = SwecDC(circuit)
+        result = dc.sweep(info.source, np.linspace(0, 2.6, 261))
+        v = dc.device_voltages(result, info.device)
+        v_peak, v_valley = rtd.ndr_region()
+        inside = (v > v_peak) & (v < v_valley)
+        assert inside.sum() > 20  # many operating points inside NDR
+        assert np.all(np.diff(v) > -1e-6)  # continuous, no jumps back
+
+    def test_device_current_matches_resistor_current(self, divider):
+        """KCL check: device current == (Vs - Vout)/R at every point."""
+        circuit, info = divider
+        dc = SwecDC(circuit)
+        values = np.linspace(0.1, 2.5, 25)
+        result = dc.sweep(info.source, values)
+        i_device = dc.device_currents(result, info.device)
+        v_out = result.voltage(info.device_node)
+        i_resistor = (values - v_out) / 10.0
+        assert np.allclose(i_device, i_resistor, rtol=1e-6, atol=1e-9)
+
+    def test_unknown_source_raises(self, divider):
+        circuit, _ = divider
+        with pytest.raises(AnalysisError):
+            SwecDC(circuit).sweep("Vxx", [1.0])
+
+    def test_unknown_device_raises(self, divider):
+        circuit, info = divider
+        dc = SwecDC(circuit)
+        result = dc.sweep(info.source, [1.0])
+        with pytest.raises(AnalysisError):
+            dc.device_currents(result, "nope")
+        with pytest.raises(AnalysisError):
+            dc.device_voltages(result, "nope")
+
+    def test_empty_sweep_rejected(self, divider):
+        circuit, info = divider
+        with pytest.raises(AnalysisError):
+            SwecDC(circuit).sweep(info.source, [])
+
+
+class TestStepwiseMode:
+    def test_stepwise_close_to_fixed_point_off_the_knees(self, rtd):
+        circuit_a, info = rtd_divider(resistance=10.0)
+        circuit_b, _ = rtd_divider(resistance=10.0)
+        values = np.linspace(0.0, 2.5, 501)
+        fixed = SwecDC(circuit_a).sweep(info.source, values)
+        stepwise = SwecDC(
+            circuit_b,
+            SwecDCOptions(mode="stepwise", stepwise_solves=1),
+        ).sweep(info.source, values)
+        v_fp = fixed.voltage(info.device_node)
+        v_sw = stepwise.voltage(info.device_node)
+        v_peak, v_valley = rtd.ndr_region()
+        # compare away from the NDR knees where one-solve lag is largest
+        mask = (v_fp < v_peak - 0.05) | (v_fp > v_valley + 0.05)
+        assert np.max(np.abs(v_fp[mask] - v_sw[mask])) < 0.02
+
+    def test_stepwise_iteration_count_is_exact(self, divider):
+        circuit, info = divider
+        options = SwecDCOptions(mode="stepwise", stepwise_solves=2)
+        result = SwecDC(circuit, options).sweep(info.source,
+                                                np.linspace(0, 1, 11))
+        assert result.iteration_counts == [2] * 11
+
+    def test_stepwise_one_factorization_per_solve(self, divider):
+        circuit, info = divider
+        options = SwecDCOptions(mode="stepwise", stepwise_solves=1)
+        result = SwecDC(circuit, options).sweep(info.source,
+                                                np.linspace(0, 1, 11))
+        assert result.flops.factorizations == 11
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            SwecDCOptions(mode="warp")
+        with pytest.raises(ValueError):
+            SwecDCOptions(stepwise_solves=0)
+        with pytest.raises(ValueError):
+            SwecDCOptions(tolerance=-1.0)
+        with pytest.raises(ValueError):
+            SwecDCOptions(max_iterations=0)
+        with pytest.raises(ValueError):
+            SwecDCOptions(initial_damping=2.0)
+
+
+class TestNanowireSweep:
+    def test_fig7b_nanowire_iv(self, nanowire):
+        """Fig. 7(b): SWEC traces the quantum-wire staircase I-V."""
+        circuit, info = nanowire_divider(resistance=1e4)
+        dc = SwecDC(circuit)
+        result = dc.sweep(info.source, np.linspace(0, 3.0, 121))
+        assert result.all_converged
+        i = dc.device_currents(result, info.device)
+        assert np.all(np.diff(i) > -1e-12)  # monotone current
+        v = dc.device_voltages(result, info.device)
+        # conductance staircase visible: dI/dV varies by > 3x over sweep
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = np.gradient(i, v)
+        g = g[np.isfinite(g)]
+        assert g.max() / max(g.min(), 1e-12) > 3.0
+
+    def test_divider_actually_divides(self):
+        circuit, info = nanowire_divider(resistance=1e4)
+        dc = SwecDC(circuit)
+        result = dc.sweep(info.source, [2.0])
+        v_device = dc.device_voltages(result, info.device)[0]
+        assert 0.1 < v_device < 1.9
+
+
+class TestCurrentSourceSweep:
+    def test_current_driven_rtd(self, rtd):
+        from repro.circuit import Circuit
+        circuit = Circuit("i-driven")
+        circuit.add_current_source("Is", "0", "out", 0.0)
+        circuit.add_resistor("Rsh", "out", "0", 1e3)
+        circuit.add_device("X1", "out", "0", rtd)
+        dc = SwecDC(circuit)
+        # stay below the peak current: unique solution
+        result = dc.sweep("Is", np.linspace(0.0, 3e-3, 16))
+        assert result.all_converged
+        v = result.voltage("out")
+        assert np.all(np.diff(v) > 0.0)
+
+    def test_current_sweep_overrides_waveform_value(self, rtd):
+        from repro.circuit import Circuit
+        circuit = Circuit("i-driven")
+        circuit.add_current_source("Is", "0", "out", 5e-3)  # nonzero t=0
+        circuit.add_resistor("Rsh", "out", "0", 100.0)
+        dc = SwecDC(circuit)
+        result = dc.sweep("Is", [1e-3])
+        assert result.voltage("out")[0] == pytest.approx(0.1)

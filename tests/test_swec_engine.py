@@ -1,0 +1,243 @@
+"""Tests for the SWEC transient engine — the paper's core contribution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, DC, Pulse
+from repro.devices import SCHULMAN_INGAAS, SchulmanRTD
+from repro.errors import AnalysisError
+from repro.swec import SwecOptions, SwecTransient
+from repro.swec.timestep import StepControlOptions
+
+
+def swec_options(**kwargs):
+    step = StepControlOptions(epsilon=0.05, h_min=1e-13, h_max=0.5e-9,
+                              h_initial=1e-12)
+    return SwecOptions(step=step, **kwargs)
+
+
+class TestLinearCircuits:
+    """SWEC on linear circuits must match analytic answers exactly
+    (no chords involved — validates the integrator substrate)."""
+
+    def test_rc_step_response(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        result = engine.run(11e-9)
+        tau = 1e3 * 1e-12
+        # input steps at 1 ns; examine 6 ns into the charge (6 tau)
+        t_probe = 7e-9
+        expected = 1.0 * (1.0 - math.exp(-(t_probe - 1.01e-9) / tau))
+        assert result.at(t_probe, "out") == pytest.approx(expected, abs=0.02)
+
+    def test_rc_reaches_steady_state(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        result = engine.run(15e-9)
+        assert result.at(15e-9, "out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_dc_initialization_starts_settled(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", DC(2.0))
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        engine = SwecTransient(circuit, swec_options())
+        result = engine.run(1e-9)
+        assert result.voltage("out")[0] == pytest.approx(2.0, abs=1e-6)
+        assert np.allclose(result.voltage("out"), 2.0, atol=1e-6)
+
+    def test_without_dc_initialization_charges_from_zero(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", DC(2.0))
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        engine = SwecTransient(circuit, swec_options(initialize_dc=False))
+        result = engine.run(10e-9)
+        assert result.voltage("out")[0] == 0.0
+        assert result.at(10e-9, "out") == pytest.approx(2.0, abs=0.01)
+
+    def test_capacitor_initial_condition_respected(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "out", "0", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-12, initial_voltage=3.0)
+        engine = SwecTransient(circuit, swec_options(initialize_dc=False))
+        result = engine.run(5e-9)
+        tau = 1e-9
+        assert result.voltage("out")[0] == pytest.approx(3.0)
+        assert result.at(3e-9, "out") == pytest.approx(
+            3.0 * math.exp(-3.0), abs=0.02)
+
+    def test_rl_circuit_current_rise(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", DC(1.0))
+        circuit.add_resistor("R1", "in", "mid", 100.0)
+        circuit.add_inductor("L1", "mid", "0", 1e-6)
+        engine = SwecTransient(circuit, swec_options(initialize_dc=False))
+        result = engine.run(50e-9)
+        # i_L(t) = (V/R)(1 - e^{-tR/L}); tau = 10 ns
+        from repro.mna import MnaSystem
+        system = engine.system
+        row = system.inductor_index("L1")
+        i_final = result.states[-1][row]
+        expected = (1.0 / 100.0) * (1.0 - math.exp(-50e-9 * 100.0 / 1e-6))
+        assert i_final == pytest.approx(expected, rel=0.02)
+
+
+class TestNonlinearBehaviour:
+    def test_rtd_divider_transient_tracks_dc(self, divider):
+        """Slow ramp through the NDR: transient must follow the DC curve."""
+        circuit, info = divider
+        # replace the source with a slow (vs tau ~ 0.01 ns) ramp 0 -> 2 V
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 2.0, delay=0.0, rise=5e-9, fall=5e-9, width=2e-9,
+            period=1e-3)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        options = swec_options()
+        options.step.h_min = 1e-12
+        engine = SwecTransient(circuit, options)
+        result = engine.run(4.5e-9)
+        assert not result.aborted
+        assert result.convergence_failures == 0
+        # at t=4.5ns the ramp is at 1.8 V; DC solution from SwecDC
+        from repro.swec import SwecDC
+        from repro.circuits_lib import rtd_divider
+        ref_circuit, ref_info = rtd_divider(resistance=10.0)
+        dc = SwecDC(ref_circuit).sweep("Vs", [1.8])
+        assert result.at(4.5e-9, info.device_node) == pytest.approx(
+            dc.voltage(ref_info.device_node)[0], abs=0.02)
+
+    def test_never_aborts_on_ndr(self, divider):
+        """The headline SWEC claim: no convergence failure, ever."""
+        circuit, info = divider
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 2.5, delay=0.5e-9, rise=0.3e-9, fall=0.3e-9, width=2e-9,
+            period=20e-9)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        options = swec_options()
+        options.step.h_min = 1e-12
+        engine = SwecTransient(circuit, options)
+        result = engine.run(5e-9)
+        assert not result.aborted
+        assert result.convergence_failures == 0
+
+    def test_conductance_trace_is_positive(self, divider):
+        circuit, info = divider
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 2.5, delay=0.5e-9, rise=0.2e-9, fall=0.2e-9, width=3e-9,
+            period=10e-9)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        options = swec_options(trace_conductance=True)
+        options.step.h_min = 1e-12
+        engine = SwecTransient(circuit, options)
+        result = engine.run(5e-9)
+        trace = result.conductance_trace
+        assert len(trace) > 100
+        for _, conductances in trace:
+            assert (conductances >= 0.0).all()
+
+    def test_device_current_waveform(self, divider):
+        circuit, info = divider
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        circuit.voltage_sources[0].waveform = DC(1.0)
+        options = swec_options()
+        options.step.h_min = 1e-12
+        engine = SwecTransient(circuit, options)
+        result = engine.run(1e-9)
+        currents = engine.device_current_waveform(result, info.device)
+        assert currents.shape == result.times.shape
+        assert (currents >= 0.0).all()
+        with pytest.raises(AnalysisError):
+            engine.device_current_waveform(result, "nope")
+
+
+class TestEngineOptions:
+    def test_rejects_nonpositive_t_stop(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        with pytest.raises(AnalysisError):
+            engine.run(0.0)
+
+    def test_rejects_bad_initial_state_shape(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        with pytest.raises(AnalysisError):
+            engine.run(1e-9, initial_state=np.zeros(99))
+
+    def test_explicit_initial_state_used(self):
+        circuit = Circuit()
+        circuit.add_resistor("R1", "out", "0", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        engine = SwecTransient(circuit, swec_options())
+        result = engine.run(1e-10, initial_state=np.array([5.0]))
+        assert result.voltage("out")[0] == pytest.approx(5.0)
+
+    def test_max_points_abort(self, rc_pulse_circuit):
+        options = swec_options()
+        options.max_points = 10
+        engine = SwecTransient(rc_pulse_circuit, options)
+        result = engine.run(11e-9)
+        assert result.aborted
+        assert "max_points" in result.abort_reason
+
+    def test_dv_limit_rejects_steps(self):
+        # Start far from equilibrium with a step comparable to tau: the
+        # first solve jumps several volts, which dv_limit must reject.
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", DC(5.0))
+        circuit.add_resistor("R1", "in", "out", 1e3)
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        options = SwecOptions(
+            step=StepControlOptions(epsilon=1.0, h_min=1e-12,
+                                    h_max=1e-9, h_initial=1e-9),
+            initialize_dc=False, dv_limit=0.5)
+        engine = SwecTransient(circuit, options)
+        result = engine.run(10e-9)
+        assert result.rejected_steps > 0
+        assert not result.aborted
+        assert result.at(10e-9, "out") == pytest.approx(5.0, abs=0.05)
+
+    def test_predictor_toggle_changes_nothing_catastrophic(self, divider):
+        """Predictor on/off must both track the same trajectory."""
+        from repro.circuits_lib import rtd_divider
+        results = []
+        for use in (True, False):
+            circuit, info = rtd_divider(resistance=10.0)
+            circuit.add_capacitor("Cp", info.device_node, "0", 1e-13)
+            circuit.voltage_sources[0].waveform = Pulse(
+                0.0, 1.5, delay=0.2e-9, rise=0.5e-9, fall=0.5e-9,
+                width=3e-9, period=10e-9)
+            engine = SwecTransient(circuit, swec_options(use_predictor=use))
+            results.append(engine.run(4e-9))
+        grid = np.linspace(0.3e-9, 4e-9, 100)
+        a = results[0].resample(grid, "out")
+        b = results[1].resample(grid, "out")
+        assert np.max(np.abs(a - b)) < 0.05
+
+
+class TestStepAdaptivity:
+    def test_steps_shrink_during_edges(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        result = engine.run(5e-9)
+        times = result.times
+        steps = result.step_sizes()
+        # steps while the input ramps (1.0 to 1.01 ns) vs plateau (3-4 ns)
+        during_edge = steps[(times[:-1] >= 1.0e-9) & (times[:-1] < 1.01e-9)]
+        during_flat = steps[(times[:-1] >= 3e-9) & (times[:-1] < 4e-9)]
+        assert during_edge.mean() < during_flat.mean()
+
+    def test_breakpoints_are_hit_exactly(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        result = engine.run(5e-9)
+        times = result.times
+        assert np.min(np.abs(times - 1e-9)) < 1e-15
+
+    def test_final_time_reached_exactly(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        result = engine.run(5e-9)
+        assert result.t_final == pytest.approx(5e-9, rel=1e-9)
+
+    def test_flops_accumulated(self, rc_pulse_circuit):
+        engine = SwecTransient(rc_pulse_circuit, swec_options())
+        result = engine.run(2e-9)
+        assert result.flops.total > 0
+        # One factorization per accepted step plus the DC initialization.
+        assert result.flops.factorizations >= result.accepted_steps
+        assert result.flops.factorizations <= result.accepted_steps + 200

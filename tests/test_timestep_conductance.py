@@ -1,0 +1,215 @@
+"""Unit tests for SWEC step control (eqs. 10-12) and linearization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, DC, Pulse
+from repro.mna import MnaSystem
+from repro.swec.conductance import SwecLinearization
+from repro.swec.timestep import AdaptiveStepController, StepControlOptions
+from repro.devices import SCHULMAN_INGAAS, SchulmanRTD, nmos
+
+
+def rc_circuit(slope_source=True):
+    circuit = Circuit()
+    waveform = (Pulse(0.0, 1.0, delay=1e-9, rise=1e-9, fall=1e-9,
+                      width=5e-9, period=20e-9)
+                if slope_source else DC(1.0))
+    circuit.add_voltage_source("Vin", "in", "0", waveform)
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-12)
+    return circuit
+
+
+class TestStepControlOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepControlOptions(epsilon=0.0)
+        with pytest.raises(ValueError):
+            StepControlOptions(h_min=0.0)
+        with pytest.raises(ValueError):
+            StepControlOptions(h_min=1.0, h_max=0.5)
+        with pytest.raises(ValueError):
+            StepControlOptions(growth_limit=1.0)
+
+
+class TestSlopeBound:
+    """Paper eq. 11: h <= 3 eps |V| / alpha."""
+
+    def test_infinite_when_sources_flat(self):
+        system = MnaSystem(rc_circuit(slope_source=False))
+        controller = AdaptiveStepController(system)
+        assert controller.slope_bound(0.0) == math.inf
+
+    def test_formula_during_ramp(self):
+        system = MnaSystem(rc_circuit())
+        options = StepControlOptions(epsilon=0.02, voltage_floor=1e-3)
+        controller = AdaptiveStepController(system, options)
+        t = 1.5e-9  # mid-rise: value 0.5 V, slope 1 V/ns
+        expected = 3.0 * 0.02 * 0.5 / 1e9
+        assert controller.slope_bound(t) == pytest.approx(expected)
+
+    def test_voltage_floor_prevents_collapse(self):
+        system = MnaSystem(rc_circuit())
+        options = StepControlOptions(epsilon=0.02, voltage_floor=1e-3)
+        controller = AdaptiveStepController(system, options)
+        t = 1.0e-9 + 1e-15  # source value ~0 but slope nonzero
+        expected = 3.0 * 0.02 * 1e-3 / 1e9
+        assert controller.slope_bound(t) == pytest.approx(expected, rel=1e-3)
+
+
+class TestNodeRcBound:
+    """Paper eq. 12: h <= eps C_j / sum_k G_jk."""
+
+    def test_formula(self):
+        system = MnaSystem(rc_circuit(slope_source=False))
+        options = StepControlOptions(epsilon=0.02)
+        controller = AdaptiveStepController(system, options)
+        g = system.conductance_base()
+        expected = 0.02 * 1e-12 / 1e-3  # C=1p, G=1m at node 'out'
+        assert controller.node_rc_bound(g) == pytest.approx(expected)
+
+    def test_tighter_with_device_conductance(self, rtd):
+        circuit = rc_circuit(slope_source=False)
+        circuit.add_device("X1", "out", "0", rtd)
+        system = MnaSystem(circuit)
+        controller = AdaptiveStepController(system, StepControlOptions())
+        linearization = SwecLinearization(system)
+        state = np.zeros(system.size)
+        state[system.node_index("out")] = 0.3
+        g_with_device = linearization.conductance_matrix(
+            system.conductance_base(), state)
+        assert (controller.node_rc_bound(g_with_device)
+                < controller.node_rc_bound(system.conductance_base()))
+
+    def test_infinite_without_capacitors(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("V1", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "0", 1.0)
+        system = MnaSystem(circuit)
+        controller = AdaptiveStepController(system)
+        assert controller.node_rc_bound(
+            system.conductance_base()) == math.inf
+
+
+class TestNextStep:
+    def test_growth_limited(self):
+        system = MnaSystem(rc_circuit(slope_source=False))
+        options = StepControlOptions(epsilon=100.0, growth_limit=2.0,
+                                     h_max=1e-6)
+        controller = AdaptiveStepController(system, options)
+        g = system.conductance_base()
+        h = controller.next_step(2e-9, 1e-12, g, 1e-3)
+        assert h <= 2e-12 * (1.0 + 1e-12)
+
+    def test_clamped_to_h_max(self):
+        system = MnaSystem(rc_circuit(slope_source=False))
+        options = StepControlOptions(epsilon=1e9, h_max=1e-10,
+                                     growth_limit=1e9)
+        controller = AdaptiveStepController(system, options)
+        g = system.conductance_base()
+        assert controller.next_step(0.0, 1e-10, g, 1.0) <= 1e-10
+
+    def test_lands_on_breakpoint(self):
+        system = MnaSystem(rc_circuit(slope_source=True))
+        options = StepControlOptions(epsilon=10.0, h_max=1e-8)
+        controller = AdaptiveStepController(system, options)
+        g = system.conductance_base()
+        h = controller.next_step(0.5e-9, 1e-8, g, 100e-9)
+        assert 0.5e-9 + h == pytest.approx(1e-9)  # the pulse delay edge
+
+    def test_never_oversteps_t_stop(self):
+        system = MnaSystem(rc_circuit(slope_source=False))
+        controller = AdaptiveStepController(system, StepControlOptions(
+            epsilon=1e9, h_max=1.0, growth_limit=1e9))
+        g = system.conductance_base()
+        h = controller.next_step(0.9e-9, 1.0, g, 1e-9)
+        assert h == pytest.approx(0.1e-9)
+
+    def test_initial_step_defaults(self):
+        system = MnaSystem(rc_circuit(slope_source=False))
+        controller = AdaptiveStepController(system, StepControlOptions())
+        assert controller.initial_step(1e-6) == pytest.approx(1e-10)
+        controller2 = AdaptiveStepController(
+            system, StepControlOptions(h_initial=5e-12))
+        assert controller2.initial_step(1e-6) == 5e-12
+
+
+class TestLinearization:
+    def _rtd_system(self, rtd):
+        circuit = Circuit()
+        circuit.add_voltage_source("Vs", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "out", 10.0)
+        circuit.add_device("X1", "out", "0", rtd)
+        circuit.add_capacitor("C1", "out", "0", 1e-12)
+        return MnaSystem(circuit)
+
+    def test_device_voltage_extraction(self, rtd):
+        system = self._rtd_system(rtd)
+        linearization = SwecLinearization(system)
+        state = np.zeros(system.size)
+        state[system.node_index("out")] = 0.42
+        assert linearization.device_voltages(state)[0] == pytest.approx(0.42)
+
+    def test_chord_stamped_symmetrically(self, rtd):
+        system = self._rtd_system(rtd)
+        linearization = SwecLinearization(system)
+        state = np.zeros(system.size)
+        state[system.node_index("out")] = 0.42
+        g = linearization.conductance_matrix(
+            system.conductance_base(), state)
+        base = system.conductance_base()
+        out = system.node_index("out")
+        chord = rtd.chord_conductance(0.42)
+        assert g[out, out] - base[out, out] == pytest.approx(chord)
+
+    def test_predictor_shifts_conductance(self, rtd):
+        system = self._rtd_system(rtd)
+        linearization = SwecLinearization(system, use_predictor=True)
+        out = system.node_index("out")
+        state = np.zeros(system.size)
+        prev = np.zeros(system.size)
+        state[out] = 0.45
+        prev[out] = 0.40   # device voltage rising
+        h = 1e-12
+        with_predictor = linearization.device_conductances(
+            state, prev, h_prev=h, h_next=h)
+        without = linearization.device_conductances(state)
+        dv_dt = (0.45 - 0.40) / h
+        expected_shift = 0.5 * h * rtd.chord_conductance_derivative(0.45) * dv_dt
+        assert with_predictor[0] - without[0] == pytest.approx(
+            expected_shift, rel=1e-6)
+
+    def test_predictor_clamps_to_nonnegative(self, rtd):
+        system = self._rtd_system(rtd)
+        linearization = SwecLinearization(system, use_predictor=True)
+        out = system.node_index("out")
+        state = np.zeros(system.size)
+        prev = np.zeros(system.size)
+        # huge voltage slew downward through the NDR to force a negative
+        # extrapolation
+        state[out] = 0.6
+        prev[out] = 2.5
+        conductances = linearization.device_conductances(
+            state, prev, h_prev=1e-15, h_next=1e-9)
+        assert conductances[0] >= 0.0
+
+    def test_mosfet_voltages_and_conductance(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("Vd", "d", "0", 3.0)
+        circuit.add_voltage_source("Vg", "g", "0", 2.0)
+        model = nmos()
+        circuit.add_mosfet("M1", "d", "g", "0", model)
+        circuit.add_capacitor("Cd", "d", "0", 1e-12)
+        system = MnaSystem(circuit)
+        linearization = SwecLinearization(system)
+        state = np.zeros(system.size)
+        state[system.node_index("d")] = 3.0
+        state[system.node_index("g")] = 2.0
+        vgs_vds = linearization.mosfet_voltages(state)
+        assert vgs_vds[0, 0] == pytest.approx(2.0)
+        assert vgs_vds[0, 1] == pytest.approx(3.0)
+        g = linearization.mosfet_conductances(state)
+        assert g[0] == pytest.approx(model.chord_conductance(2.0, 3.0))

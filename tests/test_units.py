@@ -1,0 +1,131 @@
+"""Tests for engineering-notation parsing and formatting."""
+
+import math
+
+import pytest
+
+from repro.units import format_value, parse_value
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("42") == 42.0
+
+    def test_float_passthrough(self):
+        assert parse_value(3.3) == 3.3
+
+    def test_int_passthrough(self):
+        assert parse_value(7) == 7.0
+
+    def test_kilo(self):
+        assert parse_value("4.7k") == pytest.approx(4700.0)
+
+    def test_mega_is_meg_not_m(self):
+        assert parse_value("10meg") == pytest.approx(10e6)
+
+    def test_milli(self):
+        assert parse_value("10m") == pytest.approx(10e-3)
+
+    def test_micro(self):
+        assert parse_value("2.2u") == pytest.approx(2.2e-6)
+
+    def test_nano(self):
+        assert parse_value("100n") == pytest.approx(100e-9)
+
+    def test_pico_with_unit_letter(self):
+        assert parse_value("10pF") == pytest.approx(10e-12)
+
+    def test_femto(self):
+        assert parse_value("5f") == pytest.approx(5e-15)
+
+    def test_giga(self):
+        assert parse_value("1g") == pytest.approx(1e9)
+
+    def test_tera(self):
+        assert parse_value("2t") == pytest.approx(2e12)
+
+    def test_mil(self):
+        assert parse_value("1mil") == pytest.approx(25.4e-6)
+
+    def test_scientific_notation(self):
+        assert parse_value("1.5e-9") == pytest.approx(1.5e-9)
+
+    def test_scientific_with_suffix_ignored_as_unit(self):
+        # "1e3" is scientific, not engineering
+        assert parse_value("1e3") == pytest.approx(1000.0)
+
+    def test_negative(self):
+        assert parse_value("-3.3k") == pytest.approx(-3300.0)
+
+    def test_leading_dot(self):
+        assert parse_value(".5u") == pytest.approx(0.5e-6)
+
+    def test_unit_only_letters_are_ignored(self):
+        assert parse_value("5V") == 5.0
+
+    def test_case_insensitive(self):
+        assert parse_value("1K") == pytest.approx(1000.0)
+        assert parse_value("10MEG") == pytest.approx(10e6)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_value("")
+
+    def test_whitespace_tolerated(self):
+        assert parse_value("  4.7k ") == pytest.approx(4700.0)
+
+
+class TestFormatValue:
+    def test_zero(self):
+        assert format_value(0.0, "F") == "0F"
+
+    def test_kilo(self):
+        assert format_value(4700.0, "Ohm") == "4.7kOhm"
+
+    def test_pico(self):
+        assert format_value(1e-11, "F") == "10pF"
+
+    def test_unity(self):
+        assert format_value(5.0, "V") == "5V"
+
+    def test_negative(self):
+        assert format_value(-3300.0) == "-3.3k"
+
+    def test_sub_femto_clamps_to_femto(self):
+        text = format_value(1e-18, "F")
+        assert text.endswith("fF")
+
+    def test_roundtrip_through_parse(self):
+        for value in (1.0, 4700.0, 2.2e-6, 1e-11, 3e8, 5e6):
+            formatted = format_value(value)
+            assert parse_value(formatted) == pytest.approx(value, rel=1e-3)
+
+    def test_mega_formats_as_meg(self):
+        # A bare "M" would reparse as milli under the SPICE convention.
+        assert format_value(5e6).lower().endswith("meg")
+
+
+class TestConstants:
+    def test_thermal_voltage_room_temperature(self):
+        from repro.constants import thermal_voltage
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly(self):
+        from repro.constants import thermal_voltage
+        assert thermal_voltage(600.0) == pytest.approx(
+            2.0 * thermal_voltage(300.0))
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        from repro.constants import thermal_voltage
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            thermal_voltage(-10.0)
+
+    def test_conductance_quantum(self):
+        from repro.constants import CONDUCTANCE_QUANTUM
+        assert CONDUCTANCE_QUANTUM == pytest.approx(7.748e-5, rel=1e-3)

@@ -1,0 +1,138 @@
+"""Tests for Wiener process sampling and Ito/Stratonovich sums."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic.ito import (
+    ito_integral,
+    ito_w_dw_exact,
+    midpoint_integral,
+    stratonovich_integral,
+    stratonovich_w_dw_exact,
+)
+from repro.stochastic.wiener import WienerProcess, brownian_bridge
+
+
+class TestWienerProcess:
+    def test_paths_start_at_zero(self, rng):
+        w = WienerProcess(1.0, 100, rng)
+        paths = w.sample(5)
+        assert np.all(paths[:, 0] == 0.0)
+
+    def test_shapes(self, rng):
+        w = WienerProcess(2.0, 50, rng)
+        assert w.sample(3).shape == (3, 51)
+        assert w.increments(3).shape == (3, 50)
+        assert w.times.shape == (51,)
+
+    def test_increment_statistics(self, rng):
+        """dW ~ N(0, dt): sample mean ~ 0 and variance ~ dt."""
+        w = WienerProcess(1.0, 200, rng)
+        dw = w.increments(500)
+        dt = 1.0 / 200
+        assert abs(dw.mean()) < 4.0 * np.sqrt(dt / dw.size)
+        assert dw.var() == pytest.approx(dt, rel=0.05)
+
+    def test_final_value_variance_is_t(self, rng):
+        w = WienerProcess(4.0, 64, rng)
+        finals = w.sample(4000)[:, -1]
+        assert finals.var() == pytest.approx(4.0, rel=0.1)
+
+    def test_independent_increments(self, rng):
+        """Correlation between disjoint increments ~ 0."""
+        w = WienerProcess(1.0, 2, rng)
+        dw = w.increments(8000)
+        correlation = np.corrcoef(dw[:, 0], dw[:, 1])[0, 1]
+        assert abs(correlation) < 0.05
+
+    def test_antithetic_pairs(self, rng):
+        w = WienerProcess(1.0, 10, rng)
+        dw = w.antithetic_increments(4)
+        assert dw.shape == (8, 10)
+        assert np.allclose(dw[:4], -dw[4:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WienerProcess(0.0, 10)
+        with pytest.raises(ValueError):
+            WienerProcess(1.0, 0)
+        with pytest.raises(ValueError):
+            WienerProcess(1.0, 10).sample(0)
+
+
+class TestBrownianBridge:
+    def test_refined_path_keeps_coarse_values(self, rng):
+        w = WienerProcess(1.0, 8, rng)
+        coarse = w.sample(1)[0]
+        fine = brownian_bridge(coarse, 1.0 / 8, refinement=4, rng=rng)
+        assert fine.shape == (33,)
+        assert np.allclose(fine[::4], coarse)
+
+    def test_refined_increments_have_right_variance(self, rng):
+        w = WienerProcess(1.0, 4, rng)
+        dt_fine = (1.0 / 4) / 8
+        variances = []
+        for _ in range(300):
+            coarse = w.sample(1)[0]
+            fine = brownian_bridge(coarse, 1.0 / 4, refinement=8, rng=w.rng)
+            variances.append(np.diff(fine).var())
+        assert np.mean(variances) == pytest.approx(dt_fine, rel=0.05)
+
+    def test_validation(self, rng):
+        coarse = np.zeros(5)
+        with pytest.raises(ValueError):
+            brownian_bridge(coarse, 0.1, refinement=3, rng=rng)
+        with pytest.raises(ValueError):
+            brownian_bridge(np.zeros(1), 0.1, refinement=2, rng=rng)
+
+
+class TestItoVsStratonovich:
+    """Paper eqs. 15-16: the two sums differ by T/2 for W dW."""
+
+    def test_ito_w_dw_matches_closed_form(self, rng):
+        w = WienerProcess(1.0, 50000, rng)
+        path = w.sample(1)[0]
+        numeric = ito_integral(path, path)
+        exact = ito_w_dw_exact(path[-1], 1.0)
+        assert numeric == pytest.approx(exact, abs=0.02)
+
+    def test_stratonovich_w_dw_matches_closed_form(self, rng):
+        w = WienerProcess(1.0, 50000, rng)
+        path = w.sample(1)[0]
+        numeric = stratonovich_integral(path, path)
+        exact = stratonovich_w_dw_exact(path[-1])
+        assert numeric == pytest.approx(exact, abs=0.02)
+
+    def test_gap_is_t_over_two_and_does_not_vanish(self, rng):
+        """The paper's key point: refining the grid does NOT close the
+        gap between eq. 15 and eq. 16 — it converges to T/2."""
+        for steps in (1000, 100000):
+            w = WienerProcess(2.0, steps, rng)
+            path = w.sample(1)[0]
+            gap = (stratonovich_integral(path, path)
+                   - ito_integral(path, path))
+            assert gap == pytest.approx(1.0, abs=0.1), f"steps={steps}"
+
+    def test_sums_agree_for_deterministic_integrand(self, rng):
+        """For non-anticipating smooth h(t) both sums converge alike."""
+        w = WienerProcess(1.0, 20000, rng)
+        path = w.sample(1)[0]
+        h = np.sin(np.linspace(0.0, 3.0, path.size))
+        assert ito_integral(h, path) == pytest.approx(
+            midpoint_integral(h, path), abs=0.02)
+
+    def test_expected_value_of_ito_w_dw_is_zero(self, rng):
+        """E[Ito integral] = 0 while E[Stratonovich] = T/2 (paper's
+        remark that expected values differ between interpretations)."""
+        w = WienerProcess(1.0, 400, rng)
+        paths = w.sample(3000)
+        ito_values = [ito_integral(p, p) for p in paths]
+        strat_values = [stratonovich_integral(p, p) for p in paths]
+        assert np.mean(ito_values) == pytest.approx(0.0, abs=0.05)
+        assert np.mean(strat_values) == pytest.approx(0.5, abs=0.05)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ito_integral(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            midpoint_integral(np.zeros((2, 2)), np.zeros((2, 2)))
