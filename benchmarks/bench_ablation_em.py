@@ -2,7 +2,6 @@
 variance-reduction effectiveness (Higham-style studies, paper ref. [13])."""
 
 import numpy as np
-import pytest
 
 from conftest import print_rows
 from repro.stochastic import LinearSDE, OrnsteinUhlenbeck, euler_maruyama

@@ -9,7 +9,6 @@ the crossover justifies shipping both.
 import time
 
 import numpy as np
-import pytest
 
 from conftest import print_rows
 from repro.circuit import Pulse

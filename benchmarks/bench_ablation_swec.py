@@ -6,7 +6,6 @@
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_rows
 from repro.circuit import Pulse

@@ -13,8 +13,12 @@ from repro.devices import SCHULMAN_INGAAS, SchulmanRTD
 
 
 def _cubic_runs():
-    f = lambda x: x**3 - 2.0 * x + 2.0
-    df = lambda x: 3.0 * x * x - 2.0
+    def f(x):
+        return x**3 - 2.0 * x + 2.0
+
+    def df(x):
+        return 3.0 * x * x - 2.0
+
     bad = scalar_newton(f, df, 0.0)
     good = scalar_newton(f, df, -2.0)
     return bad, good
@@ -45,8 +49,12 @@ def test_fig2_rtd_load_line_guess_sensitivity():
     """
     rtd = SchulmanRTD(SCHULMAN_INGAAS)
     vs, r = 1.1, 300.0
-    f = lambda v: rtd.current(v) - (vs - v) / r
-    df = lambda v: rtd.differential_conductance(v) + 1.0 / r
+    def f(v):
+        return rtd.current(v) - (vs - v) / r
+
+    def df(v):
+        return rtd.differential_conductance(v) + 1.0 / r
+
     solutions = {}
     outcomes = {}
     for guess in (0.0, 0.6, 1.05):

@@ -21,7 +21,7 @@ from repro.baselines.mla import MlaOptions
 from repro.baselines.spice import SpiceOptions
 from repro.circuit import Pulse
 from repro.circuits_lib import rtd_divider
-from repro.perf.comparison import compare_dc_sweep, compare_transient
+from repro.perf.comparison import compare_dc_sweep
 from repro.swec import SwecDC, SwecOptions, SwecTransient
 from repro.swec.dc import SwecDCOptions
 from repro.swec.timestep import StepControlOptions

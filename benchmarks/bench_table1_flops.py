@@ -12,12 +12,11 @@ x factorizations; SWEC pays one factorization per point).
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_rows
 from repro.baselines import MlaDC
 from repro.circuits_lib import nanowire_divider, rtd_chain, rtd_divider
-from repro.perf.comparison import ComparisonRow, compare_dc_sweep
+from repro.perf.comparison import compare_dc_sweep
 from repro.swec import SwecDC
 from repro.swec.dc import SwecDCOptions
 

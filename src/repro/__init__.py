@@ -75,13 +75,22 @@ from repro.stochastic import (
     WienerProcess,
     euler_maruyama,
 )
+from repro.runtime import (
+    BatchReport,
+    BatchRunner,
+    EnsembleJob,
+    JobResult,
+    TransientJob,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AcesTransient",
     "AnalysisError",
     "AssemblyError",
+    "BatchReport",
+    "BatchRunner",
     "Circuit",
     "CircuitError",
     "CircuitSDE",
@@ -89,6 +98,8 @@ __all__ = [
     "ConvergenceError",
     "DC",
     "Diode",
+    "EnsembleJob",
+    "JobResult",
     "LinearSDE",
     "MlaDC",
     "MlaTransient",
@@ -113,6 +124,7 @@ __all__ = [
     "SwecDC",
     "SwecOptions",
     "SwecTransient",
+    "TransientJob",
     "WienerProcess",
     "euler_maruyama",
     "nmos",

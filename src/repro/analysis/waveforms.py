@@ -38,6 +38,9 @@ class TransientResult:
         self.convergence_failures = 0
         #: Per-accepted-point Newton iteration counts (empty for SWEC).
         self.iteration_counts: list[int] = []
+        #: Factorizations skipped by the reuse cache (SWEC
+        #: ``factor_rtol`` knob; 0 when the cache is disabled).
+        self.factor_reuses = 0
         #: True when the engine gave up before reaching t_stop.
         self.aborted = False
         self.abort_reason: str | None = None

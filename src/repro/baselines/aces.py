@@ -15,7 +15,7 @@ Fig. 8(d) comparison and the Fig. 3 conductance contrast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

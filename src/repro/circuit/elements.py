@@ -156,6 +156,10 @@ class TwoTerminalDeviceInstance(Element):
         """Device current at branch *voltage*."""
         return self.multiplicity * self.model.current(voltage)
 
+    def current_many(self, voltages):
+        """Vectorized device current over an array of branch voltages."""
+        return self.multiplicity * self.model.current_many(voltages)
+
     def differential_conductance(self, voltage: float) -> float:
         """Small-signal conductance ``dI/dV`` — negative inside NDR."""
         return self.multiplicity * self.model.differential_conductance(voltage)

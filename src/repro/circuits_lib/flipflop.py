@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuit import Circuit, Clock, Pulse, Waveform
+from repro.circuit import Circuit, Pulse, Waveform
 from repro.circuit.sources import as_waveform
 from repro.devices import RTD_LOGIC, SchulmanParameters, SchulmanRTD, nmos
 

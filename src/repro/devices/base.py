@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 
 class TwoTerminalDevice:
     """Abstract two-terminal nonlinear device model."""
@@ -69,6 +71,19 @@ class TwoTerminalDevice:
         i = self.current(voltage)
         g = self.differential_conductance(voltage)
         return (voltage * g - i) / (voltage * voltage)
+
+    def current_many(self, voltages) -> np.ndarray:
+        """Vectorized :meth:`current` over an array of branch voltages.
+
+        The engines call models one operating point at a time, but
+        waveform post-processing evaluates thousands of points at once.
+        Models with closed-form numpy implementations override this; the
+        fallback loops over the scalar method.
+        """
+        v = np.asarray(voltages, dtype=float)
+        flat = np.fromiter((self.current(float(x)) for x in v.ravel()),
+                           dtype=float, count=v.size)
+        return flat.reshape(v.shape)
 
     # ------------------------------------------------------------------
     # Conveniences shared by every model

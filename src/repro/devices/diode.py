@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.constants import thermal_voltage
 from repro.devices.base import TwoTerminalDevice
 
@@ -51,6 +53,15 @@ class Diode(TwoTerminalDevice):
         g0 = (self.saturation_current / self.n_vt
               * math.exp(self.v_linear / self.n_vt))
         return i0 + g0 * (voltage - self.v_linear)
+
+    def current_many(self, voltages) -> np.ndarray:
+        """Vectorized Shockley law with the same linear continuation."""
+        v = np.asarray(voltages, dtype=float)
+        clipped = np.minimum(v, self.v_linear)
+        exponential = self.saturation_current * np.expm1(clipped / self.n_vt)
+        g0 = (self.saturation_current / self.n_vt
+              * math.exp(self.v_linear / self.n_vt))
+        return exponential + g0 * np.maximum(v - self.v_linear, 0.0)
 
     def differential_conductance(self, voltage: float) -> float:
         v = min(voltage, self.v_linear)

@@ -36,6 +36,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.constants import thermal_voltage
 from repro.devices.base import TwoTerminalDevice
 
@@ -64,6 +66,11 @@ def _logistic(x: float) -> float:
 
 def _exp_clipped(x: float) -> float:
     return math.exp(min(x, _EXP_CLIP))
+
+
+def _softplus_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized stable softplus: ``log1p(exp(-|x|)) + max(x, 0)``."""
+    return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
 
 
 @dataclass(frozen=True)
@@ -150,6 +157,24 @@ class SchulmanRTD(TwoTerminalDevice):
     def current(self, voltage: float) -> float:
         """Total current ``J(V) = J_1(V) + J_2(V)``."""
         return self.resonance_current(voltage) + self.thermionic_current(voltage)
+
+    def current_many(self, voltages) -> np.ndarray:
+        """Vectorized I-V law: eq. (4) over an array of voltages.
+
+        One numpy pass instead of a Python loop per point; mirrors the
+        scalar clipping behaviour (``exp`` arguments capped at
+        ``_EXP_CLIP``, softplus evaluated in its stable form).
+        """
+        p = self.parameters
+        v = np.asarray(voltages, dtype=float)
+        upper = (p.b - p.c + p.n1 * v) / self._vt
+        lower = (p.b - p.c - p.n1 * v) / self._vt
+        log_term = _softplus_array(upper) - _softplus_array(lower)
+        angle = math.pi / 2.0 + np.arctan((p.c - p.n1 * v) / p.d)
+        resonance = p.a * log_term * angle
+        thermionic = p.h * (
+            np.exp(np.minimum(p.n2 * v / self._vt, _EXP_CLIP)) - 1.0)
+        return resonance + thermionic
 
     # ------------------------------------------------------------------
     # Analytic derivatives (paper eq. 8, re-derived)

@@ -169,9 +169,18 @@ class MnaSystem:
             c[row, row] -= inductor.inductance
         return c
 
-    def source_vector(self, t: float) -> np.ndarray:
-        """Independent-source contribution ``b(t)``."""
-        b = np.zeros(self.size)
+    def source_vector(self, t: float,
+                      out: np.ndarray | None = None) -> np.ndarray:
+        """Independent-source contribution ``b(t)``.
+
+        Passing *out* (a ``(size,)`` array) reuses the buffer instead of
+        allocating — the transient engines call this every step.
+        """
+        if out is None:
+            b = np.zeros(self.size)
+        else:
+            b = out
+            b.fill(0.0)
         for k, source in enumerate(self.circuit.voltage_sources):
             b[self._vsrc_offset + k] = source.value(t)
         for source in self.circuit.current_sources:

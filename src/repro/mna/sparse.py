@@ -6,10 +6,13 @@ analyze practical circuits" — only bites at scale, so the scaling
 ablations need more than dense LU.  This module mirrors the dense
 assembly with ``scipy.sparse``:
 
-* :class:`SparseOperators` precomputes CSR forms of the constant stamps
-  plus one incidence matrix per nonlinear device, so the per-step system
-  ``G_base + sum_k g_k * E_k + C/h`` is assembled in O(nnz) without
-  touching Python loops over matrix entries.
+* :class:`SparseOperators` caches the *symbolic* sparsity pattern once:
+  the union structure of ``G_base``, ``C`` and every device incidence is
+  computed at construction, together with the positions of each device's
+  four stamp entries inside the shared CSR data array.  The per-step
+  system ``G_base + sum_k g_k * E_k + C/h`` is then assembled by filling
+  a data vector — O(nnz) with no structural churn or Python loops over
+  matrix entries.
 * :class:`SparseSolver` wraps ``splu`` with flop *estimates* derived
   from the factor's fill-in (exact flop counting inside SuperLU is not
   exposed; the estimate ``2 * nnz(L+U) ** 1.5 / sqrt(n)`` reduces to the
@@ -45,8 +48,21 @@ def _incidence(size: int, i: int, j: int) -> sparse.csr_matrix:
     return sparse.csr_matrix((values, (rows, cols)), shape=(size, size))
 
 
+def _structure(matrix) -> sparse.csr_matrix:
+    """All-ones CSR matrix over *matrix*'s nonzero pattern."""
+    coo = matrix.tocoo()
+    return sparse.csr_matrix(
+        (np.ones_like(coo.data), (coo.row, coo.col)), shape=matrix.shape)
+
+
 class SparseOperators:
-    """CSR views of an :class:`MnaSystem` for scalable assembly."""
+    """CSR views of an :class:`MnaSystem` for scalable assembly.
+
+    The constructor performs the one-time symbolic analysis: the union
+    sparsity pattern of every stamp the transient march can produce, the
+    scatter of ``G_base`` and ``C`` into that pattern, and the data-array
+    slots (with signs) of each nonlinear device's conductance stamp.
+    """
 
     def __init__(self, system: MnaSystem) -> None:
         self.system = system
@@ -62,23 +78,130 @@ class SparseOperators:
             for drain, _gate, source in system.mosfet_terminals()
         ]
 
+        # --- symbolic sparsity pattern, computed once -------------------
+        union = _structure(self.g_base) + _structure(self.c_matrix)
+        for incidence in self.device_incidence + self.mosfet_incidence:
+            union = union + _structure(incidence)
+        union = union.tocsr()
+        union.sort_indices()
+        self._indptr = union.indptr
+        self._indices = union.indices
+        self._nnz = union.nnz
+        self._base_data = self._scatter(self.g_base)
+        self._c_data = self._scatter(self.c_matrix)
+        self._device_slots = [
+            self._stamp_slots(anode, cathode)
+            for anode, cathode in system.device_terminals()
+        ]
+        self._mosfet_slots = [
+            self._stamp_slots(drain, source)
+            for drain, _gate, source in system.mosfet_terminals()
+        ]
+
+    # ------------------------------------------------------------------
+    # Symbolic helpers
+    # ------------------------------------------------------------------
+
+    def _locate(self, row: int, col: int) -> int:
+        """Position of entry (row, col) inside the union data array."""
+        lo, hi = self._indptr[row], self._indptr[row + 1]
+        offset = int(np.searchsorted(self._indices[lo:hi], col))
+        position = lo + offset
+        if position >= hi or self._indices[position] != col:
+            raise SingularMatrixError(
+                f"entry ({row}, {col}) missing from the cached pattern")
+        return int(position)
+
+    def _scatter(self, matrix) -> np.ndarray:
+        """Map *matrix*'s entries onto the union pattern's data array."""
+        data = np.zeros(self._nnz)
+        coo = matrix.tocoo()
+        for row, col, value in zip(coo.row, coo.col, coo.data):
+            data[self._locate(int(row), int(col))] += value
+        return data
+
+    def _stamp_slots(self, i: int, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Data positions and signs for one conductance stamp."""
+        positions, signs = [], []
+        if i >= 0:
+            positions.append(self._locate(i, i))
+            signs.append(1.0)
+        if j >= 0:
+            positions.append(self._locate(j, j))
+            signs.append(1.0)
+        if i >= 0 and j >= 0:
+            positions.append(self._locate(i, j))
+            signs.append(-1.0)
+            positions.append(self._locate(j, i))
+            signs.append(-1.0)
+        return np.array(positions, dtype=np.intp), np.array(signs)
+
+    def _assemble(self, data: np.ndarray) -> sparse.csr_matrix:
+        """CSR matrix over the cached pattern with *data* values."""
+        return sparse.csr_matrix(
+            (data, self._indices, self._indptr),
+            shape=(self.size, self.size))
+
+    def matrix_from_data(self, data: np.ndarray) -> sparse.csr_matrix:
+        """Public view of :meth:`_assemble` for data-level callers."""
+        return self._assemble(data)
+
+    # ------------------------------------------------------------------
+    # Per-step assembly (hot path)
+    # ------------------------------------------------------------------
+
+    def conductance_data(self, device_g: np.ndarray,
+                         mosfet_g: np.ndarray) -> np.ndarray:
+        """Data array of ``G_base`` plus all equivalent-conductance
+        stamps, laid out on the cached union pattern."""
+        data = self._base_data.copy()
+        for g, (positions, signs) in zip(device_g, self._device_slots):
+            if g != 0.0:
+                data[positions] += float(g) * signs
+        for g, (positions, signs) in zip(mosfet_g, self._mosfet_slots):
+            if g != 0.0:
+                data[positions] += float(g) * signs
+        return data
+
     def conductance(self, device_g: np.ndarray,
                     mosfet_g: np.ndarray) -> sparse.csr_matrix:
         """``G_base`` plus all equivalent-conductance stamps."""
-        total = self.g_base
-        for g, pattern in zip(device_g, self.device_incidence):
-            if g != 0.0:
-                total = total + float(g) * pattern
-        for g, pattern in zip(mosfet_g, self.mosfet_incidence):
-            if g != 0.0:
-                total = total + float(g) * pattern
-        return total
+        return self._assemble(self.conductance_data(device_g, mosfet_g))
+
+    def system_matrix_from_data(self, conductance_data: np.ndarray, h: float,
+                                trapezoidal: bool = False
+                                ) -> sparse.csc_matrix:
+        """Transient system matrix from a :meth:`conductance_data` array.
+
+        ``G + C/h`` for backward Euler, ``G/2 + C/h`` for trapezoidal,
+        assembled directly on the cached pattern — the unconditional
+        fast path the transient march uses.
+        """
+        scale = 0.5 if trapezoidal else 1.0
+        data = scale * conductance_data + self._c_data / h
+        return self._assemble(data).tocsc()
+
+    def system_matrix(self, conductance: sparse.csr_matrix, h: float,
+                      trapezoidal: bool = False) -> sparse.csc_matrix:
+        """Transient system matrix from an already-assembled ``G``.
+
+        Matrices on the cached pattern (anything :meth:`conductance`
+        returns) take the data-level fast path; foreign matrices fall
+        back to generic sparse addition.
+        """
+        if (conductance.nnz == self._nnz
+                and np.array_equal(conductance.indptr, self._indptr)
+                and np.array_equal(conductance.indices, self._indices)):
+            return self.system_matrix_from_data(conductance.data, h,
+                                                trapezoidal)
+        scale = 0.5 if trapezoidal else 1.0
+        return (scale * conductance + self.c_matrix / h).tocsc()
 
     def transient_matrix(self, device_g: np.ndarray, mosfet_g: np.ndarray,
                          h: float) -> sparse.csc_matrix:
         """Backward-Euler system matrix ``G(t_n) + C/h``."""
-        return (self.conductance(device_g, mosfet_g)
-                + self.c_matrix / h).tocsc()
+        data = self.conductance_data(device_g, mosfet_g) + self._c_data / h
+        return self._assemble(data).tocsc()
 
 
 class SparseSolver:

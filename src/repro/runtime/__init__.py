@@ -1,0 +1,41 @@
+"""Batched simulation runtime.
+
+Fans independent simulation jobs — transient runs of whole circuits, or
+seeded stochastic ensembles — across worker processes, with
+deterministic per-job RNG seeding (``SeedSequence.spawn``), structured
+per-job failure capture and a CLI entry point
+(``python -m repro.runtime jobs.toml``).
+
+Quick start::
+
+    from repro.runtime import BatchRunner, TransientJob
+
+    jobs = [
+        TransientJob(builder="rtd_divider", params={"resistance": r},
+                     t_stop=1e-9, label=f"R={r}")
+        for r in (5.0, 10.0, 50.0, 300.0)
+    ]
+    report = BatchRunner(max_workers=4).run(jobs)
+    report.raise_failures()
+    waveforms = report.values()
+"""
+
+from repro.runtime.jobs import (
+    EnsembleJob,
+    SDE_BUILDERS,
+    TransientJob,
+    job_from_mapping,
+)
+from repro.runtime.report import BatchReport, JobResult
+from repro.runtime.runner import BatchRunner, default_worker_count
+
+__all__ = [
+    "BatchReport",
+    "BatchRunner",
+    "EnsembleJob",
+    "JobResult",
+    "SDE_BUILDERS",
+    "TransientJob",
+    "default_worker_count",
+    "job_from_mapping",
+]

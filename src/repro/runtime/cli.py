@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro.runtime jobs.toml``.
+
+The job-spec file is TOML (Python 3.11+, via :mod:`tomllib`) or JSON
+(any version).  Schema::
+
+    [batch]                # all keys optional
+    workers = 4
+    executor = "process"   # process | thread | serial
+    seed = 42
+
+    [[jobs]]
+    type = "transient"     # default
+    label = "inverter"
+    circuit = "fet_rtd_inverter"   # repro.circuits_lib builder name
+    t_stop = 1e-8
+    engine = "swec"                # swec | spice | mla | aces
+    [jobs.params]                  # builder keyword arguments
+    [jobs.options]                 # flat engine + step-control options
+    epsilon = 0.05
+    h_max = 2e-10
+
+    [[jobs]]
+    type = "ensemble"
+    label = "noise-band"
+    sde = "noisy_rc_node"          # SDE builder name
+    t_final = 5e-9
+    steps = 2000
+    n_paths = 400
+
+The exit status is 0 when every job succeeded, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.runtime.jobs import job_from_mapping
+from repro.runtime.runner import BatchRunner
+
+try:
+    import tomllib
+except ImportError:  # Python 3.10: TOML specs need 3.11+, JSON always works
+    tomllib = None
+
+
+def load_spec(path: str | Path) -> dict:
+    """Parse a ``.toml`` or ``.json`` job-spec file."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"job-spec file not found: {path}")
+    if path.suffix.lower() == ".json":
+        return json.loads(path.read_text())
+    if tomllib is None:
+        raise AnalysisError(
+            "TOML job specs need Python 3.11+ (tomllib); "
+            "use a .json spec on older interpreters"
+        )
+    with open(path, "rb") as handle:
+        return tomllib.load(handle)
+
+
+def jobs_from_spec(spec: dict) -> list:
+    """Build the job list from a deserialized spec."""
+    tables = spec.get("jobs", [])
+    if not tables:
+        raise AnalysisError("job-spec file defines no [[jobs]] entries")
+    return [job_from_mapping(table) for table in tables]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Run a batch of Nano-Sim simulation jobs in parallel.",
+    )
+    parser.add_argument("spec", help="job-spec file (.toml or .json)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count (default: [batch].workers, else CPU count)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default=None,
+        help="execution backend (default: [batch].executor, else process)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base RNG seed (default: [batch].seed, else 0)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spec = load_spec(args.spec)
+        jobs = jobs_from_spec(spec)
+        batch = spec.get("batch", {})
+        if not isinstance(batch, dict):
+            raise AnalysisError(f"[batch] must be a table, got {batch!r}")
+        runner = BatchRunner(
+            max_workers=(
+                args.workers if args.workers is not None else batch.get("workers")
+            ),
+            executor=(
+                args.executor
+                if args.executor is not None
+                else batch.get("executor", "process")
+            ),
+            seed=args.seed if args.seed is not None else batch.get("seed", 0),
+        )
+    except (AnalysisError, TypeError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError and tomllib.TOMLDecodeError.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = runner.run(jobs)
+    print(report.summary())
+    for result in report.failures():
+        if result.traceback:
+            print(
+                f"\n--- traceback [{result.index}] {result.label} ---",
+                file=sys.stderr,
+            )
+            print(result.traceback, file=sys.stderr)
+    return 0 if report.ok else 1

@@ -1,0 +1,273 @@
+"""Job specifications for the batch runtime.
+
+Two job flavours cover the paper's workloads:
+
+* :class:`TransientJob` — one deterministic transient simulation: a
+  circuit (given directly or as a builder from
+  :mod:`repro.circuits_lib`), an engine name, engine options and a
+  ``t_stop``.
+* :class:`EnsembleJob` — one seeded stochastic ensemble: an SDE (given
+  directly or as a builder), Euler-Maruyama grid parameters and the
+  ensemble size.
+
+Jobs are plain picklable dataclasses so they cross process boundaries.
+Builders referenced *by name* are resolved inside the worker, which also
+side-steps pickling limits of closure-carrying objects such as
+:class:`~repro.stochastic.sde.CircuitSDE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _resolve_circuit_builder(name: str) -> Callable:
+    """Look up a circuit builder by name in :mod:`repro.circuits_lib`."""
+    import repro.circuits_lib as lib
+
+    builder = getattr(lib, name, None)
+    if builder is None or not callable(builder):
+        raise AnalysisError(
+            f"unknown circuit builder {name!r} "
+            f"(available: {', '.join(lib.__all__)})"
+        )
+    return builder
+
+
+def _resolve_sde_builder(name: str) -> Callable:
+    """Look up an SDE builder by name."""
+    builder = SDE_BUILDERS.get(name)
+    if builder is None:
+        raise AnalysisError(
+            f"unknown SDE builder {name!r} "
+            f"(available: {', '.join(sorted(SDE_BUILDERS))})"
+        )
+    return builder
+
+
+def _first(value):
+    """Unwrap ``(object, info)`` builder conventions."""
+    if isinstance(value, tuple):
+        return value[0]
+    return value
+
+
+def _linear_sde(
+    decay_rate: float = 1.0,
+    noise_amplitude: float = 0.1,
+    drift_level: float = 0.0,
+):
+    """Scalar OU-form ``dX = (a - lambda X) dt + sigma dW`` as a LinearSDE."""
+    from repro.stochastic.sde import LinearSDE
+
+    return LinearSDE(
+        [[-float(decay_rate)]],
+        [[float(noise_amplitude)]],
+        drift_offset=[float(drift_level)],
+    )
+
+
+def _noisy_rc_sde(**params):
+    from repro.circuits_lib import noisy_rc_node
+
+    return noisy_rc_node(**params)[0]
+
+
+def _noisy_rc_ladder_sde(**params):
+    from repro.circuits_lib import noisy_rc_ladder
+
+    return noisy_rc_ladder(**params)[0]
+
+
+#: SDE builders addressable by name from job-spec files.
+SDE_BUILDERS: dict[str, Callable] = {
+    "ornstein_uhlenbeck": _linear_sde,
+    "noisy_rc_node": _noisy_rc_sde,
+    "noisy_rc_ladder": _noisy_rc_ladder_sde,
+}
+
+
+def _swec_options(mapping: Mapping[str, Any]):
+    """Build :class:`SwecOptions` from a flat mapping.
+
+    Step-control keys (``epsilon``, ``h_min``, ...) are routed into the
+    nested :class:`StepControlOptions`; the rest go to ``SwecOptions``.
+    """
+    from repro.swec import SwecOptions
+    from repro.swec.timestep import StepControlOptions
+
+    step_keys = {f.name for f in fields(StepControlOptions)}
+    step_kwargs = {k: v for k, v in mapping.items() if k in step_keys}
+    engine_kwargs = {k: v for k, v in mapping.items() if k not in step_keys}
+    return SwecOptions(step=StepControlOptions(**step_kwargs), **engine_kwargs)
+
+
+def _engine_factory(engine: str) -> tuple[Callable, Callable]:
+    """Return ``(engine_class, options_from_dict)`` for an engine name."""
+    if engine == "swec":
+        from repro.swec import SwecTransient
+
+        return SwecTransient, _swec_options
+    if engine == "spice":
+        from repro.baselines import SpiceTransient
+        from repro.baselines.spice import SpiceOptions
+
+        return SpiceTransient, lambda m: SpiceOptions(**m)
+    if engine == "mla":
+        from repro.baselines import MlaTransient
+        from repro.baselines.mla import MlaOptions
+
+        return MlaTransient, lambda m: MlaOptions(**m)
+    if engine == "aces":
+        from repro.baselines import AcesTransient
+        from repro.baselines.aces import AcesOptions
+
+        return AcesTransient, lambda m: AcesOptions(**m)
+    raise AnalysisError(
+        f"unknown engine {engine!r} (expected swec, spice, mla or aces)"
+    )
+
+
+@dataclass
+class TransientJob:
+    """One deterministic transient simulation.
+
+    Exactly one of ``circuit`` (a ready :class:`~repro.circuit.Circuit`)
+    or ``builder`` (a callable, or the name of a
+    :mod:`repro.circuits_lib` builder, invoked with ``params``) must be
+    given.  Builders returning ``(circuit, info)`` tuples are unwrapped.
+    """
+
+    t_stop: float
+    circuit: Any = None
+    builder: str | Callable | None = None
+    params: dict = field(default_factory=dict)
+    engine: str = "swec"
+    options: Any = None
+    initial_state: Sequence[float] | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.circuit is None) == (self.builder is None):
+            raise AnalysisError(
+                "TransientJob needs exactly one of circuit= or builder="
+            )
+
+    def build_circuit(self):
+        """Materialize the circuit this job simulates."""
+        if self.circuit is not None:
+            return self.circuit
+        builder = self.builder
+        if isinstance(builder, str):
+            builder = _resolve_circuit_builder(builder)
+        return _first(builder(**self.params))
+
+    def run(self, seed: np.random.SeedSequence | None = None):
+        """Execute the job; *seed* is unused (transients are
+        deterministic) but accepted for a uniform job interface."""
+        engine_class, options_from_dict = _engine_factory(self.engine)
+        options = self.options
+        if isinstance(options, Mapping):
+            options = options_from_dict(dict(options))
+        engine = engine_class(self.build_circuit(), options)
+        kwargs = {}
+        if self.initial_state is not None:
+            kwargs["initial_state"] = np.asarray(self.initial_state, float)
+        return engine.run(self.t_stop, **kwargs)
+
+
+@dataclass
+class EnsembleJob:
+    """One seeded Euler-Maruyama ensemble.
+
+    Exactly one of ``sde`` (a picklable
+    :class:`~repro.stochastic.sde.LinearSDE`) or ``builder`` (a callable
+    or an :data:`SDE_BUILDERS` name, invoked with ``params`` inside the
+    worker) must be given.  The RNG seed is injected by the runner via
+    deterministic ``SeedSequence`` spawning, so a batch reproduces
+    bit-for-bit at any worker count.
+    """
+
+    t_final: float
+    steps: int
+    n_paths: int
+    sde: Any = None
+    builder: str | Callable | None = None
+    params: dict = field(default_factory=dict)
+    x0: Sequence[float] | None = None
+    component: int = 0
+    confidence: float = 0.95
+    antithetic: bool = False
+    return_paths: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.sde is None) == (self.builder is None):
+            raise AnalysisError("EnsembleJob needs exactly one of sde= or builder=")
+
+    def build_sde(self):
+        """Materialize the SDE this job integrates."""
+        if self.sde is not None:
+            return self.sde
+        builder = self.builder
+        if isinstance(builder, str):
+            builder = _resolve_sde_builder(builder)
+        return _first(builder(**self.params))
+
+    def run(self, seed: np.random.SeedSequence | None = None):
+        """Integrate the ensemble; returns
+        :class:`~repro.stochastic.montecarlo.EnsembleStatistics`, or the
+        raw :class:`~repro.stochastic.em.EMResult` with
+        ``return_paths=True``."""
+        from repro.stochastic.em import euler_maruyama
+        from repro.stochastic.montecarlo import ensemble_statistics
+
+        sde = self.build_sde()
+        x0 = (
+            np.zeros(sde.dimension)
+            if self.x0 is None
+            else np.asarray(self.x0, dtype=float)
+        )
+        rng = np.random.default_rng(seed)
+        result = euler_maruyama(
+            sde,
+            x0,
+            self.t_final,
+            self.steps,
+            n_paths=self.n_paths,
+            rng=rng,
+            antithetic=self.antithetic,
+        )
+        if self.return_paths:
+            return result
+        return ensemble_statistics(
+            result.times, result.component(self.component), self.confidence
+        )
+
+
+def job_from_mapping(spec: Mapping[str, Any]) -> TransientJob | EnsembleJob:
+    """Build a job from one deserialized job-spec table (CLI path)."""
+    spec = dict(spec)
+    kind = spec.pop("type", "transient")
+    if kind == "transient":
+        circuit = spec.pop("circuit", None)
+        if isinstance(circuit, str):
+            spec["builder"] = circuit
+        elif circuit is not None:
+            spec["circuit"] = circuit
+        return TransientJob(**spec)
+    if kind == "ensemble":
+        sde = spec.pop("sde", None)
+        if isinstance(sde, str):
+            spec["builder"] = sde
+        elif sde is not None:
+            spec["sde"] = sde
+        return EnsembleJob(**spec)
+    raise AnalysisError(
+        f"unknown job type {kind!r} (expected 'transient' or 'ensemble')"
+    )

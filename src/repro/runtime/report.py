@@ -1,0 +1,105 @@
+"""Structured results of a batch run.
+
+A :class:`JobResult` captures one job's outcome — its value on success,
+the exception text and traceback on failure, and the wall-clock time
+either way — so a failing job never takes the batch down with it.  A
+:class:`BatchReport` aggregates the per-job results with batch-level
+timing and provides the summary the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JobResult:
+    """Outcome of one batch job.
+
+    Attributes
+    ----------
+    index:
+        Position of the job in the submitted batch (seeding order).
+    label:
+        Human-readable job label (job's own, or ``job-<index>``).
+    ok:
+        True when the job ran to completion.
+    value:
+        The job's return value (e.g. a ``TransientResult`` or
+        ``EnsembleStatistics``); ``None`` on failure.
+    error:
+        ``"ExceptionType: message"`` on failure, ``None`` on success.
+    traceback:
+        Full formatted traceback text on failure.
+    seconds:
+        Wall-clock execution time of the job body.
+    """
+
+    index: int
+    label: str
+    ok: bool
+    value: object = None
+    error: str | None = None
+    traceback: str | None = None
+    seconds: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of a :class:`~repro.runtime.BatchRunner` run."""
+
+    results: list[JobResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    executor: str = "serial"
+    seed: int = 0
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_jobs - self.n_ok
+
+    @property
+    def ok(self) -> bool:
+        """True when every job succeeded."""
+        return self.n_failed == 0
+
+    def values(self) -> list:
+        """Successful job values, in submission order."""
+        return [r.value for r in self.results if r.ok]
+
+    def failures(self) -> list[JobResult]:
+        """The failed job results, in submission order."""
+        return [r for r in self.results if not r.ok]
+
+    def raise_failures(self) -> None:
+        """Raise ``RuntimeError`` summarizing failed jobs, if any."""
+        failed = self.failures()
+        if failed:
+            lines = [f"{len(failed)} of {self.n_jobs} batch jobs failed:"]
+            lines += [f"  [{r.index}] {r.label}: {r.error}" for r in failed]
+            raise RuntimeError("\n".join(lines))
+
+    def job_seconds(self) -> float:
+        """Sum of per-job execution times (serial-equivalent work)."""
+        return sum(r.seconds for r in self.results)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"batch: {self.n_jobs} jobs, {self.n_ok} ok, "
+            f"{self.n_failed} failed "
+            f"({self.executor}, workers={self.workers}, seed={self.seed})",
+            f"wall {self.wall_seconds:.3f} s, job time {self.job_seconds():.3f} s",
+        ]
+        for r in self.results:
+            status = "ok" if r.ok else f"FAILED: {r.error}"
+            lines.append(f"  [{r.index}] {r.label:<24} {r.seconds:8.3f} s  {status}")
+        return "\n".join(lines)

@@ -20,7 +20,13 @@ from repro.stochastic.ito import (
     midpoint_integral,
     stratonovich_integral,
 )
-from repro.stochastic.montecarlo import EnsembleStatistics, run_ensemble
+from repro.stochastic.montecarlo import (
+    EnsembleStatistics,
+    ensemble_statistics,
+    run_ensemble,
+    run_ensemble_parallel,
+    run_ensembles,
+)
 from repro.stochastic.peak import (
     brownian_max_cdf,
     expected_brownian_max,
@@ -64,7 +70,10 @@ __all__ = [
     "OrnsteinUhlenbeck",
     "peak_exceedance_probability",
     "predict_peak",
+    "ensemble_statistics",
     "run_ensemble",
+    "run_ensemble_parallel",
+    "run_ensembles",
     "stratonovich_integral",
     "VectorOrnsteinUhlenbeck",
     "WienerProcess",

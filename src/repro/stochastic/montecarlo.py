@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import AnalysisError
-from repro.stochastic.em import EMResult, euler_maruyama
+from repro.stochastic.em import euler_maruyama
 from repro.stochastic.sde import LinearSDE
 
 
@@ -36,31 +36,119 @@ class EnsembleStatistics:
         return self.upper - self.lower
 
 
-def run_ensemble(sde: LinearSDE, x0, t_final: float, steps: int,
-                 n_paths: int, rng=None, component: int = 0,
-                 confidence: float = 0.95,
-                 antithetic: bool = False) -> EnsembleStatistics:
-    """Integrate an ensemble and summarize one component.
+def ensemble_statistics(times: np.ndarray, values: np.ndarray,
+                        confidence: float = 0.95) -> EnsembleStatistics:
+    """Summarize a ``(n_paths, len(times))`` component sample.
 
     The confidence band is empirical (quantiles of the path ensemble),
     not Gaussian-assumed — NDR-linearized circuits can be skewed.
     """
     if not 0.0 < confidence < 1.0:
         raise AnalysisError(f"confidence must be in (0, 1), got {confidence!r}")
-    result = euler_maruyama(sde, x0, t_final, steps, n_paths=n_paths,
-                            rng=rng, antithetic=antithetic)
-    values = result.component(component)
+    values = np.asarray(values, dtype=float)
+    n_paths = values.shape[0]
+    if n_paths < 2:
+        raise AnalysisError(
+            f"ensemble statistics need >= 2 paths, got {n_paths}")
     tail = 0.5 * (1.0 - confidence)
+    std = values.std(axis=0, ddof=1)
     return EnsembleStatistics(
-        times=result.times,
+        times=np.asarray(times, dtype=float),
         mean=values.mean(axis=0),
-        std=values.std(axis=0, ddof=1),
-        standard_error=values.std(axis=0, ddof=1) / np.sqrt(n_paths),
+        std=std,
+        standard_error=std / np.sqrt(n_paths),
         lower=np.quantile(values, tail, axis=0),
         upper=np.quantile(values, 1.0 - tail, axis=0),
         n_paths=n_paths,
         confidence=confidence,
     )
+
+
+def run_ensemble(sde: LinearSDE, x0, t_final: float, steps: int,
+                 n_paths: int, rng=None, component: int = 0,
+                 confidence: float = 0.95,
+                 antithetic: bool = False) -> EnsembleStatistics:
+    """Integrate an ensemble and summarize one component."""
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence!r}")
+    result = euler_maruyama(sde, x0, t_final, steps, n_paths=n_paths,
+                            rng=rng, antithetic=antithetic)
+    return ensemble_statistics(result.times, result.component(component),
+                               confidence)
+
+
+def run_ensembles(jobs, runner=None) -> list[EnsembleStatistics]:
+    """Run many :class:`~repro.runtime.EnsembleJob` specs through a
+    :class:`~repro.runtime.BatchRunner` (one worker process per job).
+
+    Seeding is handled by the runner's deterministic ``SeedSequence``
+    spawn, so the statistics reproduce bit-for-bit at any worker count.
+    Raises if any job failed; returns the statistics in job order.
+    """
+    from repro.runtime import BatchRunner
+
+    runner = runner or BatchRunner()
+    report = runner.run(list(jobs))
+    report.raise_failures()
+    return report.values()
+
+
+def run_ensemble_parallel(sde_builder, t_final: float, steps: int,
+                          n_paths: int, chunks: int = 4, x0=None,
+                          component: int = 0, confidence: float = 0.95,
+                          antithetic: bool = False,
+                          runner=None, params: dict | None = None,
+                          ) -> EnsembleStatistics:
+    """One large ensemble, integrated as *chunks* parallel sub-ensembles.
+
+    *sde_builder* is a picklable :class:`LinearSDE`, a builder callable,
+    or an :data:`~repro.runtime.SDE_BUILDERS` name (resolved with
+    *params* inside each worker).  Paths are split as evenly as possible
+    over ``chunks`` jobs whose RNG streams come from the runner's
+    ``SeedSequence`` spawn — for a fixed runner seed the result depends
+    on ``(seed, chunks)`` but not on the worker count, so a 1-worker
+    and an 8-worker run produce identical statistics.  With the default
+    runner, each call draws fresh entropy (independent replications).
+
+    ``antithetic`` draws each chunk's increments in antithetic pairs;
+    ``n_paths`` must then split into even chunks, i.e. be divisible by
+    ``2 * chunks``.
+    """
+    from repro.runtime import BatchRunner, EnsembleJob
+
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence!r}")
+    if chunks < 1:
+        raise AnalysisError(f"chunks must be >= 1, got {chunks!r}")
+    if n_paths < chunks:
+        raise AnalysisError(
+            f"n_paths ({n_paths}) must be >= chunks ({chunks})")
+    if antithetic and n_paths % (2 * chunks) != 0:
+        raise AnalysisError(
+            f"antithetic parallel ensembles need n_paths divisible by "
+            f"2 * chunks ({2 * chunks}), got {n_paths}")
+    base, extra = divmod(n_paths, chunks)
+    sizes = [base + (1 if k < extra else 0) for k in range(chunks)]
+    direct = isinstance(sde_builder, LinearSDE)
+    jobs = [
+        EnsembleJob(
+            t_final=t_final, steps=steps, n_paths=size,
+            sde=sde_builder if direct else None,
+            builder=None if direct else sde_builder,
+            params=dict(params or {}),
+            x0=x0, component=component, antithetic=antithetic,
+            return_paths=True,
+            label=f"chunk-{k}",
+        )
+        for k, size in enumerate(sizes)
+    ]
+    runner = runner or BatchRunner()
+    report = runner.run(jobs)
+    report.raise_failures()
+    results = report.values()
+    values = np.concatenate(
+        [r.component(component) for r in results], axis=0)
+    return ensemble_statistics(results[0].times, values, confidence)
 
 
 def weak_error_study(sde: LinearSDE, x0, t_final: float,

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import AcesTransient, PwlApproximation
 from repro.baselines.aces import AcesOptions
 from repro.circuit import Circuit, Pulse
-from repro.devices import Diode, SchulmanRTD, SCHULMAN_INGAAS
+from repro.devices import Diode
 
 
 class TestPwlApproximation:

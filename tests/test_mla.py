@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import MlaDC, MlaTransient
 from repro.baselines.mla import MlaOptions, RtdRegionLimiter
 from repro.circuit import Circuit, Pulse
-from repro.devices import SchulmanRTD, SCHULMAN_INGAAS
 from repro.mna.assembler import MnaSystem
 
 
@@ -130,8 +129,6 @@ class TestMlaTransient:
     def test_costs_more_iterations_than_swec_solves(self):
         """The Table-I story in transient form: MLA spends multiple NR
         iterations per accepted point, SWEC exactly one solve."""
-        from repro.swec import SwecOptions, SwecTransient
-        from repro.swec.timestep import StepControlOptions
         circuit_a, info = _divider()
         circuit_a.voltage_sources[0].waveform = Pulse(
             0.0, 1.0, delay=0.2e-9, rise=0.1e-9, fall=0.1e-9, width=1e-9,

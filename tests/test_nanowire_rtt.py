@@ -7,7 +7,6 @@ import pytest
 
 from repro.constants import CONDUCTANCE_QUANTUM
 from repro.devices import MultiPeakRTT, QuantizedNanowire
-from repro.devices.rtd import RTD_LOGIC
 
 
 class TestNanowireStaircase:

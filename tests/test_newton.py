@@ -19,8 +19,12 @@ class TestScalarNewton:
     """Fig. 2: convergence of NR depends on the initial guess."""
 
     def test_converges_on_good_guess(self):
-        f = lambda x: x * x - 2.0
-        df = lambda x: 2.0 * x
+        def f(x):
+            return x * x - 2.0
+
+        def df(x):
+            return 2.0 * x
+
         iterates, converged, oscillating = scalar_newton(f, df, 1.0)
         assert converged
         assert not oscillating
@@ -29,15 +33,23 @@ class TestScalarNewton:
     def test_oscillates_on_bad_guess_nonmonotone_curve(self):
         # Classic NR two-cycle: f(x) = x^3 - 2x + 2 from x0 = 0
         # cycles between 0 and 1 forever.
-        f = lambda x: x**3 - 2.0 * x + 2.0
-        df = lambda x: 3.0 * x * x - 2.0
+        def f(x):
+            return x**3 - 2.0 * x + 2.0
+
+        def df(x):
+            return 3.0 * x * x - 2.0
+
         iterates, converged, oscillating = scalar_newton(f, df, 0.0)
         assert not converged
         assert oscillating
 
     def test_same_curve_good_guess_converges(self):
-        f = lambda x: x**3 - 2.0 * x + 2.0
-        df = lambda x: 3.0 * x * x - 2.0
+        def f(x):
+            return x**3 - 2.0 * x + 2.0
+
+        def df(x):
+            return 3.0 * x * x - 2.0
+
         iterates, converged, oscillating = scalar_newton(f, df, -2.0)
         assert converged
         assert not oscillating
@@ -47,14 +59,22 @@ class TestScalarNewton:
         """NR on the RTD + resistor load line: a guess on the wrong side
         of the peak oscillates or walks away; a good guess converges."""
         vs, r = 1.3, 10.0
-        f = lambda v: rtd.current(v) - (vs - v) / r
-        df = lambda v: rtd.differential_conductance(v) + 1.0 / r
+        def f(v):
+            return rtd.current(v) - (vs - v) / r
+
+        def df(v):
+            return rtd.differential_conductance(v) + 1.0 / r
+
         _, converged_good, _ = scalar_newton(f, df, 1.25)
         assert converged_good
 
     def test_zero_derivative_stops(self):
-        f = lambda x: x * x
-        df = lambda x: 0.0
+        def f(x):
+            return x * x
+
+        def df(x):
+            return 0.0
+
         iterates, converged, _ = scalar_newton(f, df, 1.0)
         assert not converged
         assert len(iterates) == 1

@@ -1,10 +1,9 @@
 """Tests for the MOBILE nanopipeline (shift register)."""
 
-import numpy as np
 import pytest
 
 from repro.circuit import Pulse
-from repro.circuits_lib.logic_gates import PipelineInfo, mobile_pipeline
+from repro.circuits_lib.logic_gates import mobile_pipeline
 from repro.swec import SwecOptions, SwecTransient
 from repro.swec.timestep import StepControlOptions
 

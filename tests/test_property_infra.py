@@ -1,6 +1,5 @@
 """Property-based tests for waveforms, units, MNA and stochastic invariants."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,7 @@ from repro.baselines import SpiceDC, SpiceTransient
 from repro.baselines.spice import SpiceOptions
 from repro.baselines.newton import NewtonOptions
 from repro.circuit import Circuit, DC, Pulse  # noqa: F401 (DC used below)
-from repro.devices import Diode, SchulmanRTD, SCHULMAN_INGAAS
+from repro.devices import Diode
 from repro.errors import AnalysisError
 
 

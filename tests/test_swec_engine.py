@@ -75,7 +75,6 @@ class TestLinearCircuits:
         engine = SwecTransient(circuit, swec_options(initialize_dc=False))
         result = engine.run(50e-9)
         # i_L(t) = (V/R)(1 - e^{-tR/L}); tau = 10 ns
-        from repro.mna import MnaSystem
         system = engine.system
         row = system.inductor_index("L1")
         i_final = result.states[-1][row]
@@ -241,3 +240,104 @@ class TestStepAdaptivity:
         # One factorization per accepted step plus the DC initialization.
         assert result.flops.factorizations >= result.accepted_steps
         assert result.flops.factorizations <= result.accepted_steps + 200
+
+
+class TestFactorizationReuse:
+    """The factor_rtol knob: skip LU refactorizations when the system
+    matrix is unchanged (within tolerance) between accepted points."""
+
+    def test_exact_reuse_is_bit_identical(self, rc_pulse_circuit):
+        baseline = SwecTransient(rc_pulse_circuit, swec_options())
+        cached_circuit = rc_pulse_circuit
+        result = baseline.run(10e-9)
+        cached = SwecTransient(cached_circuit,
+                               swec_options(factor_rtol=0.0)).run(10e-9)
+        assert np.array_equal(result.states, cached.states)
+        assert np.array_equal(result.times, cached.times)
+        # Linear circuit at a settled step: most factorizations skipped.
+        assert cached.factor_reuses > 0
+        assert (cached.flops.factorizations
+                < result.flops.factorizations // 2)
+
+    def test_disabled_by_default(self, rc_pulse_circuit):
+        result = SwecTransient(rc_pulse_circuit, swec_options()).run(2e-9)
+        assert result.factor_reuses == 0
+
+    def test_tolerance_reuse_on_ndr_circuit(self, divider):
+        circuit, info = divider
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 2.5, delay=0.2e-9, rise=0.2e-9, fall=0.2e-9, width=2e-9,
+            period=6e-9)
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        baseline = SwecTransient(circuit, swec_options()).run(4e-9)
+        cached = SwecTransient(circuit,
+                               swec_options(factor_rtol=1e-7)).run(4e-9)
+        assert cached.factor_reuses > 0
+        assert (cached.flops.factorizations
+                < baseline.flops.factorizations)
+        grid = np.linspace(0.0, 4e-9, 101)
+        v_base = baseline.resample(grid, info.device_node)
+        v_cached = cached.resample(grid, info.device_node)
+        # Perturbation bounded by the tolerance: waveforms agree tightly.
+        assert np.abs(v_base - v_cached).max() < 1e-3
+
+    def test_negative_factor_rtol_rejected(self):
+        with pytest.raises(ValueError):
+            SwecOptions(factor_rtol=-1e-9)
+
+    def test_sparse_path_reuses_too(self, rc_pulse_circuit):
+        dense = SwecTransient(rc_pulse_circuit, swec_options()).run(5e-9)
+        sparse = SwecTransient(
+            rc_pulse_circuit,
+            swec_options(factor_rtol=0.0, matrix_format="sparse"),
+        ).run(5e-9)
+        assert sparse.factor_reuses > 0
+        grid = np.linspace(0.0, 5e-9, 101)
+        assert np.allclose(dense.resample(grid, "out"),
+                           sparse.resample(grid, "out"),
+                           rtol=1e-8, atol=1e-9)
+
+
+class TestTraceAccounting:
+    def test_trace_does_not_change_flops(self, divider):
+        """Tracing must reuse the step's already-computed chords: same
+        flop bill with tracing on or off."""
+        circuit, info = divider
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        plain = SwecTransient(circuit, swec_options()).run(1e-9)
+        traced = SwecTransient(
+            circuit, swec_options(trace_conductance=True)).run(1e-9)
+        assert traced.flops.total == plain.flops.total
+        assert (traced.flops.device_evaluations
+                == plain.flops.device_evaluations)
+        assert len(traced.conductance_trace) == traced.accepted_steps
+
+
+class TestVectorizedCurrents:
+    def test_current_many_matches_scalar(self):
+        rtd = SchulmanRTD(SCHULMAN_INGAAS)
+        voltages = np.linspace(-1.0, 3.0, 501)
+        scalar = np.array([rtd.current(float(v)) for v in voltages])
+        vectorized = rtd.current_many(voltages)
+        assert np.allclose(vectorized, scalar, rtol=1e-12, atol=1e-18)
+
+    def test_waveform_uses_vectorized_path(self, divider):
+        circuit, info = divider
+        circuit.add_capacitor("Cp", info.device_node, "0", 1e-12)
+        circuit.voltage_sources[0].waveform = Pulse(
+            0.0, 2.0, delay=0.2e-9, rise=0.2e-9, fall=0.2e-9, width=1e-9,
+            period=4e-9)
+        options = swec_options()
+        options.step.h_min = 1e-12
+        engine = SwecTransient(circuit, options)
+        result = engine.run(2e-9)
+        currents = engine.device_current_waveform(result, info.device)
+        for k, device in enumerate(circuit.devices):
+            if device.name == info.device:
+                terminals = engine.system.device_terminals()[k]
+        states = result.states
+        branch = states[:, terminals[0]] - (
+            states[:, terminals[1]] if terminals[1] >= 0 else 0.0)
+        looped = np.array([circuit.devices[0].current(float(v))
+                           for v in branch])
+        assert np.allclose(currents, looped, rtol=1e-12, atol=1e-18)

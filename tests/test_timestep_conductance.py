@@ -9,7 +9,7 @@ from repro.circuit import Circuit, DC, Pulse
 from repro.mna import MnaSystem
 from repro.swec.conductance import SwecLinearization
 from repro.swec.timestep import AdaptiveStepController, StepControlOptions
-from repro.devices import SCHULMAN_INGAAS, SchulmanRTD, nmos
+from repro.devices import nmos
 
 
 def rc_circuit(slope_source=True):

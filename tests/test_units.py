@@ -1,6 +1,5 @@
 """Tests for engineering-notation parsing and formatting."""
 
-import math
 
 import pytest
 
