@@ -1,0 +1,73 @@
+"""Sweep-subsystem bench: multi-worker speedup + determinism.
+
+A 12-point sweep over the ``.SUBCKT``-based RTD stage family (the
+``examples/sweep_spec.toml`` workload, re-specified here in Python) is
+run serially and on a process pool:
+
+* per-point measures must be bit-identical between the two runs at any
+  worker count (asserted everywhere);
+* the multi-worker run must beat sequential by >= 1.8x wall-clock
+  (asserted only when >= 4 usable cores are present).
+"""
+
+import time
+from pathlib import Path
+
+from conftest import print_rows
+from repro.runtime import default_worker_count
+from repro.sweep import ParameterAxis, SweepSpec, run_sweep
+from repro.sweep.measures import MeasureSpec
+
+WORKERS = 4
+
+_NETLIST = (Path(__file__).resolve().parent.parent
+            / "examples" / "rtd_stage_family.cir")
+
+
+def _spec() -> SweepSpec:
+    """12 transients of the RTD stage family, ~0.3-1 s each."""
+    return SweepSpec(
+        name="bench-rtd-stage-corners",
+        netlist_text=_NETLIST.read_text(),
+        settings={
+            "t_stop": 2e-9,
+            "options": {"epsilon": 0.05, "h_min": 1e-13, "h_max": 5e-11,
+                        "h_initial": 1e-12},
+        },
+        axes=[
+            ParameterAxis.from_range("rstage", 20.0, 80.0, 4),
+            ParameterAxis.from_values("vdrive", [0.8, 1.2, 1.6]),
+        ],
+        measures=[
+            MeasureSpec(kind="peak", node="out", name="v_peak"),
+            MeasureSpec(kind="final", node="out", name="v_final"),
+        ],
+    )
+
+
+def test_sweep_speedup_and_determinism():
+    serial_start = time.perf_counter()
+    serial = run_sweep(_spec(), executor="serial", seed=0)
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    parallel = run_sweep(_spec(), max_workers=WORKERS,
+                         executor="process", seed=0)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    assert serial.ok and parallel.ok
+    assert serial.n_points == parallel.n_points == 12
+    for column in ("v_peak", "v_final", "flops"):
+        assert serial.columns[column] == parallel.columns[column], column
+
+    speedup = serial_seconds / parallel_seconds
+    cores = default_worker_count()
+    print_rows(
+        f"Sweep runtime: {serial.n_points} design points, "
+        f"{WORKERS} workers ({cores} usable cores)",
+        ["mode", "wall s", "speedup"],
+        [["serial", round(serial_seconds, 3), 1.0],
+         ["process", round(parallel_seconds, 3), round(speedup, 2)]])
+    if cores >= WORKERS:
+        assert speedup >= 1.8, (
+            f"expected >= 1.8x on {cores} cores, measured {speedup:.2f}x")

@@ -1,0 +1,51 @@
+"""Design-space exploration: sweep the Fig. 8 inverter in Python.
+
+Builds a :class:`~repro.sweep.SweepSpec` directly (no spec file):
+the FET-RTD inverter template swept over load-RTD area and load
+capacitance, each point reduced to peak output and settled output
+level inside the worker.  Prints the tidy report and the corner that
+maximizes the output peak.
+
+The same sweep is expressible as a TOML file — see
+``examples/sweep_spec.toml`` for the file-driven twin of this script
+(over the ``.SUBCKT`` netlist family in ``rtd_stage_family.cir``).
+
+Run:  python examples/design_sweep.py
+"""
+
+from repro.sweep import ParameterAxis, SweepSpec, run_sweep
+from repro.sweep.measures import MeasureSpec
+
+OPTIONS = {"epsilon": 0.05, "h_min": 1e-13, "h_max": 2e-10,
+           "h_initial": 1e-12, "dv_limit": 0.5}
+
+
+def build_spec() -> SweepSpec:
+    """3 load areas x 3 load capacitances = 9 inverter variants."""
+    return SweepSpec(
+        name="inverter-load-corners",
+        template="fet_rtd_inverter",
+        settings={"t_stop": 10e-9, "options": dict(OPTIONS)},
+        axes=[
+            ParameterAxis.from_values("load_area", [1.6, 2.0, 2.4]),
+            ParameterAxis.from_range("load_capacitance", 0.5e-12,
+                                     2e-12, 3, scale="log"),
+        ],
+        measures=[
+            MeasureSpec(kind="peak", node="out", name="v_peak"),
+            MeasureSpec(kind="final", node="out", name="v_final"),
+        ],
+    )
+
+
+def main() -> None:
+    report = run_sweep(build_spec(), max_workers=2)
+    print(report.summary())
+    best = report.best("v_peak", mode="max")
+    print(f"\nhighest output peak: {best['v_peak']:.3f} V at "
+          f"load_area={best['load_area']:.3g}, "
+          f"load_capacitance={best['load_capacitance']:.3g} F")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,14 @@ Package map:
 - :mod:`repro.baselines` — SPICE-like NR, MLA and ACES-PWL comparators
 - :mod:`repro.stochastic` — Wiener/EM statistical simulation (Section 4)
 - :mod:`repro.analysis` — result containers and measurements
-- :mod:`repro.circuits_lib` — the paper's experiment circuits
+- :mod:`repro.circuits_lib` — experiment circuits + sweepable templates
 - :mod:`repro.perf` — flop accounting behind Table I
+- :mod:`repro.runtime` — batched simulation runtime (process fan-out)
+- :mod:`repro.sweep` — parametric design-space sweeps over the runtime
+
+The full package map and data flow are documented in
+``docs/architecture.md``; ``docs/paper_map.md`` locates every paper
+figure/table/equation in the code.
 """
 
 from repro.circuit import (

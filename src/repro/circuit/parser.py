@@ -12,20 +12,32 @@ Supported card types (case-insensitive, ``*`` and ``;`` comments,
     I<name> n+ n- <same waveform syntax>
     D<name> n+ n- <model>            (diode)
     X<name> n+ n- <model> [M=<mult>] (two-terminal nanodevice)
+    X<name> n1 n2 ... <subckt> [param=value ...]  (subcircuit call)
     M<name> nd ng ns <model>         (MOSFET)
     .MODEL <name> <RTD|NANOWIRE|RTT|DIODE|NMOS|PMOS> [param=value ...]
+    .PARAM <name>=<expr> [<name>=<expr> ...]
+    .SUBCKT <name> port1 port2 ... [param=default ...] / .ENDS
     .TITLE <text> / .END
 
-Values accept engineering suffixes (``1k``, ``10p``...).  Device models
-reference ``.MODEL`` cards; the RTD model exposes the Schulman parameters
-under their paper names (``A B C D N1 N2 H``).
+Values accept engineering suffixes (``1k``, ``10p``...).  Any value
+position may be an expression in braces (``{rload * 2}``) over the
+``.PARAM`` environment — see :mod:`repro.circuit.expressions`.
+Subcircuits are flattened at parse time: internal nodes and element
+names are prefixed with the instance name (``X1.n1``), and instances
+may nest.  Device models reference ``.MODEL`` cards (global, even when
+written inside a ``.SUBCKT`` body); the RTD model exposes the Schulman
+parameters under their paper names (``A B C D N1 N2 H``).
+
+The full dialect is documented in ``docs/netlist_format.md``.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, field
 
-from repro.circuit.netlist import Circuit
+from repro.circuit.expressions import ExpressionError, evaluate
+from repro.circuit.netlist import Circuit, is_ground
 from repro.circuit.sources import DC, PiecewiseLinear, Pulse, Sine, Waveform
 from repro.devices.diode import Diode
 from repro.devices.mosfet import nmos, pmos
@@ -40,7 +52,11 @@ from repro.errors import NetlistParseError
 from repro.units import parse_value
 
 _FUNC_RE = re.compile(r"^(PULSE|SIN|PWL)\s*\((.*)\)$", re.IGNORECASE)
-_PARAM_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(.+)$")
+_PARAM_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(.+)$", re.DOTALL)
+_BRACE_RE = re.compile(r"\{([^{}]*)\}")
+
+#: Recursion limit for subcircuit expansion; hitting it means a cycle.
+MAX_SUBCKT_DEPTH = 32
 
 
 def _join_continuations(text: str) -> list[tuple[int, str]]:
@@ -66,14 +82,14 @@ def _join_continuations(text: str) -> list[tuple[int, str]]:
 
 
 def _split_fields(line: str) -> list[str]:
-    """Tokenize a card, keeping ``FUNC(...)`` groups as single fields."""
+    """Tokenize a card, keeping ``FUNC(...)``/``{...}`` groups together."""
     fields: list[str] = []
     depth = 0
     current: list[str] = []
     for char in line:
-        if char == "(":
+        if char in "({":
             depth += 1
-        elif char == ")":
+        elif char in ")}":
             depth -= 1
         if char.isspace() and depth == 0:
             if current:
@@ -84,6 +100,32 @@ def _split_fields(line: str) -> list[str]:
     if current:
         fields.append("".join(current))
     return fields
+
+
+def _substitute(token: str, env: dict, number: int, line: str) -> str:
+    """Replace every ``{expr}`` in *token* with its evaluated value."""
+    if "{" not in token:
+        return token
+
+    def replace(match: re.Match) -> str:
+        return repr(evaluate(match.group(1), env))
+
+    try:
+        return _BRACE_RE.sub(replace, token)
+    except ExpressionError as exc:
+        raise NetlistParseError(str(exc), number, line) from exc
+
+
+def _expression_value(token: str, env: dict, number: int,
+                      line: str) -> float:
+    """Evaluate a value token: ``{expr}``, bare expression, or number."""
+    text = token.strip()
+    if text.startswith("{") and text.endswith("}"):
+        text = text[1:-1]
+    try:
+        return evaluate(text, env)
+    except ExpressionError as exc:
+        raise NetlistParseError(str(exc), number, line) from exc
 
 
 def _parse_waveform(fields: list[str], line_number: int,
@@ -171,66 +213,201 @@ def _build_model(kind: str, params: dict[str, float], line_number: int,
     return model
 
 
-def parse_netlist(text: str) -> Circuit:
-    """Parse *text* into a :class:`~repro.circuit.Circuit`.
+@dataclass
+class SubcktDef:
+    """One ``.SUBCKT`` definition, kept unexpanded until instantiated."""
 
-    >>> circuit = parse_netlist('''
-    ... .title divider
-    ... Vs in 0 1.0
-    ... R1 in out 10
-    ... .model myrtd RTD
-    ... Xrtd out 0 myrtd
-    ... .end
-    ... ''')
-    >>> circuit.num_nodes
-    2
-    """
-    lines = _join_continuations(text)
-    circuit = Circuit()
-    models: dict[str, object] = {}
-    # First pass: collect models so device cards can reference them in
-    # any order (SPICE allows .MODEL after the instance line).
+    name: str
+    ports: tuple[str, ...]
+    defaults: dict[str, str]
+    body: list[tuple[int, str]]
+    line_number: int
+    line: str
+
+
+@dataclass
+class _Scope:
+    """Expansion context: name prefix, port mapping, parameter env."""
+
+    env: dict
+    prefix: str = ""
+    node_map: dict = field(default_factory=dict)
+
+    def resolve(self, node: str) -> str:
+        """Map a local node name to its flattened global name."""
+        if is_ground(node):
+            return node
+        if node in self.node_map:
+            return self.node_map[node]
+        return self.prefix + node
+
+
+def _extract_subckts(
+    lines: list[tuple[int, str]],
+) -> tuple[list[tuple[int, str]], dict[str, SubcktDef]]:
+    """Split logical lines into top-level cards and subckt definitions."""
+    top: list[tuple[int, str]] = []
+    subckts: dict[str, SubcktDef] = {}
+    current: SubcktDef | None = None
     for number, line in lines:
         fields = _split_fields(line)
-        if fields[0].upper() == ".MODEL":
+        head = fields[0].upper()
+        if head == ".SUBCKT":
+            if current is not None:
+                raise NetlistParseError(
+                    "nested .SUBCKT definitions are not supported "
+                    "(nested *instantiation* is)", number, line)
             if len(fields) < 3:
-                raise NetlistParseError(".MODEL needs name and kind",
-                                        number, line)
+                raise NetlistParseError(
+                    ".SUBCKT needs a name and at least one port",
+                    number, line)
             name = fields[1].lower()
-            params: dict[str, float] = {}
-            for token in fields[3:]:
+            if name in subckts:
+                raise NetlistParseError(
+                    f"duplicate .SUBCKT name {fields[1]!r}", number, line)
+            ports: list[str] = []
+            defaults: dict[str, str] = {}
+            for token in fields[2:]:
                 match = _PARAM_RE.match(token)
-                if match is None:
+                if match is not None:
+                    defaults[match.group(1)] = match.group(2)
+                elif defaults:
                     raise NetlistParseError(
-                        f"bad model parameter {token!r}", number, line)
-                params[match.group(1).lower()] = parse_value(match.group(2))
-            models[name] = _build_model(fields[2], params, number, line)
+                        f"port {token!r} after parameter defaults",
+                        number, line)
+                else:
+                    ports.append(token)
+            if not ports:
+                raise NetlistParseError(
+                    ".SUBCKT needs at least one port", number, line)
+            current = SubcktDef(name, tuple(ports), defaults, [],
+                                number, line)
+        elif head == ".ENDS":
+            if current is None:
+                raise NetlistParseError(
+                    ".ENDS without a matching .SUBCKT", number, line)
+            subckts[current.name] = current
+            current = None
+        elif current is not None:
+            if head == ".PARAM":
+                raise NetlistParseError(
+                    ".PARAM inside a .SUBCKT body; declare defaults on "
+                    "the .SUBCKT line instead", number, line)
+            current.body.append((number, line))
+        else:
+            top.append((number, line))
+    if current is not None:
+        raise NetlistParseError(
+            f".SUBCKT {current.name!r} is never closed by .ENDS",
+            current.line_number, current.line)
+    return top, subckts
 
+
+def _collect_params(lines: list[tuple[int, str]],
+                    overrides: dict | None) -> dict[str, float]:
+    """Process ``.PARAM`` cards in order, applying external overrides.
+
+    Overrides replace the value of a parameter *at its definition
+    point*, so later parameters derived from it see the override.
+    Overriding a name no ``.PARAM`` card defines is an error — it is
+    almost always a typo in a sweep spec.
+    """
+    overrides = dict(overrides or {})
+    env: dict[str, float] = {}
     for number, line in lines:
         fields = _split_fields(line)
-        head = fields[0]
-        upper = head.upper()
-        if upper.startswith(".TITLE"):
-            circuit.name = " ".join(fields[1:]) or circuit.name
+        if fields[0].upper() != ".PARAM":
             continue
-        if upper in (".END",) or upper.startswith(".MODEL"):
-            continue
-        if upper.startswith("."):
+        if len(fields) < 2:
             raise NetlistParseError(
-                f"unsupported directive {head!r}", number, line)
-        letter = upper[0]
+                ".PARAM needs at least one name=value pair", number, line)
+        for token in fields[1:]:
+            match = _PARAM_RE.match(token)
+            if match is None:
+                raise NetlistParseError(
+                    f"bad .PARAM token {token!r} (expected name=value)",
+                    number, line)
+            name = match.group(1)
+            if name in env:
+                raise NetlistParseError(
+                    f"parameter {name!r} redefined", number, line)
+            if name in overrides:
+                env[name] = float(overrides.pop(name))
+            else:
+                env[name] = _expression_value(match.group(2), env,
+                                              number, line)
+    if overrides:
+        unknown = ", ".join(sorted(overrides))
+        raise NetlistParseError(
+            f"override of parameter(s) not defined by any .PARAM card: "
+            f"{unknown}")
+    return env
+
+
+def _collect_models(lines: list[tuple[int, str]],
+                    env: dict[str, float]) -> dict[str, object]:
+    """Build the (global) model table from every ``.MODEL`` card."""
+    models: dict[str, object] = {}
+    for number, line in lines:
+        fields = _split_fields(line)
+        if fields[0].upper() != ".MODEL":
+            continue
+        if len(fields) < 3:
+            raise NetlistParseError(".MODEL needs name and kind",
+                                    number, line)
+        name = fields[1].lower()
+        params: dict[str, float] = {}
+        for token in fields[3:]:
+            token = _substitute(token, env, number, line)
+            match = _PARAM_RE.match(token)
+            if match is None:
+                raise NetlistParseError(
+                    f"bad model parameter {token!r}", number, line)
+            params[match.group(1).lower()] = parse_value(match.group(2))
+        models[name] = _build_model(fields[2], params, number, line)
+    return models
+
+
+def _split_bare_and_params(tokens: list[str]) -> tuple[list[str],
+                                                       list[str]]:
+    """Separate positional tokens from trailing ``name=value`` tokens."""
+    bare = [t for t in tokens if _PARAM_RE.match(t) is None]
+    params = [t for t in tokens if _PARAM_RE.match(t) is not None]
+    return bare, params
+
+
+class _Parser:
+    """Single-netlist parse state: model/subckt tables plus the circuit."""
+
+    def __init__(self, models: dict, subckts: dict[str, SubcktDef]) -> None:
+        self.models = models
+        self.subckts = subckts
+        self.circuit = Circuit()
+
+    # ------------------------------------------------------------------
+
+    def add_card(self, fields: list[str], number: int, line: str,
+                 scope: _Scope, depth: int = 0) -> None:
+        """Parse one element card into the circuit, inside *scope*."""
+        head = fields[0]
+        name = scope.prefix + head
+        fields = [head] + [_substitute(token, scope.env, number, line)
+                           for token in fields[1:]]
+        letter = head[0].upper()
+        circuit = self.circuit
         try:
             if letter == "R":
-                circuit.add_resistor(head, fields[1], fields[2],
+                circuit.add_resistor(name, scope.resolve(fields[1]),
+                                     scope.resolve(fields[2]),
                                      parse_value(fields[3]))
             elif letter == "C":
                 initial = None
-                tail = fields[4:] if len(fields) > 4 else []
-                for token in tail:
+                for token in fields[4:]:
                     match = _PARAM_RE.match(token)
                     if match and match.group(1).upper() == "IC":
                         initial = parse_value(match.group(2))
-                circuit.add_capacitor(head, fields[1], fields[2],
+                circuit.add_capacitor(name, scope.resolve(fields[1]),
+                                      scope.resolve(fields[2]),
                                       parse_value(fields[3]), initial)
             elif letter == "L":
                 initial = 0.0
@@ -238,35 +415,30 @@ def parse_netlist(text: str) -> Circuit:
                     match = _PARAM_RE.match(token)
                     if match and match.group(1).upper() == "IC":
                         initial = parse_value(match.group(2))
-                circuit.add_inductor(head, fields[1], fields[2],
+                circuit.add_inductor(name, scope.resolve(fields[1]),
+                                     scope.resolve(fields[2]),
                                      parse_value(fields[3]), initial)
             elif letter == "V":
                 circuit.add_voltage_source(
-                    head, fields[1], fields[2],
+                    name, scope.resolve(fields[1]), scope.resolve(fields[2]),
                     _parse_waveform(fields[3:], number, line))
             elif letter == "I":
                 circuit.add_current_source(
-                    head, fields[1], fields[2],
+                    name, scope.resolve(fields[1]), scope.resolve(fields[2]),
                     _parse_waveform(fields[3:], number, line))
-            elif letter in ("X", "D"):
-                model_name = fields[3].lower()
-                if model_name not in models:
-                    raise NetlistParseError(
-                        f"unknown model {fields[3]!r}", number, line)
-                multiplicity = 1.0
-                for token in fields[4:]:
-                    match = _PARAM_RE.match(token)
-                    if match and match.group(1).upper() == "M":
-                        multiplicity = parse_value(match.group(2))
-                circuit.add_device(head, fields[1], fields[2],
-                                   models[model_name], multiplicity)
+            elif letter == "X":
+                self._add_x_card(fields, number, line, scope, depth)
+            elif letter == "D":
+                self._add_device(fields, number, line, scope)
             elif letter == "M":
                 model_name = fields[4].lower()
-                if model_name not in models:
+                if model_name not in self.models:
                     raise NetlistParseError(
                         f"unknown model {fields[4]!r}", number, line)
-                circuit.add_mosfet(head, fields[1], fields[2], fields[3],
-                                   models[model_name])
+                circuit.add_mosfet(name, scope.resolve(fields[1]),
+                                   scope.resolve(fields[2]),
+                                   scope.resolve(fields[3]),
+                                   self.models[model_name])
             else:
                 raise NetlistParseError(
                     f"unknown card type {head!r}", number, line)
@@ -277,4 +449,142 @@ def parse_netlist(text: str) -> Circuit:
                 f"too few fields for {head!r}", number, line) from None
         except Exception as exc:
             raise NetlistParseError(str(exc), number, line) from exc
+
+    # ------------------------------------------------------------------
+
+    def _add_device(self, fields: list[str], number: int, line: str,
+                    scope: _Scope) -> None:
+        """``D``/two-terminal ``X`` card referencing a ``.MODEL``."""
+        model_name = fields[3].lower()
+        if model_name not in self.models:
+            raise NetlistParseError(
+                f"unknown model {fields[3]!r}", number, line)
+        multiplicity = 1.0
+        for token in fields[4:]:
+            match = _PARAM_RE.match(token)
+            if match and match.group(1).upper() == "M":
+                multiplicity = parse_value(match.group(2))
+        self.circuit.add_device(
+            scope.prefix + fields[0], scope.resolve(fields[1]),
+            scope.resolve(fields[2]), self.models[model_name], multiplicity)
+
+    def _add_x_card(self, fields: list[str], number: int, line: str,
+                    scope: _Scope, depth: int) -> None:
+        """``X`` card: subcircuit call, or two-terminal nanodevice."""
+        bare, param_tokens = _split_bare_and_params(fields[1:])
+        if len(bare) < 2:
+            raise NetlistParseError(
+                f"too few fields for {fields[0]!r}", number, line)
+        reference = bare[-1].lower()
+        if reference in self.subckts:
+            self._expand_subckt(fields[0], bare[:-1], param_tokens,
+                                self.subckts[reference], number, line,
+                                scope, depth)
+            return
+        if reference in self.models:
+            self._add_device(fields, number, line, scope)
+            return
+        raise NetlistParseError(
+            f"unknown model or subcircuit {bare[-1]!r}", number, line)
+
+    def _expand_subckt(self, instance: str, nodes: list[str],
+                       param_tokens: list[str], definition: SubcktDef,
+                       number: int, line: str, scope: _Scope,
+                       depth: int) -> None:
+        """Flatten one subcircuit call into prefixed elements."""
+        if depth >= MAX_SUBCKT_DEPTH:
+            raise NetlistParseError(
+                f"subcircuit nesting deeper than {MAX_SUBCKT_DEPTH} "
+                f"levels (recursive definition?)", number, line)
+        if len(nodes) != len(definition.ports):
+            raise NetlistParseError(
+                f"subcircuit {definition.name!r} has "
+                f"{len(definition.ports)} port(s) "
+                f"{definition.ports}, got {len(nodes)} node(s)",
+                number, line)
+        # Instance overrides are evaluated in the caller's scope...
+        overrides: dict[str, float] = {}
+        for token in param_tokens:
+            match = _PARAM_RE.match(token)
+            key = match.group(1)
+            if key not in definition.defaults:
+                raise NetlistParseError(
+                    f"subcircuit {definition.name!r} has no parameter "
+                    f"{key!r} (has: {sorted(definition.defaults) or 'none'})",
+                    number, line)
+            overrides[key] = _expression_value(match.group(2), scope.env,
+                                               number, line)
+        # ...while defaults are evaluated in the global/outer env, with
+        # earlier subckt parameters visible to later defaults.
+        child_env = dict(scope.env)
+        for key, default in definition.defaults.items():
+            if key in overrides:
+                child_env[key] = overrides[key]
+            else:
+                child_env[key] = _expression_value(
+                    default, child_env, definition.line_number,
+                    definition.line)
+        child = _Scope(
+            env=child_env,
+            prefix=scope.prefix + instance + ".",
+            node_map={port: scope.resolve(node)
+                      for port, node in zip(definition.ports, nodes)})
+        for body_number, body_line in definition.body:
+            body_fields = _split_fields(body_line)
+            head = body_fields[0].upper()
+            if head == ".MODEL":
+                continue  # models are global; collected in the first pass
+            if head.startswith("."):
+                raise NetlistParseError(
+                    f"directive {body_fields[0]!r} not allowed inside "
+                    f".SUBCKT {definition.name!r}", body_number, body_line)
+            self.add_card(body_fields, body_number, body_line, child,
+                          depth + 1)
+
+
+def parse_netlist(text: str, params: dict | None = None) -> Circuit:
+    """Parse *text* into a :class:`~repro.circuit.Circuit`.
+
+    Parameters
+    ----------
+    text:
+        The netlist source.
+    params:
+        External overrides for ``.PARAM`` values — this is how the
+        sweep subsystem turns one netlist into a circuit family.  Every
+        key must be defined by a ``.PARAM`` card in the netlist.
+
+    >>> circuit = parse_netlist('''
+    ... .title divider
+    ... .param rser=10
+    ... Vs in 0 1.0
+    ... R1 in out {rser}
+    ... .model myrtd RTD
+    ... Xrtd out 0 myrtd
+    ... .end
+    ... ''', params={"rser": 22.0})
+    >>> circuit.num_nodes
+    2
+    >>> circuit.resistors[0].resistance
+    22.0
+    """
+    lines = _join_continuations(text)
+    top, subckts = _extract_subckts(lines)
+    env = _collect_params(top, params)
+    parser = _Parser(_collect_models(lines, env), subckts)
+    circuit = parser.circuit
+
+    for number, line in top:
+        fields = _split_fields(line)
+        head = fields[0]
+        upper = head.upper()
+        if upper.startswith(".TITLE"):
+            circuit.name = " ".join(fields[1:]) or circuit.name
+            continue
+        if upper in (".END",) or upper.startswith((".MODEL", ".PARAM")):
+            continue
+        if upper.startswith("."):
+            raise NetlistParseError(
+                f"unsupported directive {head!r}", number, line)
+        parser.add_card(fields, number, line, _Scope(env=env))
     return circuit

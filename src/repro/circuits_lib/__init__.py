@@ -2,7 +2,11 @@
 
 Each builder returns a fully wired :class:`~repro.circuit.Circuit` plus a
 small info record documenting node names and design values, so examples,
-tests and benches all simulate exactly the same topologies.
+tests and benches all simulate exactly the same topologies.  Builders
+are registered as sweepable templates in
+:mod:`repro.circuits_lib.templates`, which is how the
+:mod:`repro.sweep` subsystem addresses them by name and validates
+which keyword arguments a parameter axis may range over.
 """
 
 from repro.circuits_lib.dividers import (
@@ -14,14 +18,24 @@ from repro.circuits_lib.flipflop import mobile_dflipflop
 from repro.circuits_lib.grids import rc_mesh, rtd_mesh
 from repro.circuits_lib.inverter import fet_rtd_inverter
 from repro.circuits_lib.noisy_rc import noisy_rc_node, noisy_rc_ladder
+from repro.circuits_lib.templates import (
+    TEMPLATES,
+    CircuitTemplate,
+    get_template,
+    register_template,
+)
 
 __all__ = [
+    "CircuitTemplate",
+    "TEMPLATES",
     "fet_rtd_inverter",
+    "get_template",
     "mobile_dflipflop",
     "nanowire_divider",
     "noisy_rc_ladder",
     "noisy_rc_node",
     "rc_mesh",
+    "register_template",
     "rtd_chain",
     "rtd_divider",
     "rtd_mesh",

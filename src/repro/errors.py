@@ -2,8 +2,9 @@
 
 Every error raised by the library derives from :class:`NanoSimError` so user
 code can catch the whole family with one ``except`` clause.  The subclasses
-separate the three phases where things go wrong: building a circuit,
-assembling the equations, and running an analysis.
+separate the phases where things go wrong: building a circuit (including
+parsing a netlist), assembling the equations, and configuring or running
+an analysis (including sweep specifications).
 """
 
 from __future__ import annotations
@@ -43,6 +44,15 @@ class AssemblyError(NanoSimError):
 
 class AnalysisError(NanoSimError):
     """An analysis was configured incorrectly or failed to run."""
+
+
+class SweepSpecError(AnalysisError):
+    """A parametric sweep specification is invalid.
+
+    Raised while *building* a sweep (bad ranges, empty grids, unknown
+    measures or templates), never while running one — per-point runtime
+    failures are captured in the report instead.
+    """
 
 
 class ConvergenceError(AnalysisError):

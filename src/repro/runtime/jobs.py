@@ -137,15 +137,18 @@ def _engine_factory(engine: str) -> tuple[Callable, Callable]:
 class TransientJob:
     """One deterministic transient simulation.
 
-    Exactly one of ``circuit`` (a ready :class:`~repro.circuit.Circuit`)
-    or ``builder`` (a callable, or the name of a
-    :mod:`repro.circuits_lib` builder, invoked with ``params``) must be
-    given.  Builders returning ``(circuit, info)`` tuples are unwrapped.
+    Exactly one of ``circuit`` (a ready :class:`~repro.circuit.Circuit`),
+    ``builder`` (a callable, or the name of a :mod:`repro.circuits_lib`
+    builder, invoked with ``params``) or ``netlist`` (SPICE-dialect
+    source text, parsed with ``params`` as ``.PARAM`` overrides inside
+    the worker) must be given.  Builders returning ``(circuit, info)``
+    tuples are unwrapped.
     """
 
     t_stop: float
     circuit: Any = None
     builder: str | Callable | None = None
+    netlist: str | None = None
     params: dict = field(default_factory=dict)
     engine: str = "swec"
     options: Any = None
@@ -153,15 +156,24 @@ class TransientJob:
     label: str = ""
 
     def __post_init__(self) -> None:
-        if (self.circuit is None) == (self.builder is None):
+        given = sum(
+            source is not None
+            for source in (self.circuit, self.builder, self.netlist)
+        )
+        if given != 1:
             raise AnalysisError(
-                "TransientJob needs exactly one of circuit= or builder="
+                "TransientJob needs exactly one of circuit=, builder= "
+                "or netlist="
             )
 
     def build_circuit(self):
         """Materialize the circuit this job simulates."""
         if self.circuit is not None:
             return self.circuit
+        if self.netlist is not None:
+            from repro.circuit.parser import parse_netlist
+
+            return parse_netlist(self.netlist, params=self.params)
         builder = self.builder
         if isinstance(builder, str):
             builder = _resolve_circuit_builder(builder)
@@ -260,7 +272,7 @@ def job_from_mapping(spec: Mapping[str, Any]) -> TransientJob | EnsembleJob:
             spec["builder"] = circuit
         elif circuit is not None:
             spec["circuit"] = circuit
-        return TransientJob(**spec)
+        return TransientJob(**spec)  # "netlist" passes through as text
     if kind == "ensemble":
         sde = spec.pop("sde", None)
         if isinstance(sde, str):

@@ -1,0 +1,55 @@
+"""Parametric design-space sweeps over circuit families.
+
+A sweep turns one base design — a registered
+:mod:`repro.circuits_lib` template, or a ``.PARAM``/``.SUBCKT``
+netlist — plus a parameter grid into a batch of
+:class:`~repro.runtime.TransientJob`/:class:`~repro.runtime.EnsembleJob`
+runs on the :class:`~repro.runtime.BatchRunner`, reduces each point to
+measure scalars inside the worker, and aggregates everything into a
+tidy :class:`SweepReport` (dict-of-columns, CSV/JSON export).  Results
+are bit-identical at any worker count.
+
+Quick start::
+
+    from repro.sweep import ParameterAxis, SweepSpec, run_sweep
+    from repro.sweep.measures import MeasureSpec
+
+    spec = SweepSpec(
+        template="rtd_divider",
+        settings={"t_stop": 1e-9},
+        axes=[ParameterAxis.from_range("resistance", 5.0, 300.0, 12,
+                                       scale="log")],
+        measures=[MeasureSpec(kind="final", node="out")],
+    )
+    report = run_sweep(spec, max_workers=4)
+    print(report.summary())
+    report.to_csv("divider.csv")
+
+Spec files drive the same machinery from the command line
+(``python -m repro.sweep spec.toml``); the schema is documented on
+:meth:`SweepSpec.from_mapping` and in the README's "Sweeps" section.
+"""
+
+from repro.sweep.measures import (
+    ENSEMBLE_MEASURES,
+    TRANSIENT_MEASURES,
+    MeasureSpec,
+    measures_from_spec,
+)
+from repro.sweep.report import SweepReport
+from repro.sweep.runner import SweepPointJob, build_jobs, run_sweep
+from repro.sweep.spec import ParameterAxis, SweepSpec, load_sweep_spec
+
+__all__ = [
+    "ENSEMBLE_MEASURES",
+    "MeasureSpec",
+    "ParameterAxis",
+    "SweepPointJob",
+    "SweepReport",
+    "SweepSpec",
+    "TRANSIENT_MEASURES",
+    "build_jobs",
+    "load_sweep_spec",
+    "measures_from_spec",
+    "run_sweep",
+]

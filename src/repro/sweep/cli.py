@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro.sweep spec.toml``.
+
+Loads a TOML (Python 3.11+) or JSON sweep spec (schema documented on
+:meth:`repro.sweep.spec.SweepSpec.from_mapping`), runs the grid on the
+batch runtime, prints the tidy summary table and optionally exports it::
+
+    python -m repro.sweep examples/sweep_spec.toml
+    python -m repro.sweep spec.toml --workers 8 --csv out.csv --json out.json
+    python -m repro.sweep --list-templates
+
+The exit status is 0 when every design point succeeded, 1 when any
+failed, 2 on a bad spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import NanoSimError
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import load_sweep_spec
+
+
+def _list_templates() -> str:
+    """The ``--list-templates`` table text."""
+    from repro.circuits_lib.templates import TEMPLATES
+
+    lines = ["registered sweep templates:"]
+    width = max(len(name) for name in TEMPLATES)
+    for name in sorted(TEMPLATES):
+        template = TEMPLATES[name]
+        lines.append(
+            f"  {name:<{width}}  [{template.kind:>7}]  "
+            f"{template.description}")
+        lines.append(
+            f"  {'':<{width}}             sweepable: "
+            f"{', '.join(template.sweepable)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run a parametric design-space sweep in parallel.",
+    )
+    parser.add_argument("spec", nargs="?", default=None,
+                        help="sweep-spec file (.toml or .json)")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count (default: [batch].workers, else CPU count)")
+    parser.add_argument(
+        "--executor", choices=("process", "thread", "serial"),
+        default=None,
+        help="execution backend (default: [batch].executor, else process)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="base RNG seed (default: [batch].seed, else 0)")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="write the tidy table as CSV")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full report as JSON")
+    parser.add_argument("--list-templates", action="store_true",
+                        help="list sweepable circuit templates and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_templates:
+        print(_list_templates())
+        return 0
+    if args.spec is None:
+        parser.error("a sweep-spec file is required "
+                     "(or use --list-templates)")
+
+    try:
+        spec = load_sweep_spec(args.spec)
+        report = run_sweep(spec, max_workers=args.workers,
+                           executor=args.executor, seed=args.seed)
+    except (NanoSimError, TypeError, ValueError) as exc:
+        # ValueError covers json/toml decode errors on malformed
+        # files; per-point simulation failures never raise — they are
+        # captured in the report, so anything escaping here is a
+        # configuration problem.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    for row in report.failures():
+        print(f"  point {row['index']} ({row['label']}): {row['error']}",
+              file=sys.stderr)
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        report.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1

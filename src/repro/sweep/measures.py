@@ -1,0 +1,215 @@
+"""Per-point measure extraction for sweeps.
+
+A measure reduces one simulation result to a single float, *inside the
+worker process*, so only scalars — never full waveforms — cross the
+process boundary on the way into a
+:class:`~repro.sweep.report.SweepReport` column.
+
+Transient measures wrap :mod:`repro.analysis.measure` over one node's
+waveform; ensemble measures reduce the
+:class:`~repro.stochastic.montecarlo.EnsembleStatistics` bands.  Each
+measure is addressed by ``kind`` in the spec file and contributes one
+report column (named after the measure, or an explicit ``name=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import SweepSpecError
+
+
+def _node_waveform(result, node: str | None):
+    """``(times, values)`` of *node* (default: last node) in a result."""
+    from repro.errors import AnalysisError
+
+    if node is None:
+        node = result.node_names[-1]
+    try:
+        return result.times, result.voltage(node)
+    except AnalysisError as exc:
+        raise AnalysisError(
+            f"measure node {node!r}: {exc}") from exc
+
+
+def _measure_rise_time(result, node, kwargs):
+    from repro.analysis.measure import rise_time
+
+    return rise_time(*_node_waveform(result, node), **kwargs)
+
+
+def _measure_fall_time(result, node, kwargs):
+    from repro.analysis.measure import fall_time
+
+    return fall_time(*_node_waveform(result, node), **kwargs)
+
+
+def _measure_peak(result, node, kwargs):
+    from repro.analysis.measure import peak_value
+
+    return peak_value(*_node_waveform(result, node), **kwargs)[1]
+
+
+def _measure_peak_time(result, node, kwargs):
+    from repro.analysis.measure import peak_value
+
+    return peak_value(*_node_waveform(result, node), **kwargs)[0]
+
+
+def _measure_final(result, node, kwargs):
+    times, values = _node_waveform(result, node)
+    return float(values[-1])
+
+
+def _measure_settling_time(result, node, kwargs):
+    from repro.analysis.measure import settling_time
+
+    return settling_time(*_node_waveform(result, node), **kwargs)
+
+
+def _measure_overshoot(result, node, kwargs):
+    from repro.analysis.measure import overshoot
+
+    return overshoot(*_node_waveform(result, node), **kwargs)
+
+
+def _measure_crossing_count(result, node, kwargs):
+    from repro.analysis.measure import crossing_times
+
+    return float(crossing_times(*_node_waveform(result, node),
+                                **kwargs).size)
+
+
+def _measure_at(result, node, kwargs):
+    kwargs = dict(kwargs)
+    try:
+        t = kwargs.pop("t")
+    except KeyError:
+        raise SweepSpecError("measure 'at' needs t=<time>") from None
+    if node is None:
+        node = result.node_names[-1]
+    return result.at(float(t), node)
+
+
+#: Transient measures: ``fn(TransientResult, node, kwargs) -> float``.
+TRANSIENT_MEASURES = {
+    "rise_time": _measure_rise_time,
+    "fall_time": _measure_fall_time,
+    "peak": _measure_peak,
+    "peak_time": _measure_peak_time,
+    "final": _measure_final,
+    "at": _measure_at,
+    "settling_time": _measure_settling_time,
+    "overshoot": _measure_overshoot,
+    "crossing_count": _measure_crossing_count,
+}
+
+
+def _ensemble_mean_peak(stats, kwargs):
+    return float(np.max(stats.mean))
+
+
+def _ensemble_mean_final(stats, kwargs):
+    return float(stats.mean[-1])
+
+
+def _ensemble_std_final(stats, kwargs):
+    return float(stats.std[-1])
+
+
+def _ensemble_std_peak(stats, kwargs):
+    return float(np.max(stats.std))
+
+
+def _ensemble_band_width_max(stats, kwargs):
+    return float(np.max(stats.band_width()))
+
+
+def _ensemble_upper_peak(stats, kwargs):
+    return float(np.max(stats.upper))
+
+
+#: Ensemble measures: ``fn(EnsembleStatistics, kwargs) -> float``.
+ENSEMBLE_MEASURES = {
+    "mean_peak": _ensemble_mean_peak,
+    "mean_final": _ensemble_mean_final,
+    "std_final": _ensemble_std_final,
+    "std_peak": _ensemble_std_peak,
+    "band_width_max": _ensemble_band_width_max,
+    "upper_peak": _ensemble_upper_peak,
+}
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """One measure to extract at every sweep point.
+
+    ``kind`` names a registered reducer; ``name`` is the report column
+    (defaults to ``kind``); ``node`` selects the waveform for transient
+    measures; ``kwargs`` is forwarded to the underlying measurement
+    (levels, windows, tolerances — picklable scalars only).
+    """
+
+    kind: str
+    name: str = ""
+    node: str | None = None
+    kwargs: tuple = field(default_factory=tuple)
+
+    @property
+    def column(self) -> str:
+        """Report column name."""
+        return self.name or self.kind
+
+    def extract(self, value) -> float:
+        """Reduce one job result to this measure's scalar."""
+        kwargs = dict(self.kwargs)
+        if self.kind in TRANSIENT_MEASURES:
+            return float(TRANSIENT_MEASURES[self.kind](value, self.node,
+                                                       kwargs))
+        return float(ENSEMBLE_MEASURES[self.kind](value, kwargs))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any],
+                     kind: str = "transient") -> "MeasureSpec":
+        """Build (and validate) a measure from one ``[[measures]]``
+        table; *kind* is the sweep kind it must be compatible with."""
+        mapping = dict(mapping)
+        measure_kind = mapping.pop("kind", None)
+        if not measure_kind:
+            raise SweepSpecError("measure needs a kind=")
+        registry = (TRANSIENT_MEASURES if kind == "transient"
+                    else ENSEMBLE_MEASURES)
+        if measure_kind not in registry:
+            raise SweepSpecError(
+                f"unknown {kind} measure {measure_kind!r} "
+                f"(available: {', '.join(sorted(registry))})")
+        name = mapping.pop("name", "")
+        node = mapping.pop("node", None)
+        if node is not None and kind == "ensemble":
+            raise SweepSpecError(
+                f"measure {measure_kind!r}: node= applies only to "
+                f"transient sweeps (ensembles pick their component "
+                f"in the sweep settings)")
+        for key, value in mapping.items():
+            if not isinstance(value, (int, float, str, bool)):
+                raise SweepSpecError(
+                    f"measure {measure_kind!r}: argument {key}={value!r} "
+                    f"is not a scalar")
+        return cls(kind=measure_kind, name=name, node=node,
+                   kwargs=tuple(sorted(mapping.items())))
+
+
+def measures_from_spec(tables, kind: str = "transient") -> list[MeasureSpec]:
+    """Build every measure of a spec document, checking name clashes."""
+    measures = [MeasureSpec.from_mapping(table, kind=kind)
+                for table in tables]
+    columns = [m.column for m in measures]
+    duplicates = {c for c in columns if columns.count(c) > 1}
+    if duplicates:
+        raise SweepSpecError(
+            f"duplicate measure column(s): {sorted(duplicates)}; "
+            f"disambiguate with name=")
+    return measures

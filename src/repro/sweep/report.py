@@ -1,0 +1,187 @@
+"""Tidy sweep results: dict-of-columns with CSV/JSON export.
+
+A :class:`SweepReport` is the "tidy data" view of a finished sweep:
+one row per design point, one column per swept parameter, per measure,
+and per diagnostic (``ok``, ``error``, ``seconds``).  Columns are plain
+Python lists so the report serializes without ceremony; failed points
+keep their parameter values and carry ``None`` in measure columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class SweepReport:
+    """Aggregated outcome of one parametric sweep.
+
+    Attributes
+    ----------
+    name:
+        The sweep's name (from the spec).
+    param_names / measure_names:
+        Column grouping: swept parameters vs extracted measures.
+    columns:
+        Column name -> list of per-point values, in point order.
+        Always includes ``index``, ``label``, ``ok``, ``error`` and
+        ``seconds`` besides the parameter and measure columns.
+    wall_seconds / workers / executor / seed:
+        Batch-level execution metadata.
+    """
+
+    name: str
+    param_names: tuple[str, ...]
+    measure_names: tuple[str, ...]
+    columns: dict[str, list] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    executor: str = "serial"
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of design points (rows)."""
+        return len(self.columns.get("index", ()))
+
+    @property
+    def n_ok(self) -> int:
+        """Number of points whose simulation and measures succeeded."""
+        return sum(1 for ok in self.columns.get("ok", ()) if ok)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_points - self.n_ok
+
+    @property
+    def ok(self) -> bool:
+        """True when every point succeeded."""
+        return self.n_failed == 0
+
+    def column(self, name: str) -> list:
+        """One column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise AnalysisError(
+                f"no column {name!r} (have: {', '.join(self.columns)})"
+            ) from None
+
+    def rows(self) -> list[dict]:
+        """Row-oriented view: one dict per design point."""
+        names = list(self.columns)
+        return [
+            {name: self.columns[name][k] for name in names}
+            for k in range(self.n_points)
+        ]
+
+    def failures(self) -> list[dict]:
+        """Rows of the failed points."""
+        return [row for row in self.rows() if not row["ok"]]
+
+    def best(self, measure: str, mode: str = "min") -> dict:
+        """The successful row minimizing (or maximizing) *measure*."""
+        if mode not in ("min", "max"):
+            raise AnalysisError(f"mode must be 'min' or 'max', got {mode!r}")
+        candidates = [
+            row for row in self.rows()
+            if row["ok"] and row.get(measure) is not None
+        ]
+        if not candidates:
+            raise AnalysisError(
+                f"no successful point carries measure {measure!r}")
+        chooser = min if mode == "min" else max
+        return chooser(candidates, key=lambda row: row[measure])
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Write the tidy table as CSV; returns the text."""
+        buffer = io.StringIO()
+        names = list(self.columns)
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(names)
+        for k in range(self.n_points):
+            writer.writerow([self.columns[name][k] for name in names])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialize the report (metadata + columns) as JSON."""
+        document = {
+            "name": self.name,
+            "param_names": list(self.param_names),
+            "measure_names": list(self.measure_names),
+            "n_points": self.n_points,
+            "n_ok": self.n_ok,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "executor": self.executor,
+            "seed": self.seed,
+            "columns": self.columns,
+        }
+        text = json.dumps(document, indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        document = json.loads(text)
+        return cls(
+            name=document["name"],
+            param_names=tuple(document["param_names"]),
+            measure_names=tuple(document["measure_names"]),
+            columns=document["columns"],
+            wall_seconds=document["wall_seconds"],
+            workers=document["workers"],
+            executor=document["executor"],
+            seed=document["seed"],
+        )
+
+    # ------------------------------------------------------------------
+
+    def summary(self, max_rows: int = 20) -> str:
+        """Human-readable table of the sweep (down-sampled rows)."""
+        header = (
+            f"sweep {self.name!r}: {self.n_points} points, "
+            f"{self.n_ok} ok, {self.n_failed} failed "
+            f"({self.executor}, workers={self.workers}, seed={self.seed}), "
+            f"wall {self.wall_seconds:.3f} s"
+        )
+        names = ["index", *self.param_names, *self.measure_names, "seconds"]
+        lines = [header, "  " + " ".join(f"{n:>14}" for n in names)]
+        n = self.n_points
+        shown = range(n) if n <= max_rows else (
+            list(range(max_rows - 1)) + [n - 1])
+        for k in shown:
+            cells = []
+            for name in names:
+                value = self.columns[name][k]
+                if value is None:
+                    cells.append(f"{'FAILED':>14}")
+                elif isinstance(value, float):
+                    cells.append(f"{value:>14.6g}")
+                else:
+                    cells.append(f"{value!s:>14}")
+            lines.append("  " + " ".join(cells))
+        if n > max_rows:
+            lines.insert(len(lines) - 1, f"  ... ({n - max_rows} more)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"SweepReport({self.name!r}, points={self.n_points}, "
+                f"ok={self.n_ok}, measures={list(self.measure_names)})")

@@ -1,0 +1,147 @@
+"""Sweep execution: expand the grid, fan out, aggregate per point.
+
+``run_sweep`` turns a :class:`~repro.sweep.spec.SweepSpec` into one
+:class:`SweepPointJob` per design point, executes them on the PR-1
+:class:`~repro.runtime.BatchRunner` (deterministic ``SeedSequence``
+seeding: per-point results are bit-identical at any worker count), and
+assembles the streamed-back scalars into a
+:class:`~repro.sweep.report.SweepReport`.
+
+The aggregation is *streaming* in the data-volume sense: each point's
+waveforms/paths are reduced to measure scalars inside the worker
+(:meth:`SweepPointJob.run`), so the parent process never holds more
+than one small dict per point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.jobs import EnsembleJob, TransientJob
+from repro.runtime.report import BatchReport
+from repro.runtime.runner import BatchRunner
+from repro.sweep.measures import MeasureSpec
+from repro.sweep.report import SweepReport
+from repro.sweep.spec import SweepSpec
+
+#: Diagnostic columns every transient sweep report carries.
+_TRANSIENT_DIAGNOSTICS = ("points", "flops")
+
+
+@dataclass
+class SweepPointJob:
+    """One design point: an inner job plus worker-side reduction.
+
+    Wraps a :class:`~repro.runtime.jobs.TransientJob` or
+    :class:`~repro.runtime.jobs.EnsembleJob` and reduces its result to
+    the spec's measure scalars *before* returning, so the process
+    boundary carries a small dict instead of full waveforms.
+    """
+
+    inner: TransientJob | EnsembleJob
+    measures: list[MeasureSpec] = field(default_factory=list)
+    point: dict = field(default_factory=dict)
+    label: str = ""
+
+    def run(self, seed=None) -> dict:
+        """Execute the inner job; return measure + diagnostic scalars."""
+        value = self.inner.run(seed)
+        scalars: dict[str, float] = {}
+        for measure in self.measures:
+            scalars[measure.column] = measure.extract(value)
+        diagnostics: dict[str, float] = {}
+        if hasattr(value, "flops"):  # TransientResult
+            diagnostics["points"] = float(len(value))
+            diagnostics["flops"] = float(value.flops.total)
+        return {"measures": scalars, "diagnostics": diagnostics}
+
+
+def build_jobs(spec: SweepSpec) -> list[SweepPointJob]:
+    """Expand *spec* into one :class:`SweepPointJob` per grid point."""
+    jobs = []
+    measures = spec.resolved_measures()
+    for point in spec.points():
+        label = spec.point_label(point)
+        params = dict(point)
+        if spec.template is not None:
+            params = spec.template_info().coerce(params)
+        if spec.kind == "transient":
+            if spec.template is not None:
+                inner = TransientJob(builder=spec.template, params=params,
+                                     label=label, **spec.settings)
+            else:
+                inner = TransientJob(netlist=spec.netlist_text,
+                                     params=params, label=label,
+                                     **spec.settings)
+        else:
+            # SweepSpec validation guarantees an SDE template here.
+            inner = EnsembleJob(builder=spec.template, params=params,
+                                label=label, **spec.settings)
+        jobs.append(SweepPointJob(inner=inner, measures=measures,
+                                  point=point, label=label))
+    return jobs
+
+
+def _assemble_report(spec: SweepSpec, jobs: list[SweepPointJob],
+                     batch: BatchReport,
+                     wall_seconds: float) -> SweepReport:
+    """Stitch per-point scalars into tidy columns, preserving order."""
+    param_names = tuple(axis.name for axis in spec.axes)
+    measure_names = tuple(m.column for m in spec.measures)
+    diagnostics = (_TRANSIENT_DIAGNOSTICS
+                   if spec.kind == "transient" else ())
+    columns: dict[str, list] = {
+        name: [] for name in
+        ("index", "label", *param_names, *measure_names, *diagnostics,
+         "ok", "error", "seconds")
+    }
+    for result, job in zip(batch.results, jobs):
+        columns["index"].append(result.index)
+        columns["label"].append(result.label)
+        for name in param_names:
+            columns[name].append(job.point[name])
+        scalars = result.value["measures"] if result.ok else {}
+        for name in measure_names:
+            columns[name].append(scalars.get(name))
+        point_diag = result.value["diagnostics"] if result.ok else {}
+        for name in diagnostics:
+            columns[name].append(point_diag.get(name))
+        columns["ok"].append(result.ok)
+        columns["error"].append(result.error)
+        columns["seconds"].append(result.seconds)
+    return SweepReport(
+        name=spec.name,
+        param_names=param_names,
+        measure_names=measure_names,
+        columns=columns,
+        wall_seconds=wall_seconds,
+        workers=batch.workers,
+        executor=batch.executor,
+        seed=batch.seed,
+    )
+
+
+def run_sweep(spec: SweepSpec, max_workers: int | None = None,
+              executor: str | None = None,
+              seed: int | None = None) -> SweepReport:
+    """Run every design point of *spec* and aggregate the report.
+
+    ``max_workers``/``executor``/``seed`` override the spec's
+    ``[batch]`` table; the defaults match
+    :class:`~repro.runtime.BatchRunner` (process pool over all usable
+    cores, seed 0 so sweeps replay identically by default).
+    """
+    batch_settings = spec.batch
+    runner = BatchRunner(
+        max_workers=(max_workers if max_workers is not None
+                     else batch_settings.get("workers")),
+        executor=(executor if executor is not None
+                  else batch_settings.get("executor", "process")),
+        seed=seed if seed is not None else batch_settings.get("seed", 0),
+    )
+    jobs = build_jobs(spec)
+    start = time.perf_counter()
+    batch = runner.run(jobs)
+    return _assemble_report(spec, jobs, batch,
+                            time.perf_counter() - start)

@@ -1,0 +1,83 @@
+"""The documentation is executable: snippets parse, links resolve.
+
+``docs/netlist_format.md`` promises that every fenced ``spice`` block
+parses and every ``spice-error`` block fails with
+:class:`NetlistParseError`; ``python`` blocks must run as written.
+This module extracts and runs them all, plus the intra-repo link
+checker from ``tools/check_links.py``, so the docs cannot drift from
+the code.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.circuit.parser import parse_netlist
+from repro.errors import NetlistParseError
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs"
+
+_FENCE_RE = re.compile(r"^```(\S+)\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def _blocks(path: Path, language: str) -> list[str]:
+    return [match.group(2) for match in
+            _FENCE_RE.finditer(path.read_text())
+            if match.group(1) == language]
+
+
+def _netlist_doc() -> Path:
+    return DOCS / "netlist_format.md"
+
+
+def test_docs_directory_is_complete():
+    for name in ("architecture.md", "paper_map.md", "netlist_format.md"):
+        assert (DOCS / name).exists(), f"docs/{name} is missing"
+
+
+def test_netlist_doc_has_snippets():
+    assert len(_blocks(_netlist_doc(), "spice")) >= 4
+    assert len(_blocks(_netlist_doc(), "spice-error")) >= 3
+
+
+@pytest.mark.parametrize("index", range(len(
+    _blocks(_netlist_doc(), "spice")) if _netlist_doc().exists() else 0))
+def test_spice_snippets_parse(index):
+    snippet = _blocks(_netlist_doc(), "spice")[index]
+    circuit = parse_netlist(snippet)
+    assert circuit.num_elements > 0
+
+
+@pytest.mark.parametrize("index", range(len(
+    _blocks(_netlist_doc(), "spice-error"))
+    if _netlist_doc().exists() else 0))
+def test_spice_error_snippets_fail_as_documented(index):
+    snippet = _blocks(_netlist_doc(), "spice-error")[index]
+    with pytest.raises(NetlistParseError):
+        parse_netlist(snippet)
+
+
+def test_python_snippets_run():
+    for snippet in _blocks(_netlist_doc(), "python"):
+        exec(compile(snippet, "docs/netlist_format.md", "exec"), {})
+
+
+def test_intra_repo_links_resolve():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_links
+    finally:
+        sys.path.pop(0)
+    problems = check_links.run(ROOT)
+    assert not problems, "\n".join(problems)
+
+
+def test_readme_documents_the_sweep_cli():
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro.sweep" in readme
+    assert "docs/architecture.md" in readme

@@ -234,6 +234,214 @@ class TestErrors:
             pytest.fail("expected NetlistParseError")
 
 
+class TestParams:
+    def test_param_substitution(self):
+        circuit = parse_netlist("""
+        .param rser=4.7k vin=2
+        V1 a 0 {vin}
+        R1 a 0 {rser}
+        """)
+        assert circuit.resistors[0].resistance == pytest.approx(4700.0)
+        assert circuit.voltage_sources[0].waveform.value(0.0) == 2.0
+
+    def test_param_expressions_and_suffixes(self):
+        circuit = parse_netlist("""
+        .param base=1k gain={2 * base} delta={sqrt(4)}
+        R1 a 0 {gain + delta}
+        V1 a 0 1
+        """)
+        assert circuit.resistors[0].resistance == pytest.approx(2002.0)
+
+    def test_param_in_waveform_arguments(self):
+        circuit = parse_netlist("""
+        .param vdd=5 td=1n
+        V1 a 0 PULSE(0 {vdd} {td} 0.1n 0.1n 5n 20n)
+        R1 a 0 1k
+        """)
+        waveform = circuit.voltage_sources[0].waveform
+        assert waveform.value(3e-9) == pytest.approx(5.0)
+
+    def test_param_override(self):
+        circuit = parse_netlist(
+            ".param rser=10\nV1 a 0 1\nR1 a 0 {rser}",
+            params={"rser": 33.0})
+        assert circuit.resistors[0].resistance == pytest.approx(33.0)
+
+    def test_override_propagates_into_derived_params(self):
+        circuit = parse_netlist(
+            ".param rser=10 rtop={rser * 2}\nV1 a 0 1\nR1 a 0 {rtop}",
+            params={"rser": 30.0})
+        assert circuit.resistors[0].resistance == pytest.approx(60.0)
+
+    def test_param_redefinition_rejected_with_line_number(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist(".param x=1\n.param x=2\nR1 a 0 1")
+        assert "redefined" in str(excinfo.value)
+        assert excinfo.value.line_number == 2
+
+    def test_undefined_parameter_rejected_with_line_number(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist("V1 a 0 1\nR1 a 0 {nope}")
+        assert "undefined parameter" in str(excinfo.value)
+        assert excinfo.value.line_number == 2
+
+    def test_override_of_undefined_parameter_rejected(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist(".param x=1\nV1 a 0 1\nR1 a 0 {x}",
+                          params={"y": 2.0})
+        assert "y" in str(excinfo.value)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".param z=0\nV1 a 0 1\nR1 a 0 {1 / z}")
+
+    def test_model_parameters_accept_expressions(self):
+        circuit = parse_netlist("""
+        .param nn=1.5
+        V1 a 0 1
+        R1 a b 1k
+        .model dd DIODE N={nn}
+        D1 b 0 dd
+        """)
+        assert circuit.devices[0].model.ideality == pytest.approx(1.5)
+
+    def test_braced_expression_may_contain_spaces(self):
+        circuit = parse_netlist(
+            ".param a=1 b=2\nV1 x 0 1\nR1 x 0 { a + b }")
+        assert circuit.resistors[0].resistance == pytest.approx(3.0)
+
+
+SUBCKT_NETLIST = """
+.title two-stage
+.param rstage=40
+.model m RTD
+.subckt stage in out R=50
+Rser in out {R}
+Xd out 0 m
+.ends
+V1 top 0 1
+X1 top mid stage R={rstage}
+X2 mid bot stage
+Rload bot 0 10
+"""
+
+
+class TestSubckt:
+    def test_flattening_names_and_nodes(self):
+        circuit = parse_netlist(SUBCKT_NETLIST)
+        names = {element.name for element in circuit.elements()}
+        assert {"X1.Rser", "X1.Xd", "X2.Rser", "X2.Xd"} <= names
+        assert set(circuit.nodes) == {"top", "mid", "bot"}
+
+    def test_instance_parameter_and_default(self):
+        circuit = parse_netlist(SUBCKT_NETLIST)
+        by_name = {e.name: e for e in circuit.elements()}
+        assert by_name["X1.Rser"].resistance == pytest.approx(40.0)
+        assert by_name["X2.Rser"].resistance == pytest.approx(50.0)
+
+    def test_nested_instantiation(self):
+        circuit = parse_netlist("""
+        .model m RTD
+        .subckt inner a b R=10
+        Rx a b {R}
+        Xd b 0 m
+        .ends
+        .subckt outer p q R=20
+        Xfirst p mid inner R={R}
+        Xsecond mid q inner R={R * 2}
+        .ends
+        V1 in 0 1
+        Xtop in out outer R=30
+        Rload out 0 5
+        """)
+        by_name = {e.name: e for e in circuit.elements()}
+        assert by_name["Xtop.Xfirst.Rx"].resistance == pytest.approx(30.0)
+        assert by_name["Xtop.Xsecond.Rx"].resistance == pytest.approx(60.0)
+        # The subckt-internal node is namespaced per instance path.
+        assert "Xtop.mid" in circuit.nodes
+
+    def test_subckt_defined_after_use(self):
+        circuit = parse_netlist("""
+        V1 a 0 1
+        X1 a b late
+        Rload b 0 1
+        .subckt late p q
+        Rin p q 7
+        .ends
+        """)
+        by_name = {e.name: e for e in circuit.elements()}
+        assert by_name["X1.Rin"].resistance == pytest.approx(7.0)
+
+    def test_ground_is_not_namespaced(self):
+        circuit = parse_netlist(SUBCKT_NETLIST)
+        grounded = [e for e in circuit.devices if "0" in e.nodes]
+        assert len(grounded) == 2
+
+    def test_port_count_mismatch_rejected(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist("""
+            .subckt s a b
+            Rx a b 1
+            .ends
+            V1 in 0 1
+            X1 in mid other s
+            """)
+        assert "port" in str(excinfo.value)
+
+    def test_unknown_subckt_parameter_rejected(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist("""
+            .subckt s a b R=1
+            Rx a b {R}
+            .ends
+            V1 in 0 1
+            X1 in out s ZZ=3
+            """)
+        assert "ZZ" in str(excinfo.value)
+        assert excinfo.value.line_number == 6
+
+    def test_nested_definition_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".subckt a p\n.subckt b q\n.ends\n.ends")
+
+    def test_unterminated_subckt_rejected(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist("V1 a 0 1\n.subckt s p\nRx p 0 1")
+        assert ".ENDS" in str(excinfo.value)
+
+    def test_orphan_ends_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("V1 a 0 1\n.ends")
+
+    def test_param_directive_inside_body_rejected(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".subckt s p\n.param x=1\nRx p 0 1\n.ends")
+
+    def test_model_inside_body_is_global(self):
+        circuit = parse_netlist("""
+        .subckt s p
+        .model inner RTD
+        Xd p 0 inner
+        .ends
+        V1 a 0 1
+        X1 a s
+        Xtop a 0 inner
+        """)
+        assert len(circuit.devices) == 2
+
+    def test_recursive_subckt_rejected(self):
+        with pytest.raises(NetlistParseError) as excinfo:
+            parse_netlist("""
+            .subckt loop p q
+            Xagain p q loop
+            .ends
+            V1 a 0 1
+            X1 a b loop
+            Rload b 0 1
+            """)
+        assert "nesting" in str(excinfo.value)
+
+
 class TestEndToEnd:
     def test_parsed_circuit_simulates(self):
         import numpy as np

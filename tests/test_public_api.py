@@ -20,8 +20,10 @@ PACKAGES = [
     "repro.devices",
     "repro.mna",
     "repro.perf",
+    "repro.runtime",
     "repro.stochastic",
     "repro.swec",
+    "repro.sweep",
 ]
 
 MODULES = PACKAGES + [
@@ -35,6 +37,7 @@ MODULES = PACKAGES + [
     "repro.baselines.newton",
     "repro.baselines.spice",
     "repro.circuit.elements",
+    "repro.circuit.expressions",
     "repro.circuit.netlist",
     "repro.circuit.parser",
     "repro.circuit.sources",
@@ -44,6 +47,7 @@ MODULES = PACKAGES + [
     "repro.circuits_lib.inverter",
     "repro.circuits_lib.logic_gates",
     "repro.circuits_lib.noisy_rc",
+    "repro.circuits_lib.templates",
     "repro.constants",
     "repro.devices.base",
     "repro.devices.diode",
@@ -57,6 +61,10 @@ MODULES = PACKAGES + [
     "repro.mna.sparse",
     "repro.perf.comparison",
     "repro.perf.flops",
+    "repro.runtime.cli",
+    "repro.runtime.jobs",
+    "repro.runtime.report",
+    "repro.runtime.runner",
     "repro.stochastic.analytic",
     "repro.stochastic.em",
     "repro.stochastic.ito",
@@ -70,6 +78,11 @@ MODULES = PACKAGES + [
     "repro.swec.dc",
     "repro.swec.engine",
     "repro.swec.timestep",
+    "repro.sweep.cli",
+    "repro.sweep.measures",
+    "repro.sweep.report",
+    "repro.sweep.runner",
+    "repro.sweep.spec",
     "repro.units",
 ]
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Check intra-repository links in the Markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
+that every *relative* target resolves to an existing file or directory
+(external ``http(s)``/``mailto`` links are not fetched).  Fragment-only
+links (``#section``) and fragments on relative links are checked
+against the target file's headings using GitHub anchor rules.
+
+Exit status 0 when every link resolves, 1 otherwise — CI runs this as
+the docs job, and ``tests/test_docs.py`` runs it in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target), skipping images' leading "!".
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for a heading text."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {_anchor(m.group(1))
+            for m in _HEADING_RE.finditer(path.read_text())}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Return a list of broken-link descriptions for one document."""
+    problems = []
+    for match in _LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        # Relative CI-badge style links (../../actions/...) point at
+        # the GitHub UI, not the repo tree; skip anything escaping it.
+        if target.startswith("../"):
+            continue
+        target, _, fragment = target.partition("#")
+        if target:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}: broken link "
+                                f"-> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment and resolved.suffix == ".md":
+            if _anchor(fragment) not in _anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(root)}: missing anchor "
+                    f"#{fragment} in {resolved.name}")
+    return problems
+
+
+def run(root: Path | None = None) -> list[str]:
+    """Check every documentation file; return all problems found."""
+    root = (root or Path(__file__).resolve().parent.parent).resolve()
+    documents = [root / "README.md"]
+    documents += sorted((root / "docs").glob("*.md"))
+    problems: list[str] = []
+    for document in documents:
+        if document.exists():
+            problems.extend(check_file(document, root))
+    return problems
+
+
+def main() -> int:
+    problems = run()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print("docs links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
