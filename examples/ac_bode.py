@@ -1,0 +1,86 @@
+"""Bode walkthrough: small-signal AC + Johnson noise (`repro.ac`).
+
+Two frequency-domain studies in one script:
+
+1. a single-pole RC low-pass, validated inline against the analytic
+   ``1/(1 + j w R C)`` and plotted as an ASCII Bode magnitude chart,
+   with its Johnson noise spectrum integrated to the textbook
+   ``sqrt(kT/C)``;
+2. the paper's Fig. 8 FET-RTD inverter biased inside its transition
+   region, where the low-frequency AC gain equals the slope of the DC
+   transfer curve.
+
+Run:  python examples/ac_bode.py
+"""
+
+import numpy as np
+
+from repro import Circuit
+from repro.ac import ACAnalysis, frequency_grid, johnson_noise
+from repro.analysis import ascii_plot
+from repro.circuits_lib import fet_rtd_inverter
+from repro.constants import BOLTZMANN
+
+
+def rc_lowpass(resistance: float = 1e3, capacitance: float = 1e-9):
+    circuit = Circuit("rc-lowpass")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", resistance)
+    circuit.add_capacitor("C1", "out", "0", capacitance)
+    return circuit
+
+
+def lowpass_study() -> None:
+    resistance, capacitance = 1e3, 1e-9
+    circuit = rc_lowpass(resistance, capacitance)
+    frequencies = frequency_grid(1e3, 1e9, 301, "log")
+    result = ACAnalysis(circuit).solve(frequencies)
+
+    analytic = 1.0 / (1.0 + 2j * np.pi * frequencies
+                      * resistance * capacitance)
+    worst = np.max(np.abs(result.transfer("out") - analytic))
+    corner = 1.0 / (2.0 * np.pi * resistance * capacitance)
+    print(f"RC low-pass (R={resistance:g} Ohm, C={capacitance:g} F)")
+    print(f"  max |H - analytic|     {worst:.3e}")
+    print(f"  -3 dB bandwidth        {result.bandwidth_3db('out'):.4g} Hz"
+          f"  (analytic {corner:.4g} Hz)")
+    print(f"  phase at the corner    "
+          f"{result.phase_at(corner, 'out'):.2f} deg")
+    print()
+    print(ascii_plot(np.log10(frequencies), result.magnitude_db("out"),
+                     title="|H| dB vs log10(f/Hz)", y_label="dB"))
+
+    noise = johnson_noise(circuit, frequency_grid(1e2, 1e12, 401))
+    rms = noise.integrated_rms("out")
+    print(f"\n  Johnson noise at 'out': plateau "
+          f"{noise.psd('out')[0]:.3e} V^2/Hz "
+          f"(4kTR = {4 * BOLTZMANN * 300.0 * resistance:.3e})")
+    print(f"  integrated RMS {rms:.3e} V vs sqrt(kT/C) "
+          f"{np.sqrt(BOLTZMANN * 300.0 / capacitance):.3e} V")
+
+
+def inverter_study() -> None:
+    vin0 = 2.0
+    circuit, info = fet_rtd_inverter()
+    analysis = ACAnalysis(circuit, source="Vin", bias={"Vin": vin0})
+    result = analysis.solve(frequency_grid(1e3, 1e12, 201))
+    gain = result.low_frequency_gain("out")
+    print(f"\nFET-RTD inverter biased at Vin = {vin0:g} V "
+          f"(out = {analysis.bias_voltages['out']:.3f} V)")
+    print(f"  small-signal gain      {gain.real:+.4f} "
+          f"(the DC transfer-curve slope)")
+    print(f"  -3 dB bandwidth        "
+          f"{result.bandwidth_3db('out'):.4g} Hz")
+    print(ascii_plot(np.log10(result.frequencies),
+                     result.magnitude_db("out"),
+                     title="inverter |H| dB vs log10(f/Hz)",
+                     y_label="dB"))
+
+
+def main() -> None:
+    lowpass_study()
+    inverter_study()
+
+
+if __name__ == "__main__":
+    main()

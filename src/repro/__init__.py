@@ -15,7 +15,7 @@ Quick start::
     circuit.add_device("X1", "out", "0", SchulmanRTD())
     result = SwecDC(circuit).sweep("Vs", np.linspace(0.0, 5.0, 251))
 
-Package map:
+Package map (every subpackage):
 
 - :mod:`repro.circuit` — netlists, elements, waveforms, parser
 - :mod:`repro.devices` — RTD / RTT / nanowire / MOSFET / diode models
@@ -23,6 +23,7 @@ Package map:
 - :mod:`repro.swec` — the paper's SWEC transient and DC engines
 - :mod:`repro.baselines` — SPICE-like NR, MLA and ACES-PWL comparators
 - :mod:`repro.stochastic` — Wiener/EM statistical simulation (Section 4)
+- :mod:`repro.ac` — small-signal AC sweeps, Bode measures, Johnson noise
 - :mod:`repro.analysis` — result containers and measurements
 - :mod:`repro.circuits_lib` — experiment circuits + sweepable templates
 - :mod:`repro.perf` — flop accounting behind Table I
@@ -34,6 +35,13 @@ The full package map and data flow are documented in
 figure/table/equation in the code.
 """
 
+from repro.ac import (
+    ACAnalysis,
+    ACResult,
+    NoiseResult,
+    frequency_grid,
+    johnson_noise,
+)
 from repro.circuit import (
     Circuit,
     Clock,
@@ -82,6 +90,7 @@ from repro.stochastic import (
     euler_maruyama,
 )
 from repro.runtime import (
+    ACJob,
     BatchReport,
     BatchRunner,
     EnsembleJob,
@@ -89,9 +98,12 @@ from repro.runtime import (
     TransientJob,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ACAnalysis",
+    "ACJob",
+    "ACResult",
     "AcesTransient",
     "AnalysisError",
     "AssemblyError",
@@ -114,6 +126,7 @@ __all__ = [
     "NANO_SIM_DATE05",
     "NanoSimError",
     "NetlistParseError",
+    "NoiseResult",
     "OrnsteinUhlenbeck",
     "PiecewiseLinear",
     "Pulse",
@@ -133,6 +146,8 @@ __all__ = [
     "TransientJob",
     "WienerProcess",
     "euler_maruyama",
+    "frequency_grid",
+    "johnson_noise",
     "nmos",
     "parse_netlist",
     "pmos",

@@ -1,0 +1,49 @@
+"""Small-signal AC and noise analysis in the frequency domain.
+
+The time-domain engines linearize step by step; this package
+linearizes *once*, about the DC operating point, and solves the
+complex MNA system ``(G0 + j omega C) X = b`` over a whole frequency
+grid in one batched call:
+
+* :func:`linearize` — bias solve (chord fixed point, NDR-safe) plus
+  small-signal ``dI/dV`` / ``gm``-``gds`` stamping;
+* :class:`ACAnalysis` / :class:`ACResult` — vectorized frequency
+  sweeps with Bode accessors and derived measures (low-frequency
+  gain, -3 dB bandwidth, unity-gain frequency, phase margin);
+* :func:`johnson_noise` / :class:`NoiseResult` — equilibrium
+  resistor-noise spectra ``sum_r 4kT/R_r |Z_r|^2``, the deterministic
+  cross-check of the stochastic engine's Lorentzian fits.
+
+Quick start::
+
+    from repro import Circuit
+    from repro.ac import ACAnalysis
+
+    circuit = Circuit("lowpass")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-9)
+    result = ACAnalysis(circuit).sweep(1e3, 1e9, n_points=201)
+    print(result.bandwidth_3db("out"))   # ~1/(2 pi R C)
+
+``python -m repro.ac`` drives the same machinery from the command
+line; :class:`~repro.runtime.ACJob` and sweep specs with
+``analysis = "ac"`` run it on the batch runtime.
+"""
+
+from repro.ac.analysis import ACAnalysis, GRID_SCALES, frequency_grid
+from repro.ac.linearize import SmallSignalSystem, linearize
+from repro.ac.noise import NoiseResult, johnson_noise, thermal_ou_amplitude
+from repro.ac.result import ACResult
+
+__all__ = [
+    "ACAnalysis",
+    "ACResult",
+    "GRID_SCALES",
+    "NoiseResult",
+    "SmallSignalSystem",
+    "frequency_grid",
+    "johnson_noise",
+    "linearize",
+    "thermal_ou_amplitude",
+]

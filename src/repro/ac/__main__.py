@@ -1,0 +1,6 @@
+"""``python -m repro.ac`` dispatch."""
+
+from repro.ac.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

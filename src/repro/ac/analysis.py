@@ -1,0 +1,197 @@
+"""Small-signal AC analysis: vectorized complex frequency sweeps.
+
+:class:`ACAnalysis` linearizes a circuit about its DC operating point
+(:mod:`repro.ac.linearize`) and solves
+
+.. math::  (G_0 + j \\omega C)\\, X(\\omega) = b_{ac}
+
+for a unit-amplitude excitation of one independent source.  The sweep
+is *vectorized*: all frequency matrices are assembled as one
+``(F, n, n)`` complex stack and handed to batched LAPACK via
+``numpy.linalg.solve``, chunked so memory stays bounded.  The naive
+per-frequency Python loop is kept as :meth:`ACAnalysis.solve_loop` —
+it is the reference implementation the vectorized path is validated
+(and benchmarked) against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.ac.linearize import SmallSignalSystem, linearize
+from repro.ac.result import ACResult
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+from repro.swec.dc import SwecDCOptions
+
+#: Frequency-grid spacings (``decade`` = points *per decade*, SPICE
+#: ``.AC DEC`` style).
+GRID_SCALES = ("linear", "log", "decade")
+
+#: Complex matrix entries per assembly chunk (~64 MB at 16 bytes each).
+_CHUNK_ENTRIES = 4_000_000
+
+
+def frequency_grid(f_start: float, f_stop: float, n_points: int = 101,
+                   scale: str = "log") -> np.ndarray:
+    """Build an analysis frequency grid in Hz.
+
+    ``scale="linear"`` spaces *n_points* evenly on ``[f_start,
+    f_stop]``; ``"log"`` geometrically; ``"decade"`` reads *n_points*
+    as points **per decade** (the SPICE ``.AC DEC`` convention) and
+    derives the total count from the band width.
+    """
+    if scale not in GRID_SCALES:
+        raise AnalysisError(
+            f"scale must be one of {GRID_SCALES}, got {scale!r}")
+    # ``decade`` reads n_points per decade, so 1 is legal there
+    # (SPICE's ``.AC DEC 1``); the total is clamped to >= 2 below.
+    if n_points < (1 if scale == "decade" else 2):
+        raise AnalysisError(f"need at least 2 points, got {n_points}")
+    if not f_start < f_stop:
+        raise AnalysisError(
+            f"need f_start < f_stop, got [{f_start!r}, {f_stop!r}]")
+    if scale == "linear":
+        if f_start < 0.0:
+            raise AnalysisError(
+                f"frequencies must be non-negative, got {f_start!r}")
+        return np.linspace(f_start, f_stop, n_points)
+    if f_start <= 0.0:
+        raise AnalysisError(
+            f"{scale} scale needs a positive f_start, got {f_start!r}")
+    if scale == "decade":
+        decades = math.log10(f_stop / f_start)
+        n_points = max(2, int(round(n_points * decades)) + 1)
+    return np.geomspace(f_start, f_stop, n_points)
+
+
+def solve_many(small: SmallSignalSystem, frequencies,
+               rhs_columns) -> np.ndarray:
+    """Chunked batched solves of ``(G0 + j w C) X = rhs`` per column.
+
+    The one place the complex stack is assembled: *rhs_columns* is an
+    ``(n, k)`` matrix of right-hand sides (an excitation vector, noise
+    injections, ...), solved for every frequency at once; returns the
+    ``(F, n, k)`` complex solution stack.  Frequencies are chunked so
+    the ``(F, n, n)`` matrix stack never exceeds ~64 MB.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.ndim != 1 or frequencies.size == 0:
+        raise AnalysisError("need a 1-D, non-empty frequency grid")
+    rhs = np.asarray(rhs_columns, dtype=complex)
+    n = small.size
+    if rhs.shape[:1] != (n,) or rhs.ndim != 2:
+        raise AnalysisError(
+            f"rhs columns must have shape ({n}, k), got {rhs.shape}")
+    omega = 2.0 * np.pi * frequencies
+    out = np.empty((omega.size, n, rhs.shape[1]), dtype=complex)
+    chunk = max(1, _CHUNK_ENTRIES // (n * n))
+    for lo in range(0, omega.size, chunk):
+        w = omega[lo:lo + chunk]
+        matrices = (small.g0[None, :, :]
+                    + 1j * w[:, None, None] * small.c[None, :, :])
+        b = np.broadcast_to(rhs[None, :, :], (w.size, *rhs.shape))
+        try:
+            out[lo:lo + chunk] = np.linalg.solve(matrices, b)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(
+                f"singular small-signal system in "
+                f"[{w[0] / (2.0 * np.pi):.4g}, "
+                f"{w[-1] / (2.0 * np.pi):.4g}] Hz: {exc}") from exc
+    return out
+
+
+class ACAnalysis:
+    """Frequency-domain analysis of one circuit about one bias point.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyse (any :class:`~repro.circuit.Circuit`).
+    source:
+        Independent source carrying the unit AC excitation; defaults
+        to the circuit's first voltage source (then current source).
+    bias:
+        Source-name -> DC value overrides for the operating point —
+        e.g. ``{"Vin": 2.0}`` to bias an inverter inside its
+        transition region regardless of its transient stimulus.
+    dc_options:
+        :class:`~repro.swec.dc.SwecDCOptions` for the bias solve.
+    """
+
+    def __init__(self, circuit: Circuit, source: str | None = None,
+                 bias: Mapping[str, float] | None = None,
+                 dc_options: SwecDCOptions | None = None) -> None:
+        self.circuit = circuit
+        self.small: SmallSignalSystem = linearize(circuit, bias, dc_options)
+        self.source = source or self.small.default_source()
+        self._rhs = self.small.excitation(self.source)
+
+    @property
+    def bias_voltages(self) -> dict[str, float]:
+        """Node name -> operating-point voltage."""
+        return self.small.bias_voltages()
+
+    # ------------------------------------------------------------------
+
+    def _result(self, frequencies: np.ndarray,
+                states: np.ndarray) -> ACResult:
+        return ACResult(frequencies, states, self.small.node_names,
+                        source_name=self.source,
+                        circuit_name=self.circuit.name)
+
+    def solve(self, frequencies) -> ACResult:
+        """Vectorized sweep: batched complex solves over *frequencies*.
+
+        One :func:`solve_many` call — within each chunk, assembly is a
+        single broadcast expression and the solve one batched LAPACK
+        call.
+        """
+        frequencies = np.asarray(frequencies, dtype=float)
+        states = solve_many(self.small, frequencies,
+                            self._rhs[:, None])[:, :, 0]
+        return self._result(frequencies, states)
+
+    def noise(self, frequencies, temperature: float | None = None):
+        """Johnson noise spectra about this analysis' operating point.
+
+        Reuses the existing linearization — no second bias solve.  See
+        :func:`repro.ac.noise.johnson_noise`.
+        """
+        from repro.ac.noise import johnson_noise
+
+        kwargs = {} if temperature is None else \
+            {"temperature": temperature}
+        return johnson_noise(self.small, frequencies, **kwargs)
+
+    def solve_loop(self, frequencies) -> ACResult:
+        """Reference sweep: one Python-level solve per frequency.
+
+        Numerically equivalent to :meth:`solve` (same LAPACK routines,
+        one matrix at a time); kept for validation and as the baseline
+        ``benchmarks/bench_ac.py`` measures the vectorized path
+        against.
+        """
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise AnalysisError("need a 1-D, non-empty frequency grid")
+        states = np.empty((frequencies.size, self.small.size),
+                          dtype=complex)
+        for k, frequency in enumerate(frequencies):
+            matrix = (self.small.g0
+                      + 2j * np.pi * frequency * self.small.c)
+            try:
+                states[k] = np.linalg.solve(matrix, self._rhs)
+            except np.linalg.LinAlgError as exc:
+                raise AnalysisError(
+                    f"singular small-signal system at "
+                    f"{frequency:.4g} Hz: {exc}") from exc
+        return self._result(frequencies, states)
+
+    def sweep(self, f_start: float, f_stop: float, n_points: int = 101,
+              scale: str = "log") -> ACResult:
+        """Convenience: :func:`frequency_grid` + :meth:`solve`."""
+        return self.solve(frequency_grid(f_start, f_stop, n_points, scale))

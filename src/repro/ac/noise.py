@@ -1,0 +1,184 @@
+"""Equilibrium (Johnson-Nyquist) noise spectra through the AC system.
+
+Every resistor at temperature ``T`` carries a white thermal current
+noise of one-sided PSD ``S_i = 4 k T / R`` (A^2/Hz).  Propagating each
+such source through the small-signal system gives the node-voltage
+noise spectrum
+
+.. math::  S_v(\\omega) = \\sum_r \\frac{4 k T}{R_r}\\,
+           \\lvert Z_r(j\\omega) \\rvert^2
+
+where ``Z_r`` is the transimpedance from resistor *r*'s terminals to
+the observed node — one extra column per resistor in the same batched
+complex solves :mod:`repro.ac.analysis` uses.
+
+This is the deterministic cross-check for the stochastic machinery:
+for a linear RC node the spectrum equals the Ornstein-Uhlenbeck
+Lorentzian of :func:`repro.stochastic.spectrum.ou_psd` with
+``lambda = 1/(RC)`` and ``sigma`` given by
+:func:`thermal_ou_amplitude`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.ac.analysis import solve_many
+from repro.ac.linearize import SmallSignalSystem, linearize
+from repro.circuit.netlist import Circuit, is_ground
+from repro.constants import BOLTZMANN, ROOM_TEMPERATURE
+from repro.errors import AnalysisError
+from repro.swec.dc import SwecDCOptions
+
+# numpy 2.0 renamed trapz -> trapezoid.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def thermal_ou_amplitude(resistance: float, capacitance: float,
+                         temperature: float = ROOM_TEMPERATURE) -> float:
+    """OU ``sigma`` equivalent to Johnson noise on an R-parallel-C node.
+
+    The node voltage of a resistor-capacitor pair at temperature *T*
+    is an Ornstein-Uhlenbeck process with ``lambda = 1/(RC)`` and
+    ``sigma = sqrt(2 k T / R) / C``; feeding these into
+    :func:`repro.stochastic.spectrum.ou_psd` reproduces the one-sided
+    Johnson spectrum ``4 k T R / (1 + (omega R C)^2)`` exactly.
+    """
+    if resistance <= 0.0 or capacitance <= 0.0:
+        raise AnalysisError("resistance and capacitance must be positive")
+    if temperature <= 0.0:
+        raise AnalysisError(f"temperature must be positive, "
+                            f"got {temperature!r}")
+    return math.sqrt(2.0 * BOLTZMANN * temperature / resistance) \
+        / capacitance
+
+
+class NoiseResult:
+    """Node-voltage noise spectra of one equilibrium noise analysis.
+
+    Attributes
+    ----------
+    frequencies:
+        Analysed frequencies in Hz.
+    node_names:
+        Non-ground node names, matching the PSD columns.
+    resistor_names:
+        Contributing resistors, matching the contribution slabs.
+    temperature:
+        Device temperature in kelvin.
+    """
+
+    def __init__(self, frequencies, node_names, resistor_names,
+                 contributions: np.ndarray, temperature: float,
+                 circuit_name: str = "") -> None:
+        self.frequencies = np.asarray(frequencies, dtype=float)
+        self.node_names = tuple(node_names)
+        self.resistor_names = tuple(resistor_names)
+        #: ``(n_resistors, n_frequencies, n_nodes)`` PSD contributions.
+        self.contributions = np.asarray(contributions, dtype=float)
+        self.temperature = temperature
+        self.circuit_name = circuit_name
+
+    def __len__(self) -> int:
+        return self.frequencies.size
+
+    def _column(self, node: str) -> int:
+        try:
+            return self.node_names.index(node)
+        except ValueError:
+            raise AnalysisError(
+                f"node {node!r} not in result "
+                f"(have {self.node_names})") from None
+
+    def psd(self, node: str) -> np.ndarray:
+        """Total one-sided voltage noise PSD at *node* in V^2/Hz."""
+        if is_ground(node):
+            return np.zeros(len(self))
+        return self.contributions[:, :, self._column(node)].sum(axis=0)
+
+    def contribution(self, node: str, resistor: str) -> np.ndarray:
+        """One resistor's share of the PSD at *node*."""
+        try:
+            index = self.resistor_names.index(resistor)
+        except ValueError:
+            raise AnalysisError(
+                f"no resistor named {resistor!r} "
+                f"(have {self.resistor_names})") from None
+        return self.contributions[index, :, self._column(node)]
+
+    def integrated_rms(self, node: str, f_low: float | None = None,
+                       f_high: float | None = None) -> float:
+        """RMS noise voltage over a frequency band (trapezoidal)."""
+        f = self.frequencies
+        psd = self.psd(node)
+        mask = np.ones(f.shape, dtype=bool)
+        if f_low is not None:
+            mask &= f >= f_low
+        if f_high is not None:
+            mask &= f <= f_high
+        if mask.sum() < 2:
+            raise AnalysisError(
+                "integration band contains fewer than two samples")
+        return float(np.sqrt(_trapezoid(psd[mask], f[mask])))
+
+    def __repr__(self) -> str:
+        return (f"NoiseResult({self.circuit_name!r}, "
+                f"resistors={len(self.resistor_names)}, "
+                f"points={len(self)}, T={self.temperature:g} K)")
+
+
+def johnson_noise(circuit: "Circuit | SmallSignalSystem", frequencies,
+                  temperature: float = ROOM_TEMPERATURE,
+                  bias: Mapping[str, float] | None = None,
+                  dc_options: SwecDCOptions | None = None) -> NoiseResult:
+    """Johnson-Nyquist node-voltage spectra of *circuit*.
+
+    Linearizes about the DC operating point (with optional *bias*
+    source overrides), injects a unit AC current across every
+    resistor, and accumulates ``4kT/R |Z(j omega)|^2`` per node.  The
+    injection columns for all resistors are solved together in the
+    same chunked, batched complex solves as the AC transfer sweep
+    (:func:`repro.ac.analysis.solve_many`).
+
+    An already-linearized :class:`~repro.ac.linearize.
+    SmallSignalSystem` may be passed instead of a circuit to reuse an
+    existing bias solve (see :meth:`ACAnalysis.noise
+    <repro.ac.analysis.ACAnalysis.noise>`); *bias*/*dc_options* are
+    then ignored.
+    """
+    if temperature <= 0.0:
+        raise AnalysisError(f"temperature must be positive, "
+                            f"got {temperature!r}")
+    frequencies = np.asarray(frequencies, dtype=float)
+    if isinstance(circuit, SmallSignalSystem):
+        small = circuit
+        circuit = small.circuit
+    else:
+        small = None
+    if not circuit.resistors:
+        raise AnalysisError(
+            f"circuit {circuit.name!r} has no resistors; its Johnson "
+            f"noise is identically zero")
+    if small is None:
+        small = linearize(circuit, bias, dc_options)
+    system = small.system
+    resistors = circuit.resistors
+    injections = np.zeros((small.size, len(resistors)), dtype=complex)
+    weights = np.empty(len(resistors))
+    for r, resistor in enumerate(resistors):
+        i = system.node_index(resistor.nodes[0])
+        j = system.node_index(resistor.nodes[1])
+        system.stamp_current(injections[:, r], i, j, 1.0)
+        weights[r] = 4.0 * BOLTZMANN * temperature * resistor.conductance
+    # solved[f, row, r] = Z from resistor r to MNA unknown `row`.
+    solved = solve_many(small, frequencies, injections)
+    n_nodes = len(small.node_names)
+    transimpedance = np.abs(solved[:, :n_nodes, :]) ** 2
+    contributions = (weights[None, None, :]
+                     * transimpedance).transpose(2, 0, 1)
+    return NoiseResult(frequencies, small.node_names,
+                       [r.name for r in resistors], contributions,
+                       temperature, circuit_name=circuit.name)

@@ -1,0 +1,204 @@
+"""AC analysis result container and derived (Bode) measures.
+
+An :class:`ACResult` stores the complex MNA solution at every analysed
+frequency for a unit-amplitude excitation, so each node column *is* the
+transfer function ``H(j omega)`` from the driven source to that node.
+Magnitude/phase accessors feed Bode tables; the derived measures
+(low-frequency gain, -3 dB bandwidth, unity-gain frequency, phase
+margin) interpolate on the log-frequency grid and raise
+:class:`~repro.errors.AnalysisError` — never silent NaN — when the
+curve does not exhibit the requested landmark.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuit.netlist import is_ground
+from repro.errors import AnalysisError
+
+
+def _log_or_linear(f: np.ndarray) -> np.ndarray:
+    """Interpolation abscissa: log-frequency when possible."""
+    return np.log(f) if np.all(f > 0.0) else f
+
+
+class ACResult:
+    """Complex frequency response of one small-signal analysis.
+
+    Parameters
+    ----------
+    frequencies:
+        Analysed frequencies in Hz, strictly increasing.
+    states:
+        ``(n_frequencies, system_size)`` complex solution matrix; node
+        voltage columns first, in ``node_names`` order.
+    node_names:
+        Non-ground node names, matching the leading state columns.
+    source_name:
+        The excited independent source.
+    circuit_name:
+        For reprs and report headers.
+    """
+
+    def __init__(self, frequencies, states, node_names,
+                 source_name: str, circuit_name: str = "") -> None:
+        self.frequencies = np.asarray(frequencies, dtype=float)
+        self.states = np.asarray(states, dtype=complex)
+        self.node_names = tuple(node_names)
+        self.source_name = source_name
+        self.circuit_name = circuit_name
+        if self.frequencies.ndim != 1 or self.frequencies.size < 1:
+            raise AnalysisError("need a 1-D, non-empty frequency grid")
+        if self.states.shape[0] != self.frequencies.size:
+            raise AnalysisError(
+                f"state rows ({self.states.shape[0]}) do not match "
+                f"frequency count ({self.frequencies.size})")
+        if np.any(np.diff(self.frequencies) <= 0.0):
+            raise AnalysisError("frequencies must be strictly increasing")
+
+    def __len__(self) -> int:
+        return self.frequencies.size
+
+    # ------------------------------------------------------------------
+    # Transfer-function accessors
+    # ------------------------------------------------------------------
+
+    def transfer(self, node: str) -> np.ndarray:
+        """Complex transfer function ``H(j omega)`` at *node*."""
+        if is_ground(node):
+            return np.zeros(len(self), dtype=complex)
+        try:
+            column = self.node_names.index(node)
+        except ValueError:
+            raise AnalysisError(
+                f"node {node!r} not in result "
+                f"(have {self.node_names})") from None
+        return self.states[:, column]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        """``|H|`` at *node*."""
+        return np.abs(self.transfer(node))
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """``20 log10 |H|`` in dB (floored at -400 dB for exact zeros)."""
+        magnitude = self.magnitude(node)
+        with np.errstate(divide="ignore"):
+            return np.maximum(20.0 * np.log10(magnitude), -400.0)
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        """Unwrapped phase of ``H`` in degrees."""
+        return np.degrees(np.unwrap(np.angle(self.transfer(node))))
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+
+    def low_frequency_gain(self, node: str) -> complex:
+        """``H`` at the lowest analysed frequency (signed/complex)."""
+        return complex(self.transfer(node)[0])
+
+    def gain_at(self, frequency: float, node: str) -> float:
+        """``|H|`` at *frequency*, interpolated on the analysis grid."""
+        return float(np.interp(
+            *self._interp_abscissa(frequency), self.magnitude(node)))
+
+    def phase_at(self, frequency: float, node: str) -> float:
+        """Unwrapped phase in degrees at *frequency*, interpolated."""
+        return float(np.interp(
+            *self._interp_abscissa(frequency), self.phase_deg(node)))
+
+    def _interp_abscissa(self, frequency: float):
+        f = self.frequencies
+        if frequency < f[0] or frequency > f[-1]:
+            raise AnalysisError(
+                f"frequency {frequency:.4g} Hz outside the analysed "
+                f"band [{f[0]:.4g}, {f[-1]:.4g}]")
+        abscissa = _log_or_linear(f)
+        x = np.log(frequency) if np.all(f > 0.0) else frequency
+        return x, abscissa
+
+    def _falling_crossing(self, node: str, level: float,
+                          what: str) -> float:
+        """First frequency where ``|H|`` falls through *level*."""
+        magnitude = self.magnitude(node)
+        if len(self) < 2:
+            raise AnalysisError(
+                f"{what}: need at least two frequency points")
+        if magnitude[0] < level:
+            raise AnalysisError(
+                f"{what}: |H| is already below the target at the lowest "
+                f"analysed frequency {self.frequencies[0]:.4g} Hz")
+        below = np.nonzero(magnitude < level)[0]
+        if below.size == 0:
+            raise AnalysisError(
+                f"{what}: |H| never falls below the target inside the "
+                f"analysed band (extend the frequency grid)")
+        k = int(below[0])
+        # Interpolate in (log f, dB) — straight lines there match the
+        # asymptotic single-pole roll-off, so coarse grids stay accurate.
+        x = _log_or_linear(self.frequencies)
+        y = 20.0 * np.log10(np.maximum(magnitude, 1e-300))
+        target = 20.0 * np.log10(level)
+        x_cross = x[k - 1] + (x[k] - x[k - 1]) * (
+            (target - y[k - 1]) / (y[k] - y[k - 1]))
+        return float(np.exp(x_cross)) if np.all(self.frequencies > 0.0) \
+            else float(x_cross)
+
+    def bandwidth_3db(self, node: str) -> float:
+        """-3 dB bandwidth: where ``|H|`` first falls to ``|H0|/sqrt 2``."""
+        reference = abs(self.low_frequency_gain(node))
+        if reference == 0.0:
+            raise AnalysisError(
+                f"bandwidth_3db: zero low-frequency gain at {node!r}")
+        return self._falling_crossing(
+            node, reference / np.sqrt(2.0), "bandwidth_3db")
+
+    def unity_gain_frequency(self, node: str) -> float:
+        """First frequency where ``|H|`` falls through 1 (0 dB)."""
+        return self._falling_crossing(node, 1.0, "unity_gain_frequency")
+
+    def phase_margin(self, node: str) -> float:
+        """``180 deg + phase(H)`` at the unity-gain frequency."""
+        f_unity = self.unity_gain_frequency(node)
+        return 180.0 + self.phase_at(f_unity, node)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def bode_rows(self, node: str) -> list[tuple[float, float, float]]:
+        """``(frequency, magnitude_db, phase_deg)`` rows for *node*."""
+        return list(zip(self.frequencies.tolist(),
+                        self.magnitude_db(node).tolist(),
+                        self.phase_deg(node).tolist()))
+
+    def to_csv(self, path: str | Path | None = None,
+               nodes=None) -> str:
+        """Write ``frequency, |H| dB and phase per node`` as CSV."""
+        nodes = list(nodes) if nodes is not None else list(self.node_names)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        header = ["frequency_hz"]
+        for node in nodes:
+            header += [f"{node}_mag_db", f"{node}_phase_deg"]
+        writer.writerow(header)
+        columns = [self.frequencies]
+        for node in nodes:
+            columns += [self.magnitude_db(node), self.phase_deg(node)]
+        for row in zip(*columns):
+            writer.writerow([f"{value:.12g}" for value in row])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def __repr__(self) -> str:
+        return (f"ACResult({self.circuit_name!r}, "
+                f"source={self.source_name!r}, points={len(self)}, "
+                f"band=[{self.frequencies[0]:.4g}, "
+                f"{self.frequencies[-1]:.4g}] Hz)")

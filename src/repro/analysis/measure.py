@@ -22,6 +22,11 @@ def _as_arrays(times, values) -> tuple[np.ndarray, np.ndarray]:
         raise AnalysisError("times and values must be equal-length 1-D arrays")
     if t.size < 2:
         raise AnalysisError("need at least two samples")
+    # A NaN sample makes every comparison below silently false, so a
+    # measure would report "no crossing" (or a NaN scalar) instead of
+    # flagging the broken waveform.  Fail loudly here instead.
+    if not np.all(np.isfinite(v)) or not np.all(np.isfinite(t)):
+        raise AnalysisError("waveform contains non-finite samples")
     return t, v
 
 

@@ -45,6 +45,9 @@ class CircuitTemplate:
     default_node:
         Node whose waveform measures act on when a measure omits
         ``node=`` (circuit templates only).
+    ac_source:
+        Independent source an ``analysis = "ac"`` sweep excites when
+        the spec omits ``source=`` (circuit templates only).
     """
 
     name: str
@@ -53,6 +56,7 @@ class CircuitTemplate:
     sweepable: tuple[str, ...]
     integer_params: tuple[str, ...] = ()
     default_node: str | None = None
+    ac_source: str | None = None
 
     def coerce(self, params: dict) -> dict:
         """Cast integer-valued parameters; reject non-sweepable names."""
@@ -99,40 +103,45 @@ def _register_builtins() -> None:
         CircuitTemplate(
             name="rtd_divider", kind="circuit",
             description="series resistor + RTD divider (Fig. 7a)",
-            sweepable=("resistance",), default_node="out"),
+            sweepable=("resistance",), default_node="out",
+            ac_source="Vs"),
         CircuitTemplate(
             name="nanowire_divider", kind="circuit",
             description="series resistor + quantized nanowire (Fig. 7b)",
-            sweepable=("resistance",), default_node="out"),
+            sweepable=("resistance",), default_node="out",
+            ac_source="Vs"),
         CircuitTemplate(
             name="rtd_chain", kind="circuit",
             description="ladder of R-RTD sections (Table I scaling)",
             sweepable=("stages", "resistance"),
-            integer_params=("stages",), default_node="n1"),
+            integer_params=("stages",), default_node="n1",
+            ac_source="Vs"),
         CircuitTemplate(
             name="fet_rtd_inverter", kind="circuit",
             description="MOBILE FET-RTD inverter (Fig. 8a)",
             sweepable=("vdd", "load_area", "drive_area", "fet_beta",
                        "fet_vth", "load_capacitance"),
-            default_node="out"),
+            default_node="out", ac_source="Vin"),
         CircuitTemplate(
             name="mobile_dflipflop", kind="circuit",
             description="RTD-D flip-flop (Fig. 9a)",
             sweepable=("load_area", "drive_area", "fet_beta", "fet_vth",
                        "output_capacitance"),
-            default_node="q"),
+            default_node="q", ac_source="Vd"),
         CircuitTemplate(
             name="rtd_mesh", kind="circuit",
             description="rows x cols RTD/RC mesh (sparse-path workload)",
             sweepable=("rows", "cols", "mesh_resistance",
                        "node_capacitance", "rtd_area", "drive"),
-            integer_params=("rows", "cols"), default_node="n0_0"),
+            integer_params=("rows", "cols"), default_node="n0_0",
+            ac_source="Vs"),
         CircuitTemplate(
             name="rc_mesh", kind="circuit",
             description="linear RC interconnect mesh",
             sweepable=("rows", "cols", "mesh_resistance",
                        "node_capacitance", "drive"),
-            integer_params=("rows", "cols"), default_node="n0_0"),
+            integer_params=("rows", "cols"), default_node="n0_0",
+            ac_source="Vs"),
         CircuitTemplate(
             name="noisy_rc_node", kind="sde",
             description="single RC node with white-noise current (Sec. 4)",

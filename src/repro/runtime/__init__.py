@@ -21,6 +21,7 @@ Quick start::
 """
 
 from repro.runtime.jobs import (
+    ACJob,
     EnsembleJob,
     SDE_BUILDERS,
     TransientJob,
@@ -30,6 +31,7 @@ from repro.runtime.report import BatchReport, JobResult
 from repro.runtime.runner import BatchRunner, default_worker_count
 
 __all__ = [
+    "ACJob",
     "BatchReport",
     "BatchRunner",
     "EnsembleJob",

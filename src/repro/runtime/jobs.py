@@ -1,6 +1,6 @@
 """Job specifications for the batch runtime.
 
-Two job flavours cover the paper's workloads:
+Three job flavours cover the workloads:
 
 * :class:`TransientJob` — one deterministic transient simulation: a
   circuit (given directly or as a builder from
@@ -9,6 +9,9 @@ Two job flavours cover the paper's workloads:
 * :class:`EnsembleJob` — one seeded stochastic ensemble: an SDE (given
   directly or as a builder), Euler-Maruyama grid parameters and the
   ensemble size.
+* :class:`ACJob` — one small-signal frequency sweep
+  (:mod:`repro.ac`): a circuit plus the frequency grid, the AC-driven
+  source and optional DC bias overrides.
 
 Jobs are plain picklable dataclasses so they cross process boundaries.
 Builders referenced *by name* are resolved inside the worker, which also
@@ -55,6 +58,25 @@ def _first(value):
     if isinstance(value, tuple):
         return value[0]
     return value
+
+
+def materialize_circuit(circuit, builder, netlist, params):
+    """Shared circuit/builder/netlist resolution for circuit jobs.
+
+    Exactly one of *circuit* (a ready object), *builder* (a callable
+    or :mod:`repro.circuits_lib` name) or *netlist* (source text) may
+    be non-None; *params* feeds the builder or the ``.PARAM``
+    overrides.  The AC CLI uses this directly.
+    """
+    if circuit is not None:
+        return circuit
+    if netlist is not None:
+        from repro.circuit.parser import parse_netlist
+
+        return parse_netlist(netlist, params=params)
+    if isinstance(builder, str):
+        builder = _resolve_circuit_builder(builder)
+    return _first(builder(**params))
 
 
 def _linear_sde(
@@ -168,16 +190,9 @@ class TransientJob:
 
     def build_circuit(self):
         """Materialize the circuit this job simulates."""
-        if self.circuit is not None:
-            return self.circuit
-        if self.netlist is not None:
-            from repro.circuit.parser import parse_netlist
-
-            return parse_netlist(self.netlist, params=self.params)
-        builder = self.builder
-        if isinstance(builder, str):
-            builder = _resolve_circuit_builder(builder)
-        return _first(builder(**self.params))
+        return materialize_circuit(
+            self.circuit, self.builder, self.netlist, self.params
+        )
 
     def run(self, seed: np.random.SeedSequence | None = None):
         """Execute the job; *seed* is unused (transients are
@@ -191,6 +206,72 @@ class TransientJob:
         if self.initial_state is not None:
             kwargs["initial_state"] = np.asarray(self.initial_state, float)
         return engine.run(self.t_stop, **kwargs)
+
+
+@dataclass
+class ACJob:
+    """One small-signal AC frequency sweep (:mod:`repro.ac`).
+
+    The circuit is given exactly like :class:`TransientJob` (one of
+    ``circuit=``, ``builder=`` or ``netlist=``, with ``params``
+    resolved inside the worker).  The frequency grid follows
+    :func:`repro.ac.frequency_grid`: ``n_points`` on ``scale``
+    (``"linear"``/``"log"``, or points per decade with ``"decade"``)
+    between ``f_start`` and ``f_stop``.  ``source`` names the
+    AC-driven independent source (default: the circuit's first),
+    ``bias`` maps source names to DC operating-point overrides, and
+    ``dc_options`` configures the bias solve
+    (:class:`~repro.swec.dc.SwecDCOptions`, or a flat mapping).
+    """
+
+    f_start: float
+    f_stop: float
+    circuit: Any = None
+    builder: str | Callable | None = None
+    netlist: str | None = None
+    params: dict = field(default_factory=dict)
+    n_points: int = 101
+    scale: str = "log"
+    source: str | None = None
+    bias: dict = field(default_factory=dict)
+    dc_options: Any = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        given = sum(
+            source is not None
+            for source in (self.circuit, self.builder, self.netlist)
+        )
+        if given != 1:
+            raise AnalysisError(
+                "ACJob needs exactly one of circuit=, builder= or netlist="
+            )
+
+    def build_circuit(self):
+        """Materialize the circuit this job analyses."""
+        return materialize_circuit(
+            self.circuit, self.builder, self.netlist, self.params
+        )
+
+    def run(self, seed: np.random.SeedSequence | None = None):
+        """Execute the sweep; *seed* is unused (AC is deterministic)
+        but accepted for a uniform job interface.  Returns an
+        :class:`~repro.ac.ACResult`."""
+        from repro.ac import ACAnalysis, frequency_grid
+        from repro.swec.dc import SwecDCOptions
+
+        dc_options = self.dc_options
+        if isinstance(dc_options, Mapping):
+            dc_options = SwecDCOptions(**dict(dc_options))
+        analysis = ACAnalysis(
+            self.build_circuit(),
+            source=self.source,
+            bias=self.bias,
+            dc_options=dc_options,
+        )
+        return analysis.solve(
+            frequency_grid(self.f_start, self.f_stop, self.n_points, self.scale)
+        )
 
 
 @dataclass
@@ -262,17 +343,18 @@ class EnsembleJob:
         )
 
 
-def job_from_mapping(spec: Mapping[str, Any]) -> TransientJob | EnsembleJob:
+def job_from_mapping(spec: Mapping[str, Any]) -> "TransientJob | EnsembleJob | ACJob":
     """Build a job from one deserialized job-spec table (CLI path)."""
     spec = dict(spec)
     kind = spec.pop("type", "transient")
-    if kind == "transient":
+    if kind in ("transient", "ac"):
         circuit = spec.pop("circuit", None)
         if isinstance(circuit, str):
             spec["builder"] = circuit
         elif circuit is not None:
             spec["circuit"] = circuit
-        return TransientJob(**spec)  # "netlist" passes through as text
+        job_class = TransientJob if kind == "transient" else ACJob
+        return job_class(**spec)  # "netlist" passes through as text
     if kind == "ensemble":
         sde = spec.pop("sde", None)
         if isinstance(sde, str):
@@ -281,5 +363,5 @@ def job_from_mapping(spec: Mapping[str, Any]) -> TransientJob | EnsembleJob:
             spec["sde"] = sde
         return EnsembleJob(**spec)
     raise AnalysisError(
-        f"unknown job type {kind!r} (expected 'transient' or 'ensemble')"
+        f"unknown job type {kind!r} (expected 'transient', 'ensemble' or 'ac')"
     )

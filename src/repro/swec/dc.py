@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.analysis.dcsweep import DCSweepResult
 from repro.circuit.netlist import Circuit
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConvergenceError
 from repro.mna.assembler import MnaSystem
 from repro.mna.linsolve import LinearSolver
 from repro.swec.conductance import SwecLinearization
@@ -77,7 +77,8 @@ class SwecDC:
     # ------------------------------------------------------------------
 
     def _locate_source(self, name: str):
-        """Return ``("v", row)`` or ``("i", (p, n))`` for the swept source."""
+        """Return ``("v", row)`` or ``("i", (p, n, source))`` for the
+        swept source."""
         for source in self.circuit.voltage_sources:
             if source.name == name:
                 return "v", self.system.vsource_index(name)
@@ -85,26 +86,26 @@ class SwecDC:
             if source.name == name:
                 p = self.system.node_index(source.nodes[0])
                 n = self.system.node_index(source.nodes[1])
-                return "i", (p, n)
+                return "i", (p, n, source)
         raise AnalysisError(f"no independent source named {name!r}")
+
+    def _force_source(self, b: np.ndarray, kind, location,
+                      value: float) -> None:
+        """Overwrite one source's contribution to *b* with *value*."""
+        if kind == "v":
+            b[location] = value
+        else:
+            p, n, source = location
+            # Remove this source's own t=0 value, then inject ours
+            # (identified by element, so parallel current sources on
+            # the same node pair cannot be confused).
+            self.system.stamp_current(b, p, n, -source.value(0.0))
+            self.system.stamp_current(b, p, n, value)
 
     def _rhs_for(self, kind, location, value: float) -> np.ndarray:
         """Source vector at t=0 with the swept source forced to *value*."""
         b = self.system.source_vector(0.0)
-        if kind == "v":
-            b[location] = value
-        else:
-            p, n = location
-            base = None
-            for source in self.circuit.current_sources:
-                if (self.system.node_index(source.nodes[0]),
-                        self.system.node_index(source.nodes[1])) == (p, n):
-                    base = source.value(0.0)
-                    break
-            if base is not None:
-                # Remove the waveform's own t=0 value, then inject ours.
-                self.system.stamp_current(b, p, n, -base)
-            self.system.stamp_current(b, p, n, value)
+        self._force_source(b, kind, location, value)
         return b
 
     # ------------------------------------------------------------------
@@ -165,6 +166,30 @@ class SwecDC:
                 x, iterations, converged = self.solve_point(b, x, result)
             result.append(value, x, iterations, converged)
         return result
+
+    def operating_point(self, overrides=None) -> np.ndarray:
+        """Solve the DC bias point with every source at its ``t=0`` value.
+
+        *overrides* maps independent-source names to forced DC values,
+        applied on top of the ``t=0`` source vector — the small-signal
+        (AC) analysis uses this to bias a circuit away from its stimulus
+        waveform's initial value.  Returns the solved MNA state vector;
+        raises :class:`~repro.errors.ConvergenceError` when the chord
+        fixed point does not reach tolerance.
+        """
+        b = self.system.source_vector(0.0)
+        for name, value in dict(overrides or {}).items():
+            kind, location = self._locate_source(name)
+            self._force_source(b, kind, location, float(value))
+        result = DCSweepResult(self.circuit.nodes, source_name="(bias)",
+                               engine="swec")
+        x, iterations, converged = self.solve_point(
+            b, self.system.initial_state(), result)
+        if not converged:
+            raise ConvergenceError(
+                f"DC operating point of {self.circuit.name!r} did not "
+                f"converge", iterations=iterations)
+        return x
 
     # ------------------------------------------------------------------
 

@@ -7,9 +7,11 @@ process boundary on the way into a
 
 Transient measures wrap :mod:`repro.analysis.measure` over one node's
 waveform; ensemble measures reduce the
-:class:`~repro.stochastic.montecarlo.EnsembleStatistics` bands.  Each
-measure is addressed by ``kind`` in the spec file and contributes one
-report column (named after the measure, or an explicit ``name=``).
+:class:`~repro.stochastic.montecarlo.EnsembleStatistics` bands; AC
+measures reduce an :class:`~repro.ac.ACResult` transfer function to
+its Bode landmarks.  Each measure is addressed by ``kind`` in the
+spec file and contributes one report column (named after the measure,
+or an explicit ``name=``).
 """
 
 from __future__ import annotations
@@ -143,6 +145,66 @@ ENSEMBLE_MEASURES = {
 }
 
 
+def _ac_node(result, node):
+    """Observed node of an AC measure (default: last node)."""
+    return node if node is not None else result.node_names[-1]
+
+
+def _measure_ac_gain(result, node, kwargs):
+    return abs(result.low_frequency_gain(_ac_node(result, node)))
+
+
+def _measure_ac_gain_db(result, node, kwargs):
+    from repro.errors import AnalysisError
+
+    gain = abs(result.low_frequency_gain(_ac_node(result, node)))
+    if gain <= 0.0:
+        raise AnalysisError("ac_gain_db: zero low-frequency gain")
+    return 20.0 * np.log10(gain)
+
+
+def _measure_bandwidth_3db(result, node, kwargs):
+    return result.bandwidth_3db(_ac_node(result, node))
+
+
+def _measure_unity_gain_freq(result, node, kwargs):
+    return result.unity_gain_frequency(_ac_node(result, node))
+
+
+def _measure_phase_margin(result, node, kwargs):
+    return result.phase_margin(_ac_node(result, node))
+
+
+def _ac_frequency_argument(kwargs):
+    try:
+        return float(kwargs.pop("f"))
+    except KeyError:
+        raise SweepSpecError(
+            "measure needs f=<frequency in Hz>") from None
+
+
+def _measure_gain_at(result, node, kwargs):
+    return result.gain_at(_ac_frequency_argument(kwargs),
+                          _ac_node(result, node))
+
+
+def _measure_phase_at(result, node, kwargs):
+    return result.phase_at(_ac_frequency_argument(kwargs),
+                           _ac_node(result, node))
+
+
+#: AC measures: ``fn(ACResult, node, kwargs) -> float``.
+AC_MEASURES = {
+    "ac_gain": _measure_ac_gain,
+    "ac_gain_db": _measure_ac_gain_db,
+    "bandwidth_3db": _measure_bandwidth_3db,
+    "unity_gain_freq": _measure_unity_gain_freq,
+    "phase_margin": _measure_phase_margin,
+    "gain_at": _measure_gain_at,
+    "phase_at": _measure_phase_at,
+}
+
+
 @dataclass(frozen=True)
 class MeasureSpec:
     """One measure to extract at every sweep point.
@@ -169,6 +231,8 @@ class MeasureSpec:
         if self.kind in TRANSIENT_MEASURES:
             return float(TRANSIENT_MEASURES[self.kind](value, self.node,
                                                        kwargs))
+        if self.kind in AC_MEASURES:
+            return float(AC_MEASURES[self.kind](value, self.node, kwargs))
         return float(ENSEMBLE_MEASURES[self.kind](value, kwargs))
 
     @classmethod
@@ -180,8 +244,15 @@ class MeasureSpec:
         measure_kind = mapping.pop("kind", None)
         if not measure_kind:
             raise SweepSpecError("measure needs a kind=")
-        registry = (TRANSIENT_MEASURES if kind == "transient"
-                    else ENSEMBLE_MEASURES)
+        registries = {"transient": TRANSIENT_MEASURES,
+                      "ensemble": ENSEMBLE_MEASURES,
+                      "ac": AC_MEASURES}
+        try:
+            registry = registries[kind]
+        except KeyError:
+            raise SweepSpecError(
+                f"unknown sweep kind {kind!r} (expected one of "
+                f"{', '.join(sorted(registries))})") from None
         if measure_kind not in registry:
             raise SweepSpecError(
                 f"unknown {kind} measure {measure_kind!r} "
@@ -191,7 +262,7 @@ class MeasureSpec:
         if node is not None and kind == "ensemble":
             raise SweepSpecError(
                 f"measure {measure_kind!r}: node= applies only to "
-                f"transient sweeps (ensembles pick their component "
+                f"transient/AC sweeps (ensembles pick their component "
                 f"in the sweep settings)")
         for key, value in mapping.items():
             if not isinstance(value, (int, float, str, bool)):

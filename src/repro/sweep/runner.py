@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.runtime.jobs import EnsembleJob, TransientJob
+from repro.runtime.jobs import ACJob, EnsembleJob, TransientJob
 from repro.runtime.report import BatchReport
 from repro.runtime.runner import BatchRunner
 from repro.sweep.measures import MeasureSpec
@@ -39,7 +39,7 @@ class SweepPointJob:
     boundary carries a small dict instead of full waveforms.
     """
 
-    inner: TransientJob | EnsembleJob
+    inner: TransientJob | EnsembleJob | ACJob
     measures: list[MeasureSpec] = field(default_factory=list)
     point: dict = field(default_factory=dict)
     label: str = ""
@@ -66,14 +66,19 @@ def build_jobs(spec: SweepSpec) -> list[SweepPointJob]:
         params = dict(point)
         if spec.template is not None:
             params = spec.template_info().coerce(params)
-        if spec.kind == "transient":
+        if spec.kind in ("transient", "ac"):
+            job_class = TransientJob if spec.kind == "transient" else ACJob
+            settings = dict(spec.settings)
+            if (spec.kind == "ac" and spec.template is not None
+                    and "source" not in settings
+                    and spec.template_info().ac_source is not None):
+                settings["source"] = spec.template_info().ac_source
             if spec.template is not None:
-                inner = TransientJob(builder=spec.template, params=params,
-                                     label=label, **spec.settings)
+                inner = job_class(builder=spec.template, params=params,
+                                  label=label, **settings)
             else:
-                inner = TransientJob(netlist=spec.netlist_text,
-                                     params=params, label=label,
-                                     **spec.settings)
+                inner = job_class(netlist=spec.netlist_text,
+                                  params=params, label=label, **settings)
         else:
             # SweepSpec validation guarantees an SDE template here.
             inner = EnsembleJob(builder=spec.template, params=params,

@@ -33,7 +33,7 @@ except ImportError:  # Python 3.10: TOML needs 3.11+, JSON always works
     tomllib = None
 
 _MODES = ("product", "zip")
-_KINDS = ("transient", "ensemble")
+_KINDS = ("transient", "ensemble", "ac")
 
 #: Job fields owned by the sweep runner, not the spec's settings table.
 _RUNNER_OWNED = frozenset(
@@ -41,9 +41,10 @@ _RUNNER_OWNED = frozenset(
 
 
 def _job_class(kind: str):
-    from repro.runtime.jobs import EnsembleJob, TransientJob
+    from repro.runtime.jobs import ACJob, EnsembleJob, TransientJob
 
-    return TransientJob if kind == "transient" else EnsembleJob
+    return {"transient": TransientJob, "ensemble": EnsembleJob,
+            "ac": ACJob}[kind]
 
 
 def _check_settings(kind: str, settings: Mapping[str, Any]) -> None:
@@ -159,7 +160,8 @@ class SweepSpec:
     ``netlist_text`` (SPICE-dialect source with ``.PARAM`` cards for
     every swept name) identifies the base design.  ``settings`` holds
     the per-kind job keywords (``t_stop``/``engine``/``options`` for
-    transients; ``t_final``/``steps``/``n_paths``/... for ensembles).
+    transients; ``t_final``/``steps``/``n_paths``/... for ensembles;
+    ``f_start``/``f_stop``/``n_points``/``source``/... for AC sweeps).
     """
 
     axes: list[ParameterAxis]
@@ -206,14 +208,14 @@ class SweepSpec:
                 "(netlists describe deterministic circuits)")
         if self.template is not None:
             info = self.template_info()
-            if info.kind == "sde" and self.kind == "transient":
+            if info.kind == "sde" and self.kind != "ensemble":
                 raise SweepSpecError(
                     f"template {self.template!r} is an SDE; "
                     f"use kind = 'ensemble'")
             if info.kind == "circuit" and self.kind == "ensemble":
                 raise SweepSpecError(
                     f"template {self.template!r} is a circuit; "
-                    f"use kind = 'transient'")
+                    f"use kind = 'transient' or 'ac'")
             info.coerce({name: 0.0 for name in names})
             info.coerce({k: 0.0 for k in self.fixed})
         _check_settings(self.kind, self.settings)
@@ -261,12 +263,12 @@ class SweepSpec:
     def resolved_measures(self) -> list[MeasureSpec]:
         """The measures with template default nodes filled in.
 
-        For template-based transient sweeps, a measure that omits
+        For template-based transient/AC sweeps, a measure that omits
         ``node=`` acts on the template's registered ``default_node``
         (netlist sweeps keep the last-node fallback of
         :func:`repro.sweep.measures._node_waveform`).
         """
-        if self.kind != "transient" or self.template is None:
+        if self.kind == "ensemble" or self.template is None:
             return self.measures
         default = self.template_info().default_node
         if default is None:
@@ -294,9 +296,12 @@ class SweepSpec:
             name = "inverter-corners"    # are optional
             circuit = "fet_rtd_inverter" # template name, OR:
             netlist = "family.cir"       # path, relative to the spec file
-            kind = "transient"           # transient | ensemble
+            kind = "transient"           # transient | ensemble | ac
+                                         # ("analysis" is an alias)
             mode = "product"             # product | zip
             t_stop = 4e-8                # job settings, per kind
+                                         # (AC: f_start/f_stop/n_points/
+                                         #  scale/source/bias/dc_options)
             [sweep.options]              # engine options (transient)
             epsilon = 0.05
             [sweep.fixed]                # unswept parameter pins
@@ -326,6 +331,10 @@ class SweepSpec:
             raise SweepSpecError(
                 f"unknown top-level table(s): {sorted(spec)}")
 
+        if "analysis" in sweep and "kind" in sweep:
+            raise SweepSpecError(
+                "[sweep] takes kind= or its alias analysis=, not both")
+        kind = sweep.pop("analysis", None) or sweep.pop("kind", "transient")
         template = sweep.pop("circuit", None)
         netlist_text = sweep.pop("netlist_text", None)
         netlist_path = sweep.pop("netlist", None)
@@ -341,11 +350,10 @@ class SweepSpec:
             netlist_text = path.read_text()
 
         axes = [ParameterAxis.from_mapping(table) for table in axes_tables]
-        measures = measures_from_spec(
-            measure_tables, kind=sweep.get("kind", "transient"))
+        measures = measures_from_spec(measure_tables, kind=kind)
         return cls(
             axes=axes,
-            kind=sweep.pop("kind", "transient"),
+            kind=kind,
             template=template,
             netlist_text=netlist_text,
             mode=sweep.pop("mode", "product"),

@@ -36,7 +36,8 @@ def _netlist_doc() -> Path:
 
 
 def test_docs_directory_is_complete():
-    for name in ("architecture.md", "paper_map.md", "netlist_format.md"):
+    for name in ("architecture.md", "paper_map.md", "netlist_format.md",
+                 "ac_analysis.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -62,9 +63,20 @@ def test_spice_error_snippets_fail_as_documented(index):
         parse_netlist(snippet)
 
 
-def test_python_snippets_run():
-    for snippet in _blocks(_netlist_doc(), "python"):
-        exec(compile(snippet, "docs/netlist_format.md", "exec"), {})
+@pytest.mark.parametrize("document",
+                         ["netlist_format.md", "ac_analysis.md"])
+def test_python_snippets_run(document):
+    snippets = _blocks(DOCS / document, "python")
+    assert snippets, f"docs/{document} has no python snippets"
+    for snippet in snippets:
+        exec(compile(snippet, f"docs/{document}", "exec"), {})
+
+
+def test_ac_doc_covers_the_subsystem():
+    text = (DOCS / "ac_analysis.md").read_text()
+    for required in ("python -m repro.ac", "bandwidth_3db",
+                     "johnson_noise", 'analysis = "ac"'):
+        assert required in text, f"ac_analysis.md lacks {required!r}"
 
 
 def test_intra_repo_links_resolve():
@@ -81,3 +93,74 @@ def test_readme_documents_the_sweep_cli():
     readme = (ROOT / "README.md").read_text()
     assert "python -m repro.sweep" in readme
     assert "docs/architecture.md" in readme
+
+
+def test_readme_documents_the_ac_cli():
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro.ac" in readme
+    assert "docs/ac_analysis.md" in readme
+
+
+def _check_links_module():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_links
+    finally:
+        sys.path.pop(0)
+    return check_links
+
+
+class TestLinkCheckerAnchors:
+    """The checker validates #fragments with GitHub anchor rules."""
+
+    def _run(self, tmp_path, text, name="page.md"):
+        checker = _check_links_module()
+        (tmp_path / "docs").mkdir(exist_ok=True)
+        (tmp_path / "README.md").write_text("# Readme\n")
+        (tmp_path / "docs" / name).write_text(text)
+        return checker.run(tmp_path)
+
+    def test_intra_document_fragment(self, tmp_path):
+        good = "# Setup\n\nsee [here](#setup)\n"
+        assert self._run(tmp_path, good) == []
+        bad = "# Setup\n\nsee [here](#teardown)\n"
+        problems = self._run(tmp_path, bad)
+        assert len(problems) == 1 and "#teardown" in problems[0]
+
+    def test_duplicate_headings_get_github_suffixes(self, tmp_path):
+        text = ("# Round\n\n# Round\n\n"
+                "[first](#round) [second](#round-1)\n")
+        assert self._run(tmp_path, text) == []
+        assert "#round-2" in self._run(tmp_path,
+                                       text + "[third](#round-2)\n")[0]
+
+    def test_html_anchors_count(self, tmp_path):
+        text = '<a id="pinned"></a>\n\n[jump](#pinned)\n'
+        assert self._run(tmp_path, text) == []
+
+    def test_html_anchors_match_verbatim(self, tmp_path):
+        # Unlike heading slugs, explicit ids keep case + punctuation.
+        text = '<a id="API.v2"></a>\n\n[jump](#API.v2)\n'
+        assert self._run(tmp_path, text) == []
+        assert len(self._run(
+            tmp_path, '<a id="API.v2"></a>\n\n[jump](#api-v2)\n')) == 1
+
+    def test_code_fences_are_transparent(self, tmp_path):
+        # A "# heading" inside a snippet is not an anchor, and a
+        # markdown-shaped link inside a snippet is not checked.
+        text = ("# Real\n\n```python\n# fake heading\n"
+                "x = '[link](missing.md)'\n```\n\n[ok](#real)\n")
+        assert self._run(tmp_path, text) == []
+        bad = "```python\n# fake\n```\n\n[broken](#fake)\n"
+        assert len(self._run(tmp_path, bad)) == 1
+
+    def test_cross_document_fragment(self, tmp_path):
+        checker = _check_links_module()
+        (tmp_path / "docs").mkdir(exist_ok=True)
+        (tmp_path / "README.md").write_text(
+            "[guide](docs/a.md#the-good-part)\n")
+        (tmp_path / "docs" / "a.md").write_text("## The good part\n")
+        assert checker.run(tmp_path) == []
+        (tmp_path / "docs" / "a.md").write_text("## Renamed\n")
+        problems = checker.run(tmp_path)
+        assert len(problems) == 1 and "the-good-part" in problems[0]

@@ -233,3 +233,62 @@ class TestDCSweepResult:
         empty = DCSweepResult(("out",), "Vs")
         with pytest.raises(AnalysisError):
             empty.states
+
+
+class TestEdgeCasesFailLoudly:
+    """Sweep/AC measures must raise, never return silent NaN."""
+
+    def test_nan_values_raise(self, ramp):
+        t, v = ramp
+        v = v.copy()
+        v[50] = np.nan
+        with pytest.raises(AnalysisError, match="non-finite"):
+            rise_time(t, v)
+        with pytest.raises(AnalysisError, match="non-finite"):
+            crossing_times(t, v, 2.5)
+        with pytest.raises(AnalysisError, match="non-finite"):
+            peak_value(t, v)
+
+    def test_nan_times_raise(self, ramp):
+        t, v = ramp
+        t = t.copy()
+        t[0] = np.nan
+        with pytest.raises(AnalysisError, match="non-finite"):
+            settling_time(t, v)
+
+    def test_infinite_values_raise(self, ramp):
+        t, v = ramp
+        v = v.copy()
+        v[-1] = np.inf
+        with pytest.raises(AnalysisError, match="non-finite"):
+            overshoot(t, v)
+
+    def test_empty_measurement_window_raises(self, ramp):
+        t, v = ramp
+        with pytest.raises(AnalysisError, match="window"):
+            peak_value(t, v, t_start=20.0, t_stop=30.0)
+
+    def test_inverted_measurement_window_raises(self, ramp):
+        t, v = ramp
+        with pytest.raises(AnalysisError, match="window"):
+            peak_value(t, v, t_start=7.0, t_stop=3.0)
+
+    def test_threshold_never_crossed(self, ramp):
+        t, v = ramp
+        assert crossing_times(t, v, 99.0).size == 0
+        with pytest.raises(AnalysisError, match="never crosses"):
+            delay_between(t, v, t, v, level_a=99.0, level_b=2.5)
+
+    def test_rising_edge_never_completes(self):
+        # Rises through 10% but never reaches the 90% level before the
+        # record ends: rise_time must refuse, not report a bogus edge.
+        t = np.linspace(0.0, 1.0, 11)
+        v = np.concatenate([np.linspace(0.0, 0.4, 6), np.full(5, 0.4)])
+        with pytest.raises(AnalysisError):
+            rise_time(t, v, low_frac=0.1, high_frac=3.0)
+
+    def test_never_settles_raises(self):
+        t = np.linspace(0.0, 1.0, 21)
+        v = np.cos(40.0 * t)  # still outside the band at the last sample
+        with pytest.raises(AnalysisError, match="settle"):
+            settling_time(t, v, tolerance=1e-6, final_value=0.0)

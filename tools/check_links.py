@@ -3,9 +3,15 @@
 
 Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
 that every *relative* target resolves to an existing file or directory
-(external ``http(s)``/``mailto`` links are not fetched).  Fragment-only
-links (``#section``) and fragments on relative links are checked
-against the target file's headings using GitHub anchor rules.
+(external ``http(s)``/``mailto`` links are not fetched).  Fragment
+validation covers both cross-document (``page.md#section``) and
+intra-document (``#section``) anchors:
+
+* headings are collected with GitHub's anchor rules, including the
+  ``-1``/``-2`` suffixes GitHub appends to duplicated headings;
+* explicit HTML anchors (``<a id="...">`` / ``<a name="...">``) count;
+* fenced code blocks are stripped first, so a ``# comment`` inside a
+  snippet neither registers a phantom anchor nor hides a link.
 
 Exit status 0 when every link resolves, 1 otherwise — CI runs this as
 the docs job, and ``tests/test_docs.py`` runs it in the tier-1 suite.
@@ -20,7 +26,16 @@ from pathlib import Path
 #: Inline Markdown links: [text](target), skipping images' leading "!".
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$",
+                       re.MULTILINE | re.DOTALL)
+_HTML_ANCHOR_RE = re.compile(
+    r"<a\s+(?:id|name)\s*=\s*[\"']([^\"']+)[\"']", re.IGNORECASE)
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_fences(text: str) -> str:
+    """Remove fenced code blocks (``` / ~~~) from a document."""
+    return _FENCE_RE.sub("", text)
 
 
 def _anchor(heading: str) -> str:
@@ -32,14 +47,29 @@ def _anchor(heading: str) -> str:
 
 
 def _anchors_of(path: Path) -> set[str]:
-    return {_anchor(m.group(1))
-            for m in _HEADING_RE.finditer(path.read_text())}
+    """Every anchor *path* defines.
+
+    Duplicated headings get GitHub's ``-1``/``-2``... suffixes (the
+    bare anchor still points at the first occurrence); explicit
+    ``<a id=...>``/``<a name=...>`` anchors are honoured verbatim.
+    """
+    text = _strip_fences(path.read_text())
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(text):
+        base = _anchor(match.group(1))
+        count = seen.get(base, 0)
+        anchors.add(base if count == 0 else f"{base}-{count}")
+        seen[base] = count + 1
+    anchors.update(match.group(1)
+                   for match in _HTML_ANCHOR_RE.finditer(text))
+    return anchors
 
 
 def check_file(path: Path, root: Path) -> list[str]:
     """Return a list of broken-link descriptions for one document."""
     problems = []
-    for match in _LINK_RE.finditer(path.read_text()):
+    for match in _LINK_RE.finditer(_strip_fences(path.read_text())):
         target = match.group(1)
         if target.startswith(_EXTERNAL):
             continue
@@ -57,7 +87,11 @@ def check_file(path: Path, root: Path) -> list[str]:
         else:
             resolved = path
         if fragment and resolved.suffix == ".md":
-            if _anchor(fragment) not in _anchors_of(resolved):
+            anchors = _anchors_of(resolved)
+            # HTML anchors match verbatim; heading anchors via the
+            # GitHub slug of the fragment.
+            if fragment not in anchors \
+                    and _anchor(fragment) not in anchors:
                 problems.append(
                     f"{path.relative_to(root)}: missing anchor "
                     f"#{fragment} in {resolved.name}")
