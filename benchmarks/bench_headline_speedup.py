@@ -12,6 +12,8 @@ measured factor on our substrate is reported in EXPERIMENTS.md against
 the paper's 20-30x.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -20,9 +22,10 @@ from repro.baselines import MlaDC, MlaTransient, SpiceTransient
 from repro.baselines.mla import MlaOptions
 from repro.baselines.spice import SpiceOptions
 from repro.circuit import Pulse
-from repro.circuits_lib import rtd_divider
+from repro.circuits_lib import rtd_chain, rtd_divider
+from repro.mna.assembler import MnaSystem
 from repro.perf.comparison import compare_dc_sweep
-from repro.swec import SwecDC, SwecOptions, SwecTransient
+from repro.swec import SwecDC, SwecLinearization, SwecOptions, SwecTransient
 from repro.swec.dc import SwecDCOptions
 from repro.swec.timestep import StepControlOptions
 
@@ -100,6 +103,62 @@ def test_headline_transient_per_point_cost():
                              / max(mla_result.accepted_steps, 1))
     assert swec_devices_per_point <= 2.1
     assert mla_devices_per_point > 1.2 * swec_devices_per_point
+
+
+def test_headline_gather_vectorization_delta():
+    """The index-gather rewrite of ``SwecLinearization.device_voltages``
+    and ``stamp`` (ISSUE 4 satellite) must beat the per-device Python
+    loops it replaced, value for value — this speeds up every accepted
+    point of the existing single-instance engine too."""
+    circuit, _ = rtd_chain(40)
+    system = MnaSystem(circuit)
+    linearization = SwecLinearization(system)
+    terminals = system.device_terminals()
+    state = np.linspace(0.1, 0.4, system.size)
+    base = system.conductance_base()
+    device_g = linearization.device_conductances(state)
+    mosfet_g = linearization.mosfet_conductances(state)
+    repeats = 2000
+
+    def loop_voltages():
+        voltages = np.zeros(len(terminals))
+        for k, (anode, cathode) in enumerate(terminals):
+            va = state[anode] if anode >= 0 else 0.0
+            vc = state[cathode] if cathode >= 0 else 0.0
+            voltages[k] = va - vc
+        return voltages
+
+    def loop_stamp(matrix):
+        for (anode, cathode), g in zip(terminals, device_g):
+            system.stamp_two_terminal(matrix, anode, cathode, float(g))
+
+    assert np.array_equal(loop_voltages(),
+                          linearization.device_voltages(state))
+    looped, gathered = base.copy(), base.copy()
+    loop_stamp(looped)
+    linearization.stamp(gathered, device_g, mosfet_g)
+    assert np.array_equal(looped, gathered)
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        loop_voltages()
+        loop_stamp(base.copy())
+    loop_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(repeats):
+        linearization.device_voltages(state)
+        linearization.stamp(base.copy(), device_g, mosfet_g)
+    vectorized_seconds = time.perf_counter() - start
+
+    speedup = loop_seconds / vectorized_seconds
+    print_rows(
+        f"Headline: per-step gather+stamp, 40-device chain x{repeats}",
+        ["path", "seconds", "speedup"],
+        [["python loops", round(loop_seconds, 4), 1.0],
+         ["index gathers", round(vectorized_seconds, 4),
+          round(speedup, 1)]])
+    assert speedup > 1.5, (
+        f"index-based gather+stamp only {speedup:.2f}x the Python loop")
 
 
 def test_headline_spice_pays_more_with_cold_starts():

@@ -20,7 +20,8 @@ Package map (every subpackage):
 - :mod:`repro.circuit` — netlists, elements, waveforms, parser
 - :mod:`repro.devices` — RTD / RTT / nanowire / MOSFET / diode models
 - :mod:`repro.mna` — modified nodal analysis assembly and solves
-- :mod:`repro.swec` — the paper's SWEC transient and DC engines
+- :mod:`repro.swec` — the paper's SWEC transient and DC engines, plus
+  the lockstep ensemble transient (K instances per batched solve)
 - :mod:`repro.baselines` — SPICE-like NR, MLA and ACES-PWL comparators
 - :mod:`repro.stochastic` — Wiener/EM statistical simulation (Section 4)
 - :mod:`repro.ac` — small-signal AC sweeps, Bode measures, Johnson noise
@@ -74,7 +75,12 @@ from repro.errors import (
     NetlistParseError,
     SingularMatrixError,
 )
-from repro.swec import SwecDC, SwecOptions, SwecTransient
+from repro.swec import (
+    SwecDC,
+    SwecEnsembleTransient,
+    SwecOptions,
+    SwecTransient,
+)
 from repro.baselines import (
     AcesTransient,
     MlaDC,
@@ -94,11 +100,12 @@ from repro.runtime import (
     BatchReport,
     BatchRunner,
     EnsembleJob,
+    EnsembleTransientJob,
     JobResult,
     TransientJob,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ACAnalysis",
@@ -117,6 +124,7 @@ __all__ = [
     "DC",
     "Diode",
     "EnsembleJob",
+    "EnsembleTransientJob",
     "JobResult",
     "LinearSDE",
     "MlaDC",
@@ -141,6 +149,7 @@ __all__ = [
     "SpiceTransient",
     "Step",
     "SwecDC",
+    "SwecEnsembleTransient",
     "SwecOptions",
     "SwecTransient",
     "TransientJob",

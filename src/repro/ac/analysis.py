@@ -24,7 +24,8 @@ import numpy as np
 from repro.ac.linearize import SmallSignalSystem, linearize
 from repro.ac.result import ACResult
 from repro.circuit.netlist import Circuit
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, SingularMatrixError
+from repro.mna.batch import solve_stack
 from repro.swec.dc import SwecDCOptions
 
 #: Frequency-grid spacings (``decade`` = points *per decade*, SPICE
@@ -75,8 +76,10 @@ def solve_many(small: SmallSignalSystem, frequencies,
     The one place the complex stack is assembled: *rhs_columns* is an
     ``(n, k)`` matrix of right-hand sides (an excitation vector, noise
     injections, ...), solved for every frequency at once; returns the
-    ``(F, n, k)`` complex solution stack.  Frequencies are chunked so
-    the ``(F, n, n)`` matrix stack never exceeds ~64 MB.
+    ``(F, n, k)`` complex solution stack.  The batched LAPACK call is
+    :func:`repro.mna.batch.solve_stack` (shared with the ensemble
+    transient engine), whose chunking keeps the lazily assembled
+    ``(F, n, n)`` stack under ~64 MB at a time.
     """
     frequencies = np.asarray(frequencies, dtype=float)
     if frequencies.ndim != 1 or frequencies.size == 0:
@@ -87,21 +90,23 @@ def solve_many(small: SmallSignalSystem, frequencies,
         raise AnalysisError(
             f"rhs columns must have shape ({n}, k), got {rhs.shape}")
     omega = 2.0 * np.pi * frequencies
-    out = np.empty((omega.size, n, rhs.shape[1]), dtype=complex)
-    chunk = max(1, _CHUNK_ENTRIES // (n * n))
-    for lo in range(0, omega.size, chunk):
-        w = omega[lo:lo + chunk]
-        matrices = (small.g0[None, :, :]
-                    + 1j * w[:, None, None] * small.c[None, :, :])
-        b = np.broadcast_to(rhs[None, :, :], (w.size, *rhs.shape))
-        try:
-            out[lo:lo + chunk] = np.linalg.solve(matrices, b)
-        except np.linalg.LinAlgError as exc:
-            raise AnalysisError(
-                f"singular small-signal system in "
-                f"[{w[0] / (2.0 * np.pi):.4g}, "
-                f"{w[-1] / (2.0 * np.pi):.4g}] Hz: {exc}") from exc
-    return out
+
+    def matrices(lo: int, hi: int) -> np.ndarray:
+        w = omega[lo:hi]
+        return (small.g0[None, :, :]
+                + 1j * w[:, None, None] * small.c[None, :, :])
+
+    def describe(lo: int, hi: int) -> str:
+        return (f"the small-signal sweep [{frequencies[lo]:.4g}, "
+                f"{frequencies[hi - 1]:.4g}] Hz")
+
+    try:
+        return solve_stack(
+            matrices,
+            np.broadcast_to(rhs[None, :, :], (omega.size, *rhs.shape)),
+            chunk_entries=_CHUNK_ENTRIES, describe=describe, dtype=complex)
+    except SingularMatrixError as exc:
+        raise AnalysisError(str(exc)) from exc
 
 
 class ACAnalysis:

@@ -75,19 +75,74 @@ class TwoTerminalDevice:
     def current_many(self, voltages) -> np.ndarray:
         """Vectorized :meth:`current` over an array of branch voltages.
 
-        The engines call models one operating point at a time, but
-        waveform post-processing evaluates thousands of points at once.
-        Models with closed-form numpy implementations override this; the
-        fallback loops over the scalar method.
+        Waveform post-processing and the ensemble transient engine
+        evaluate whole voltage arrays at once.  Models with closed-form
+        numpy implementations override this; the fallback loops over
+        the scalar method.
         """
         v = np.asarray(voltages, dtype=float)
         flat = np.fromiter((self.current(float(x)) for x in v.ravel()),
                            dtype=float, count=v.size)
         return flat.reshape(v.shape)
 
+    def differential_conductance_many(self, voltages) -> np.ndarray:
+        """Vectorized :meth:`differential_conductance`.
+
+        The fallback loops over the scalar method, so models that only
+        override the scalar derivative stay exactly consistent with it;
+        models with closed-form numpy derivatives override this too.
+        """
+        v = np.asarray(voltages, dtype=float)
+        flat = np.fromiter(
+            (self.differential_conductance(float(x)) for x in v.ravel()),
+            dtype=float, count=v.size)
+        return flat.reshape(v.shape)
+
+    def chord_conductance_many(self, voltages) -> np.ndarray:
+        """Vectorized :meth:`chord_conductance` over branch voltages.
+
+        Mirrors the scalar definition exactly: ``I(V)/V`` away from the
+        origin, the differential conductance at ``V = 0`` inside
+        ``chord_epsilon``.
+        """
+        v = np.asarray(voltages, dtype=float)
+        small = np.abs(v) < self.chord_epsilon
+        safe = np.where(small, 1.0, v)
+        g = self.current_many(safe) / safe
+        if small.any():
+            g = np.where(small, self.differential_conductance(0.0), g)
+        return g
+
+    def chord_conductance_derivative_many(self, voltages) -> np.ndarray:
+        """Vectorized :meth:`chord_conductance_derivative`."""
+        v = np.asarray(voltages, dtype=float)
+        small = np.abs(v) < self.chord_epsilon
+        safe = np.where(small, 1.0, v)
+        i = self.current_many(safe)
+        g = self.differential_conductance_many(safe)
+        derivative = (safe * g - i) / (safe * safe)
+        if small.any():
+            h = self.fd_step
+            second = (self.current(h) - 2.0 * self.current(0.0)
+                      + self.current(-h)) / (h * h)
+            derivative = np.where(small, 0.5 * second, derivative)
+        return derivative
+
     # ------------------------------------------------------------------
     # Conveniences shared by every model
     # ------------------------------------------------------------------
+
+    def batch_key(self):
+        """Hashable key under which ensemble instances may be grouped.
+
+        The lockstep transient engine evaluates all circuit instances
+        whose device shares a key through one vectorized call.  The
+        safe default is object identity; models whose behaviour is
+        fully determined by a hashable parameter record (e.g.
+        :class:`~repro.devices.rtd.SchulmanRTD`) override this so
+        per-instance model objects with equal parameters still batch.
+        """
+        return id(self)
 
     def is_passive_at(self, voltage: float) -> bool:
         """True when current has the sign of voltage (chord >= 0) there."""

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class MosfetModel:
@@ -124,6 +126,80 @@ class MosfetModel:
     def is_on(self, vgs: float) -> bool:
         """True when the channel conducts (``|Vov| > 0``)."""
         return self.polarity * vgs - abs(self.vth) > 0.0
+
+    def current_many(self, vgs, vds) -> np.ndarray:
+        """Vectorized :meth:`current` over terminal-voltage arrays."""
+        return mosfet_current_stack(
+            vgs, vds, kp=self.kp, w=self.w, l=self.l, vth=self.vth,
+            polarity=self.polarity,
+            channel_modulation=self.channel_modulation)
+
+    def chord_conductance_many(self, vgs, vds) -> np.ndarray:
+        """Vectorized :meth:`chord_conductance`."""
+        return mosfet_chord_stack(
+            vgs, vds, kp=self.kp, w=self.w, l=self.l, vth=self.vth,
+            polarity=self.polarity,
+            channel_modulation=self.channel_modulation)
+
+
+# ----------------------------------------------------------------------
+# Parameter-stacked evaluation (ensemble hot path)
+# ----------------------------------------------------------------------
+#
+# The lockstep transient engine marches K circuit instances whose
+# MOSFETs may each carry different parameters.  Because the level-1
+# model is a handful of polynomial branches, the parameters themselves
+# vectorize: every argument below may be a scalar or an array
+# broadcastable against the voltage arrays, and the arithmetic mirrors
+# the scalar methods branch for branch so results match bitwise.
+
+
+def _ids_nmos_stack(vgs, vds, beta, vth_abs, lam) -> np.ndarray:
+    """NMOS-coordinate drain current for ``vds >= 0``, vectorized."""
+    vov = vgs - vth_abs
+    clm = 1.0 + lam * vds
+    triode = beta * (vov - vds / 2.0) * vds * clm
+    saturated = 0.5 * beta * vov * vov * clm
+    ids = np.where(vds < vov, triode, saturated)
+    return np.where(vov > 0.0, ids, 0.0)
+
+
+def mosfet_current_stack(vgs, vds, *, kp, w, l, vth, polarity,
+                         channel_modulation) -> np.ndarray:
+    """Vectorized level-1 drain current with stacked parameters."""
+    vgs = np.asarray(vgs, dtype=float)
+    vds = np.asarray(vds, dtype=float)
+    s = np.asarray(polarity, dtype=float)
+    beta = np.asarray(kp, dtype=float) * np.asarray(w, dtype=float) \
+        / np.asarray(l, dtype=float)
+    vth_abs = np.abs(np.asarray(vth, dtype=float))
+    lam = np.asarray(channel_modulation, dtype=float)
+    vgs_eff, vds_eff = s * vgs, s * vds
+    forward = s * _ids_nmos_stack(vgs_eff, vds_eff, beta, vth_abs, lam)
+    # Negative Vds swaps drain and source (the device is symmetric).
+    swapped = -s * _ids_nmos_stack(vgs_eff - vds_eff, -vds_eff, beta,
+                                   vth_abs, lam)
+    return np.where(vds_eff >= 0.0, forward, swapped)
+
+
+def mosfet_chord_stack(vgs, vds, *, kp, w, l, vth, polarity,
+                       channel_modulation) -> np.ndarray:
+    """Vectorized SWEC equivalent conductance ``Ids/Vds`` (paper eq. 3)."""
+    vgs = np.asarray(vgs, dtype=float)
+    vds = np.asarray(vds, dtype=float)
+    s = np.asarray(polarity, dtype=float)
+    beta = np.asarray(kp, dtype=float) * np.asarray(w, dtype=float) \
+        / np.asarray(l, dtype=float)
+    vth_abs = np.abs(np.asarray(vth, dtype=float))
+    vds_eff = s * vds
+    small = np.abs(vds_eff) < 1e-12
+    vov = s * vgs - vth_abs
+    limit = np.where(vov > 0.0, beta * vov, 0.0)
+    current = mosfet_current_stack(
+        vgs, vds, kp=kp, w=w, l=l, vth=vth, polarity=polarity,
+        channel_modulation=channel_modulation)
+    safe_vds = np.where(small, 1.0, vds)
+    return np.where(small, limit, current / safe_vds)
 
 
 def nmos(kp: float = 2e-5, w: float = 10e-6, l: float = 1e-6,

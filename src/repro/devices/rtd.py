@@ -73,6 +73,17 @@ def _softplus_array(x: np.ndarray) -> np.ndarray:
     return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
 
 
+def _logistic_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized stable logistic, mirroring the scalar ``_logistic``."""
+    out = np.empty_like(x)
+    positive = x >= 0.0
+    out[positive] = 1.0 / (
+        1.0 + np.exp(-np.minimum(x[positive], _EXP_CLIP)))
+    ex = np.exp(np.maximum(x[~positive], -_EXP_CLIP))
+    out[~positive] = ex / (1.0 + ex)
+    return out
+
+
 @dataclass(frozen=True)
 class SchulmanParameters:
     """Parameter record for the Schulman RTD equations.
@@ -176,9 +187,36 @@ class SchulmanRTD(TwoTerminalDevice):
             np.exp(np.minimum(p.n2 * v / self._vt, _EXP_CLIP)) - 1.0)
         return resonance + thermionic
 
+    def batch_key(self):
+        """Hashable key under which ensemble instances may be grouped.
+
+        Two ``SchulmanRTD`` objects with equal (frozen) parameter
+        records evaluate identically, so the lockstep engine batches
+        them through one ``current_many`` call even when each circuit
+        instance was built with its own model object.
+        """
+        return (SchulmanRTD, self.parameters)
+
     # ------------------------------------------------------------------
     # Analytic derivatives (paper eq. 8, re-derived)
     # ------------------------------------------------------------------
+
+    def differential_conductance_many(self, voltages) -> np.ndarray:
+        """Vectorized analytic ``dJ/dV``, mirroring the scalar form."""
+        p = self.parameters
+        v = np.asarray(voltages, dtype=float)
+        upper = (p.b - p.c + p.n1 * v) / self._vt
+        lower = (p.b - p.c - p.n1 * v) / self._vt
+        log_term = _softplus_array(upper) - _softplus_array(lower)
+        dlog = (p.n1 / self._vt) * (_logistic_array(upper)
+                                    + _logistic_array(lower))
+        u = (p.c - p.n1 * v) / p.d
+        angle = math.pi / 2.0 + np.arctan(u)
+        dangle = -(p.n1 / p.d) / (1.0 + u * u)
+        dj1 = p.a * (dlog * angle + log_term * dangle)
+        dj2 = (p.h * p.n2 / self._vt) * np.exp(
+            np.minimum(p.n2 * v / self._vt, _EXP_CLIP))
+        return dj1 + dj2
 
     def differential_conductance(self, voltage: float) -> float:
         """Analytic ``dJ/dV`` — negative inside the NDR region."""

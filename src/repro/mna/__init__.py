@@ -11,6 +11,8 @@ matrix structure.
 """
 
 from repro.mna.assembler import MnaSystem
+from repro.mna.batch import ConductanceStamper, solve_stack
 from repro.mna.linsolve import LinearSolver, solve_dense
 
-__all__ = ["LinearSolver", "MnaSystem", "solve_dense"]
+__all__ = ["ConductanceStamper", "LinearSolver", "MnaSystem",
+           "solve_dense", "solve_stack"]

@@ -85,20 +85,25 @@ class FlopCounter:
             raise ValueError(f"flop count must be non-negative, got {count}")
         self._counts[category] += int(count)
 
-    def count_factorization(self, n: int) -> None:
-        """Record an ``n x n`` LU factorization."""
-        self.add("factor", lu_factor_flops(n))
-        self.factorizations += 1
+    def count_factorization(self, n: int, count: int = 1) -> None:
+        """Record *count* ``n x n`` LU factorizations.
 
-    def count_solve(self, n: int) -> None:
-        """Record one forward/back substitution pair."""
-        self.add("solve", lu_solve_flops(n))
-        self.linear_solves += 1
+        The batched engines factor whole instance stacks per step; the
+        bulk form records them in one call instead of K Python calls.
+        """
+        self.add("factor", count * lu_factor_flops(n))
+        self.factorizations += count
 
-    def count_device_eval(self, kind: str, channels: int = 0) -> None:
-        """Record one device model evaluation."""
-        self.add("device", device_eval_flops(kind, channels))
-        self.device_evaluations += 1
+    def count_solve(self, n: int, count: int = 1) -> None:
+        """Record *count* forward/back substitution pairs."""
+        self.add("solve", count * lu_solve_flops(n))
+        self.linear_solves += count
+
+    def count_device_eval(self, kind: str, channels: int = 0,
+                          count: int = 1) -> None:
+        """Record *count* device model evaluations."""
+        self.add("device", count * device_eval_flops(kind, channels))
+        self.device_evaluations += count
 
     @property
     def total(self) -> int:

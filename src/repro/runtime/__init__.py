@@ -23,6 +23,7 @@ Quick start::
 from repro.runtime.jobs import (
     ACJob,
     EnsembleJob,
+    EnsembleTransientJob,
     SDE_BUILDERS,
     TransientJob,
     job_from_mapping,
@@ -35,6 +36,7 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "EnsembleJob",
+    "EnsembleTransientJob",
     "JobResult",
     "SDE_BUILDERS",
     "TransientJob",

@@ -27,6 +27,18 @@ The job-spec file is TOML (Python 3.11+, via :mod:`tomllib`) or JSON
     steps = 2000
     n_paths = 400
 
+    [[jobs]]
+    type = "ensemble_transient"    # K instances per batched solve
+    label = "inverter-corners"
+    circuit = "fet_rtd_inverter"
+    t_stop = 2e-8
+    steps = 400                    # fixed grid (required with noise)
+    node = "out"                   # reduce to EnsembleStatistics
+    variations = [                 # and/or n_instances = K
+        { load_capacitance = 0.5e-12 },
+        { load_capacitance = 2e-12 },
+    ]
+
 The exit status is 0 when every job succeeded, 1 otherwise.
 """
 

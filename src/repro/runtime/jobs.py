@@ -1,6 +1,6 @@
 """Job specifications for the batch runtime.
 
-Three job flavours cover the workloads:
+Four job flavours cover the workloads:
 
 * :class:`TransientJob` — one deterministic transient simulation: a
   circuit (given directly or as a builder from
@@ -12,6 +12,11 @@ Three job flavours cover the workloads:
 * :class:`ACJob` — one small-signal frequency sweep
   (:mod:`repro.ac`): a circuit plus the frequency grid, the AC-driven
   source and optional DC bias overrides.
+* :class:`EnsembleTransientJob` — K same-topology circuit instances
+  marched in lockstep by
+  :class:`~repro.swec.ensemble.SwecEnsembleTransient`: per-instance
+  parameter variations and/or seeded circuit-noise realizations, one
+  batched solve per time point.
 
 Jobs are plain picklable dataclasses so they cross process boundaries.
 Builders referenced *by name* are resolved inside the worker, which also
@@ -343,17 +348,179 @@ class EnsembleJob:
         )
 
 
-def job_from_mapping(spec: Mapping[str, Any]) -> "TransientJob | EnsembleJob | ACJob":
+@dataclass
+class EnsembleTransientJob:
+    """One lockstep transient ensemble over K same-topology instances.
+
+    The base design is given exactly like :class:`TransientJob` (one
+    of ``circuit=``, ``builder=`` or ``netlist=``, with shared
+    ``params``).  Instances come from either
+
+    * ``variations`` — a sequence of K per-instance parameter override
+      mappings, each merged over ``params`` and fed to the builder /
+      ``.PARAM`` substitution inside the worker, and/or
+    * ``n_instances`` — a plain replication count (the circuit-noise
+      Monte-Carlo form).
+
+    ``steps`` selects the fixed uniform grid of ``steps``
+    backward-Euler points over ``[0, t_stop]`` (required when
+    ``noise`` injections are present; omitted, the adaptive worst-case
+    grid is used).  ``noise`` lists ``(node, amplitude)`` white-noise
+    current injections; ``path_seeds`` pins one RNG stream per
+    instance (the split-invariant form used by
+    :func:`~repro.stochastic.montecarlo.run_circuit_ensemble_parallel`),
+    otherwise the runner-provided seed is spawned into K children.
+
+    The job returns the raw
+    :class:`~repro.swec.ensemble.EnsembleTransientResult` when
+    ``return_result=True`` or ``node`` is unset; with ``node=`` it is
+    reduced worker-side to
+    :class:`~repro.stochastic.montecarlo.EnsembleStatistics` of that
+    node's voltage, so the process boundary carries three small arrays
+    instead of the ``(K, T, n)`` stack.
+    """
+
+    t_stop: float
+    circuit: Any = None
+    builder: str | Callable | None = None
+    netlist: str | None = None
+    params: dict = field(default_factory=dict)
+    variations: Sequence[Mapping[str, Any]] | None = None
+    n_instances: int | None = None
+    steps: int | None = None
+    noise: Any = None
+    options: Any = None
+    initial_states: Any = None
+    node: str | None = None
+    confidence: float = 0.95
+    return_result: bool = False
+    path_seeds: Any = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        given = sum(
+            source is not None
+            for source in (self.circuit, self.builder, self.netlist)
+        )
+        if given != 1:
+            raise AnalysisError(
+                "EnsembleTransientJob needs exactly one of circuit=, "
+                "builder= or netlist="
+            )
+        if self.variations is not None:
+            self.variations = [dict(v) for v in self.variations]
+            if not self.variations:
+                raise AnalysisError("variations= must not be empty")
+            if self.circuit is not None:
+                raise AnalysisError(
+                    "variations need a builder= or netlist= base "
+                    "(a ready circuit cannot be re-parameterized)"
+                )
+            count = self.n_instances
+            if count is not None and count != len(self.variations):
+                raise AnalysisError(
+                    f"n_instances={count} does not match "
+                    f"{len(self.variations)} variations"
+                )
+        elif self.n_instances is None:
+            raise AnalysisError(
+                "EnsembleTransientJob needs variations= and/or n_instances="
+            )
+        elif self.n_instances < 1:
+            raise AnalysisError(f"n_instances must be >= 1, got {self.n_instances!r}")
+        if self.noise is not None and self.steps is None:
+            raise AnalysisError("noise ensembles need steps= (a fixed shared grid)")
+        if self.steps is not None and self.steps < 1:
+            raise AnalysisError(f"steps must be >= 1, got {self.steps!r}")
+
+    @property
+    def size(self) -> int:
+        """Number of instances this job marches."""
+        if self.variations is not None:
+            return len(self.variations)
+        return int(self.n_instances)
+
+    @staticmethod
+    def _as_circuit(built):
+        """Unwrap builders that return a CircuitSDE-like object.
+
+        The noisy-RC builders return an SDE wrapping the circuit; the
+        lockstep engine integrates the circuit itself (the noise term
+        is re-injected via ``noise=``).
+        """
+        from repro.circuit.netlist import Circuit
+
+        if not isinstance(built, Circuit) and hasattr(built, "circuit"):
+            return built.circuit
+        return built
+
+    def build_circuits(self) -> list:
+        """Materialize the K circuit instances."""
+        if self.variations is not None:
+            circuits = []
+            for overrides in self.variations:
+                params = {**self.params, **overrides}
+                built = materialize_circuit(None, self.builder, self.netlist, params)
+                circuits.append(self._as_circuit(built))
+            return circuits
+        built = materialize_circuit(
+            self.circuit, self.builder, self.netlist, self.params
+        )
+        return [self._as_circuit(built)] * self.size
+
+    def _noise_pairs(self):
+        if self.noise is None:
+            return None
+        if isinstance(self.noise, Mapping):
+            return list(self.noise.items())
+        return [tuple(entry) for entry in self.noise]
+
+    def run(self, seed: np.random.SeedSequence | None = None):
+        """March the ensemble; see the class docstring for the
+        return-value contract."""
+        from repro.stochastic.montecarlo import ensemble_statistics
+        from repro.swec.ensemble import SwecEnsembleTransient
+
+        options = self.options
+        if isinstance(options, Mapping):
+            options = _swec_options(dict(options))
+        noise = self._noise_pairs()
+        engine = SwecEnsembleTransient(self.build_circuits(), options, noise=noise)
+        kwargs = {}
+        if self.initial_states is not None:
+            kwargs["initial_states"] = np.asarray(self.initial_states, float)
+        if self.steps is None:
+            result = engine.run(self.t_stop, **kwargs)
+        else:
+            times = np.linspace(0.0, float(self.t_stop), int(self.steps) + 1)
+            seeds = self.path_seeds
+            if seeds is None and noise is not None and seed is not None:
+                seeds = seed.spawn(self.size)
+            result = engine.run_grid(times, seeds=seeds, **kwargs)
+        if self.return_result or self.node is None:
+            return result
+        return ensemble_statistics(
+            result.times, result.voltage(self.node), self.confidence
+        )
+
+
+def job_from_mapping(
+    spec: Mapping[str, Any],
+) -> "TransientJob | EnsembleJob | ACJob | EnsembleTransientJob":
     """Build a job from one deserialized job-spec table (CLI path)."""
     spec = dict(spec)
     kind = spec.pop("type", "transient")
-    if kind in ("transient", "ac"):
+    if kind in ("transient", "ac", "ensemble_transient"):
         circuit = spec.pop("circuit", None)
         if isinstance(circuit, str):
             spec["builder"] = circuit
         elif circuit is not None:
             spec["circuit"] = circuit
-        job_class = TransientJob if kind == "transient" else ACJob
+        job_class = {
+            "transient": TransientJob,
+            "ac": ACJob,
+            "ensemble_transient": EnsembleTransientJob,
+        }[kind]
         return job_class(**spec)  # "netlist" passes through as text
     if kind == "ensemble":
         sde = spec.pop("sde", None)
@@ -363,5 +530,6 @@ def job_from_mapping(spec: Mapping[str, Any]) -> "TransientJob | EnsembleJob | A
             spec["sde"] = sde
         return EnsembleJob(**spec)
     raise AnalysisError(
-        f"unknown job type {kind!r} (expected 'transient', 'ensemble' or 'ac')"
+        f"unknown job type {kind!r} (expected 'transient', 'ensemble', "
+        f"'ac' or 'ensemble_transient')"
     )

@@ -23,6 +23,8 @@ from repro.stochastic.ito import (
 from repro.stochastic.montecarlo import (
     EnsembleStatistics,
     ensemble_statistics,
+    run_circuit_ensemble,
+    run_circuit_ensemble_parallel,
     run_ensemble,
     run_ensemble_parallel,
     run_ensembles,
@@ -71,6 +73,8 @@ __all__ = [
     "peak_exceedance_probability",
     "predict_peak",
     "ensemble_statistics",
+    "run_circuit_ensemble",
+    "run_circuit_ensemble_parallel",
     "run_ensemble",
     "run_ensemble_parallel",
     "run_ensembles",

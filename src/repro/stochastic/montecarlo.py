@@ -5,6 +5,14 @@ performance-prediction experiments need: pointwise mean/std bands with
 standard errors, empirical confidence intervals, and convergence studies
 (weak and strong error versus step size, after Higham's SIAM Review
 exposition the paper cites as [13]).
+
+Circuit-noise ensembles additionally route through the lockstep SWEC
+engine (:func:`run_circuit_ensemble` /
+:func:`run_circuit_ensemble_parallel`): K noise realizations of one
+circuit march on a shared fixed grid with one batched solve per time
+point — the implicit Euler-Maruyama form of the paper's eq. (13), with
+per-path ``SeedSequence`` streams so results are bit-identical for any
+worker count or chunk split.
 """
 
 from __future__ import annotations
@@ -148,6 +156,100 @@ def run_ensemble_parallel(sde_builder, t_final: float, steps: int,
     results = report.values()
     values = np.concatenate(
         [r.component(component) for r in results], axis=0)
+    return ensemble_statistics(results[0].times, values, confidence)
+
+
+def run_circuit_ensemble(circuit, noise, t_stop: float, steps: int,
+                         n_paths: int, node: str | None = None,
+                         seed=None, options=None,
+                         confidence: float = 0.95,
+                         return_result: bool = False):
+    """K circuit-noise realizations through the lockstep SWEC engine.
+
+    *circuit* is a :class:`~repro.circuit.Circuit` (voltage sources
+    and all — unlike :class:`~repro.stochastic.sde.CircuitSDE`, the
+    implicit march needs no Norton rewrite) and *noise* the
+    ``(node, amplitude)`` white-noise current injections of eq. (13).
+    All ``n_paths`` instances march a shared uniform grid of *steps*
+    backward-Euler-Maruyama steps with one batched solve per point;
+    path *i* always draws from child *i* of ``SeedSequence(seed)``, so
+    the statistics are bit-reproducible and split-invariant.
+
+    Returns :class:`EnsembleStatistics` of the voltage at *node*
+    (default: the first noise injection node), or the raw
+    :class:`~repro.swec.ensemble.EnsembleTransientResult` with
+    ``return_paths``-style ``return_result=True``.
+    """
+    from repro.swec.ensemble import SwecEnsembleTransient
+
+    if steps < 1:
+        raise AnalysisError(f"steps must be >= 1, got {steps!r}")
+    if n_paths < 1:
+        raise AnalysisError(f"n_paths must be >= 1, got {n_paths!r}")
+    noise = list(noise.items()) if hasattr(noise, "items") else list(noise)
+    if not noise:
+        raise AnalysisError("need at least one (node, amplitude) injection")
+    engine = SwecEnsembleTransient(circuit, options,
+                                   n_instances=n_paths, noise=noise)
+    times = np.linspace(0.0, float(t_stop), int(steps) + 1)
+    seeds = np.random.SeedSequence(seed).spawn(n_paths)
+    result = engine.run_grid(times, seeds=seeds)
+    if return_result:
+        return result
+    node = noise[0][0] if node is None else node
+    return ensemble_statistics(result.times, result.voltage(node),
+                               confidence)
+
+
+def run_circuit_ensemble_parallel(builder, noise, t_stop: float,
+                                  steps: int, n_paths: int,
+                                  chunks: int = 4, node: str | None = None,
+                                  seed: int = 0, options=None,
+                                  confidence: float = 0.95,
+                                  params: dict | None = None,
+                                  runner=None) -> EnsembleStatistics:
+    """One large circuit-noise ensemble as *chunks* lockstep batches.
+
+    *builder* is a :mod:`repro.circuits_lib` circuit builder (or its
+    name) invoked with *params* inside each worker.  The per-path RNG
+    streams are spawned *before* chunking — path *i* uses child *i* of
+    ``SeedSequence(seed)`` no matter which chunk executes it — and
+    every path marches the same fixed grid independently, so the
+    result is bit-identical for any ``chunks`` value and any worker
+    count.
+    """
+    from repro.runtime import BatchRunner
+    from repro.runtime.jobs import EnsembleTransientJob
+
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(
+            f"confidence must be in (0, 1), got {confidence!r}")
+    if chunks < 1:
+        raise AnalysisError(f"chunks must be >= 1, got {chunks!r}")
+    if n_paths < chunks:
+        raise AnalysisError(
+            f"n_paths ({n_paths}) must be >= chunks ({chunks})")
+    noise = list(noise.items()) if hasattr(noise, "items") else list(noise)
+    if not noise:
+        raise AnalysisError("need at least one (node, amplitude) injection")
+    if node is None:
+        node = noise[0][0]
+    path_seeds = np.random.SeedSequence(seed).spawn(n_paths)
+    base, extra = divmod(n_paths, chunks)
+    sizes = [base + (1 if k < extra else 0) for k in range(chunks)]
+    jobs, offset = [], 0
+    for k, size in enumerate(sizes):
+        jobs.append(EnsembleTransientJob(
+            t_stop=t_stop, builder=builder, params=dict(params or {}),
+            n_instances=size, steps=steps, noise=noise, options=options,
+            path_seeds=path_seeds[offset:offset + size],
+            return_result=True, label=f"chunk-{k}"))
+        offset += size
+    runner = runner or BatchRunner()
+    report = runner.run(jobs)
+    report.raise_failures()
+    results = report.values()
+    values = np.concatenate([r.voltage(node) for r in results], axis=0)
     return ensemble_statistics(results[0].times, values, confidence)
 
 

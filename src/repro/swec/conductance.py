@@ -21,7 +21,21 @@ import numpy as np
 
 from repro.circuit.netlist import Circuit
 from repro.mna.assembler import MnaSystem
+from repro.mna.batch import ConductanceStamper
 from repro.perf.flops import FlopCounter
+
+
+def _gather_arrays(indices) -> tuple[np.ndarray, np.ndarray]:
+    """``(clipped indices, ground mask)`` for a vectorized gather.
+
+    Ground terminals carry index ``-1``; clipping them to 0 keeps the
+    fancy index legal and the 0.0 mask zeroes the gathered value, so
+    ``state[..., idx] * mask`` reproduces the per-terminal
+    ``state[k] if k >= 0 else 0.0`` lookup in one shot.
+    """
+    idx = np.asarray(indices, dtype=np.intp)
+    mask = (idx >= 0).astype(float)
+    return np.maximum(idx, 0), mask
 
 
 class SwecLinearization:
@@ -34,6 +48,13 @@ class SwecLinearization:
     use_predictor:
         Apply the eq. (5) Taylor correction when a previous point is
         available.  On by default, matching the paper.
+
+    Branch-voltage extraction and stamping are index-based: terminal
+    index arrays are precomputed once so :meth:`device_voltages`,
+    :meth:`mosfet_voltages` and :meth:`stamp` run as numpy gathers and
+    scatters with no per-device Python loop, and all three accept an
+    optional leading batch axis (a ``(K, n)`` state stack or a
+    ``(K, n, n)`` matrix stack) — the ensemble engine's hot path.
     """
 
     def __init__(self, system: MnaSystem, use_predictor: bool = True) -> None:
@@ -42,30 +63,50 @@ class SwecLinearization:
         self.use_predictor = use_predictor
         self._device_terminals = system.device_terminals()
         self._mosfet_terminals = system.mosfet_terminals()
+        terminals = np.asarray(self._device_terminals,
+                               dtype=np.intp).reshape(-1, 2)
+        self._anode_idx, self._anode_mask = _gather_arrays(terminals[:, 0])
+        self._cathode_idx, self._cathode_mask = \
+            _gather_arrays(terminals[:, 1])
+        mosfets = np.asarray(self._mosfet_terminals,
+                             dtype=np.intp).reshape(-1, 3)
+        self._drain_idx, self._drain_mask = _gather_arrays(mosfets[:, 0])
+        self._gate_idx, self._gate_mask = _gather_arrays(mosfets[:, 1])
+        self._source_idx, self._source_mask = _gather_arrays(mosfets[:, 2])
+        # MOSFETs stamp their chord across drain-source, exactly like a
+        # two-terminal device (paper eq. 3).
+        self._stamper = ConductanceStamper(
+            list(self._device_terminals)
+            + [(drain, source)
+               for drain, _gate, source in self._mosfet_terminals],
+            system.size)
 
     # ------------------------------------------------------------------
     # Branch voltage extraction
     # ------------------------------------------------------------------
 
     def device_voltages(self, state: np.ndarray) -> np.ndarray:
-        """Branch voltage of each two-terminal device."""
-        voltages = np.zeros(len(self._device_terminals))
-        for k, (anode, cathode) in enumerate(self._device_terminals):
-            va = state[anode] if anode >= 0 else 0.0
-            vc = state[cathode] if cathode >= 0 else 0.0
-            voltages[k] = va - vc
-        return voltages
+        """Branch voltage of each two-terminal device.
+
+        *state* is ``(n,)`` or a ``(K, n)`` stack; the result matches
+        with a trailing device axis.
+        """
+        state = np.asarray(state, dtype=float)
+        va = state[..., self._anode_idx] * self._anode_mask
+        vc = state[..., self._cathode_idx] * self._cathode_mask
+        return va - vc
 
     def mosfet_voltages(self, state: np.ndarray) -> np.ndarray:
-        """``(vgs, vds)`` rows for each MOSFET."""
-        voltages = np.zeros((len(self._mosfet_terminals), 2))
-        for k, (drain, gate, source) in enumerate(self._mosfet_terminals):
-            vd = state[drain] if drain >= 0 else 0.0
-            vg = state[gate] if gate >= 0 else 0.0
-            vs = state[source] if source >= 0 else 0.0
-            voltages[k, 0] = vg - vs
-            voltages[k, 1] = vd - vs
-        return voltages
+        """``(vgs, vds)`` rows for each MOSFET.
+
+        *state* is ``(n,)`` or a ``(K, n)`` stack; the result is
+        ``(..., n_mosfets, 2)``.
+        """
+        state = np.asarray(state, dtype=float)
+        vd = state[..., self._drain_idx] * self._drain_mask
+        vg = state[..., self._gate_idx] * self._gate_mask
+        vs = state[..., self._source_idx] * self._source_mask
+        return np.stack((vg - vs, vd - vs), axis=-1)
 
     # ------------------------------------------------------------------
     # Chord conductances (paper Section 3.2 / eq. 5)
@@ -123,12 +164,21 @@ class SwecLinearization:
 
     def stamp(self, matrix: np.ndarray, device_g: np.ndarray,
               mosfet_g: np.ndarray) -> None:
-        """Stamp all equivalent conductances into *matrix* in place."""
-        for (anode, cathode), g in zip(self._device_terminals, device_g):
-            self.system.stamp_two_terminal(matrix, anode, cathode, float(g))
-        for (drain, _gate, source), g in zip(self._mosfet_terminals,
-                                             mosfet_g):
-            self.system.stamp_two_terminal(matrix, drain, source, float(g))
+        """Stamp all equivalent conductances into *matrix* in place.
+
+        *matrix* is ``(n, n)`` or a C-contiguous ``(K, n, n)`` stack;
+        the conductance arrays carry the matching leading batch axis.
+        """
+        device_g = np.asarray(device_g, dtype=float)
+        mosfet_g = np.asarray(mosfet_g, dtype=float)
+        if device_g.ndim != mosfet_g.ndim:
+            # Align an empty column block with the batched one.
+            if device_g.size == 0:
+                device_g = np.zeros((*mosfet_g.shape[:-1], 0))
+            elif mosfet_g.size == 0:
+                mosfet_g = np.zeros((*device_g.shape[:-1], 0))
+        self._stamper.stamp(
+            matrix, np.concatenate((device_g, mosfet_g), axis=-1))
 
     def conductance_matrix(self, base: np.ndarray, state: np.ndarray,
                            prev_state: np.ndarray | None = None,

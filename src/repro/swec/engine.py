@@ -56,7 +56,11 @@ class SwecOptions:
     trace_conductance:
         When True, record the equivalent conductances actually stamped
         for the step ending at each accepted point (used by the Fig. 5
-        bench).
+        bench).  The trace copies one ``n_devices`` vector per
+        accepted point (``8 * T * n_devices`` bytes); under a K-wide
+        ensemble that cost would multiply by K, so
+        :class:`~repro.swec.ensemble.SwecEnsembleTransient` requires
+        an explicit per-instance ``trace_instances`` selection.
     factor_rtol:
         Factorization-reuse knob.  ``None`` (default) refactorizes the
         system matrix at every solve, the pure paper behaviour.  A float
@@ -260,6 +264,87 @@ class SwecTransient:
                 result.conductance_trace.append(  # type: ignore[attr-defined]
                     (t, device_g.copy()))
 
+        if isinstance(solver, CachedFactorization):
+            result.factor_reuses = solver.reuses
+        return result
+
+    # ------------------------------------------------------------------
+
+    def run_grid(self, times,
+                 initial_state: np.ndarray | None = None) -> TransientResult:
+        """March the backward-Euler update on an explicit time grid.
+
+        No adaptive control: the step sizes are exactly
+        ``h_n = times[n+1] - times[n]``.  This is the per-instance
+        reference :class:`~repro.swec.ensemble.SwecEnsembleTransient`
+        is validated against, and the fixed-grid mode behind
+        bit-reproducible stochastic ensembles.  Dense backward Euler
+        only (``method="trap"`` and ``matrix_format="sparse"`` are the
+        adaptive engine's territory).
+        """
+        opts = self.options
+        if opts.method != "be" or opts.matrix_format != "dense":
+            raise AnalysisError(
+                "run_grid supports the dense backward-Euler path only")
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise AnalysisError(
+                f"need a 1-D grid with >= 2 points, got shape {times.shape}")
+        if np.any(np.diff(times) <= 0.0):
+            raise AnalysisError("grid times must be strictly increasing")
+        system = self.system
+        result = TransientResult(system.circuit.nodes, engine="swec")
+        if opts.trace_conductance:
+            result.conductance_trace = []  # type: ignore[attr-defined]
+
+        x = (system.initial_state() if initial_state is None
+             else np.array(initial_state, dtype=float, copy=True))
+        if x.shape != (system.size,):
+            raise AnalysisError(
+                f"initial state must have shape ({system.size},), "
+                f"got {x.shape}")
+        if opts.initialize_dc and initial_state is None:
+            x = self._dc_initialize(x, result, t=float(times[0]))
+
+        solver = LinearSolver(result.flops)
+        if opts.factor_rtol is not None:
+            solver = CachedFactorization(solver, opts.factor_rtol)
+        c = self._c_matrix
+        g_buf = np.empty_like(self._g_base)
+        a_buf = np.empty_like(self._g_base)
+        ch_buf = np.empty_like(self._g_base)
+        rhs_buf = np.empty(system.size)
+        tmp_buf = np.empty(system.size)
+
+        result.append(times[0], x)
+        h_prev: float | None = None
+        prev_x: np.ndarray | None = None
+        for k in range(times.size - 1):
+            t_next = float(times[k + 1])
+            h = t_next - float(times[k])
+            device_g = self.linearization.device_conductances(
+                x, prev_x, h_prev, h, flops=result.flops)
+            mosfet_g = self.linearization.mosfet_conductances(
+                x, flops=result.flops)
+            np.copyto(g_buf, self._g_base)
+            self.linearization.stamp(g_buf, device_g, mosfet_g)
+
+            np.multiply(c, 1.0 / h, out=ch_buf)
+            np.dot(c, x, out=tmp_buf)
+            tmp_buf /= h
+            np.add(g_buf, ch_buf, out=a_buf)
+            rhs = self.system.source_vector(t_next, out=rhs_buf)
+            rhs += tmp_buf
+            solver.factor(a_buf)
+            x_new = solver.solve(rhs)
+
+            prev_x, h_prev = x, h
+            x = x_new
+            result.append(t_next, x)
+            result.accepted_steps += 1
+            if opts.trace_conductance:
+                result.conductance_trace.append(  # type: ignore[attr-defined]
+                    (float(times[k + 1]), device_g.copy()))
         if isinstance(solver, CachedFactorization):
             result.factor_reuses = solver.reuses
         return result

@@ -56,6 +56,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None,
         help="base RNG seed (default: [batch].seed, else 0)")
+    parser.add_argument(
+        "--vector", type=int, default=None, metavar="N",
+        help="march N consecutive SWEC transient points per lockstep "
+             "batch (default: [batch].vector, else 1)")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the tidy table as CSV")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -74,7 +78,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         spec = load_sweep_spec(args.spec)
         report = run_sweep(spec, max_workers=args.workers,
-                           executor=args.executor, seed=args.seed)
+                           executor=args.executor, seed=args.seed,
+                           vector=args.vector)
     except (NanoSimError, TypeError, ValueError) as exc:
         # ValueError covers json/toml decode errors on malformed
         # files; per-point simulation failures never raise — they are

@@ -7,10 +7,19 @@ seeding: per-point results are bit-identical at any worker count), and
 assembles the streamed-back scalars into a
 :class:`~repro.sweep.report.SweepReport`.
 
+With ``[batch] vector = N`` in the spec, a SWEC transient sweep
+collapses every N consecutive same-topology design points into one
+:class:`SweepBatchJob` marched in lockstep by
+:class:`~repro.swec.ensemble.SwecEnsembleTransient` — one batched
+solve per time point for the whole block instead of N independent
+Python marches.  Grouping is by position in the deterministic point
+order, so a sweep's results depend only on ``(spec, vector)`` — never
+on the worker count.
+
 The aggregation is *streaming* in the data-volume sense: each point's
 waveforms/paths are reduced to measure scalars inside the worker
-(:meth:`SweepPointJob.run`), so the parent process never holds more
-than one small dict per point.
+(:meth:`SweepPointJob.run` / :meth:`SweepBatchJob.run`), so the parent
+process never holds more than one small dict per point.
 """
 
 from __future__ import annotations
@@ -18,7 +27,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.runtime.jobs import ACJob, EnsembleJob, TransientJob
+from repro.runtime.jobs import (
+    ACJob,
+    EnsembleJob,
+    TransientJob,
+    _swec_options,
+    materialize_circuit,
+)
 from repro.runtime.report import BatchReport
 from repro.runtime.runner import BatchRunner
 from repro.sweep.measures import MeasureSpec
@@ -57,6 +72,95 @@ class SweepPointJob:
         return {"measures": scalars, "diagnostics": diagnostics}
 
 
+@dataclass
+class SweepBatchJob:
+    """A block of consecutive design points marched in lockstep.
+
+    One worker materializes the block's circuits (template builder or
+    ``.PARAM`` netlist, one per point), hands them to
+    :class:`~repro.swec.ensemble.SwecEnsembleTransient`, and reduces
+    each instance's waveforms to the spec's measure scalars before
+    returning — the process boundary carries one small dict per point,
+    exactly like the scalar path.  Instances share the block's
+    worst-case adaptive grid, so measure values can differ from the
+    scalar path within step-control tolerance; they are identical for
+    any worker count because blocks are cut from the deterministic
+    point order.
+    """
+
+    template: str | None
+    netlist_text: str | None
+    params_list: list[dict]
+    t_stop: float
+    options: object = None
+    initial_state: object = None
+    measures: list[MeasureSpec] = field(default_factory=list)
+    points: list[dict] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+    label: str = ""
+
+    def run(self, seed=None) -> list[dict]:
+        """March the block; return per-point measure/diagnostic dicts."""
+        import numpy as np
+
+        from repro.swec.ensemble import SwecEnsembleTransient
+
+        circuits = [
+            materialize_circuit(None, self.template, self.netlist_text,
+                                params)
+            for params in self.params_list
+        ]
+        options = self.options
+        if isinstance(options, dict):
+            options = _swec_options(dict(options))
+        engine = SwecEnsembleTransient(circuits, options)
+        kwargs = {}
+        if self.initial_state is not None:
+            kwargs["initial_states"] = np.asarray(self.initial_state, float)
+        result = engine.run(self.t_stop, **kwargs)
+        # The ensemble-level flop count is split evenly: every instance
+        # followed the same recipe on the same grid.
+        flops_each = result.flops.total // len(circuits)
+        rows = []
+        for k in range(len(circuits)):
+            instance = result.instance(k)
+            scalars = {measure.column: measure.extract(instance)
+                       for measure in self.measures}
+            rows.append({
+                "measures": scalars,
+                "diagnostics": {"points": float(len(instance)),
+                                "flops": float(flops_each)},
+            })
+        return rows
+
+
+def build_batch_jobs(spec: SweepSpec, vector: int) -> list[SweepBatchJob]:
+    """Expand *spec* into lockstep blocks of up to *vector* points."""
+    measures = spec.resolved_measures()
+    settings = dict(spec.settings)
+    settings.pop("engine", None)  # validated to be "swec"
+    prepared = []
+    for point in spec.points():
+        params = dict(point)
+        if spec.template is not None:
+            params = spec.template_info().coerce(params)
+        prepared.append((point, spec.point_label(point), params))
+    jobs = []
+    for lo in range(0, len(prepared), vector):
+        block = prepared[lo:lo + vector]
+        jobs.append(SweepBatchJob(
+            template=spec.template,
+            netlist_text=spec.netlist_text,
+            params_list=[params for _, _, params in block],
+            measures=measures,
+            points=[point for point, _, _ in block],
+            labels=[label for _, label, _ in block],
+            label=f"block-{lo // vector}",
+            **settings,
+        ))
+    return jobs
+
+
 def build_jobs(spec: SweepSpec) -> list[SweepPointJob]:
     """Expand *spec* into one :class:`SweepPointJob` per grid point."""
     jobs = []
@@ -88,8 +192,30 @@ def build_jobs(spec: SweepSpec) -> list[SweepPointJob]:
     return jobs
 
 
-def _assemble_report(spec: SweepSpec, jobs: list[SweepPointJob],
-                     batch: BatchReport,
+def _point_rows(jobs, batch: BatchReport):
+    """Flatten job results into per-point rows, preserving point order.
+
+    Yields ``(index, label, point, ok, error, seconds, value)`` for
+    scalar :class:`SweepPointJob`\\ s and lockstep
+    :class:`SweepBatchJob` blocks alike (a failed block marks every
+    one of its points failed).
+    """
+    index = 0
+    for result, job in zip(batch.results, jobs):
+        if isinstance(job, SweepBatchJob):
+            values = result.value if result.ok else [None] * len(job.points)
+            seconds = result.seconds / max(len(job.points), 1)
+            for label, point, value in zip(job.labels, job.points, values):
+                yield (index, label, point, result.ok, result.error,
+                       seconds, value)
+                index += 1
+        else:
+            yield (index, result.label, job.point, result.ok,
+                   result.error, result.seconds, result.value)
+            index += 1
+
+
+def _assemble_report(spec: SweepSpec, jobs, batch: BatchReport,
                      wall_seconds: float) -> SweepReport:
     """Stitch per-point scalars into tidy columns, preserving order."""
     param_names = tuple(axis.name for axis in spec.axes)
@@ -101,20 +227,21 @@ def _assemble_report(spec: SweepSpec, jobs: list[SweepPointJob],
         ("index", "label", *param_names, *measure_names, *diagnostics,
          "ok", "error", "seconds")
     }
-    for result, job in zip(batch.results, jobs):
-        columns["index"].append(result.index)
-        columns["label"].append(result.label)
+    for index, label, point, ok, error, seconds, value in \
+            _point_rows(jobs, batch):
+        columns["index"].append(index)
+        columns["label"].append(label)
         for name in param_names:
-            columns[name].append(job.point[name])
-        scalars = result.value["measures"] if result.ok else {}
+            columns[name].append(point[name])
+        scalars = value["measures"] if ok else {}
         for name in measure_names:
             columns[name].append(scalars.get(name))
-        point_diag = result.value["diagnostics"] if result.ok else {}
+        point_diag = value["diagnostics"] if ok else {}
         for name in diagnostics:
             columns[name].append(point_diag.get(name))
-        columns["ok"].append(result.ok)
-        columns["error"].append(result.error)
-        columns["seconds"].append(result.seconds)
+        columns["ok"].append(ok)
+        columns["error"].append(error)
+        columns["seconds"].append(seconds)
     return SweepReport(
         name=spec.name,
         param_names=param_names,
@@ -128,14 +255,17 @@ def _assemble_report(spec: SweepSpec, jobs: list[SweepPointJob],
 
 
 def run_sweep(spec: SweepSpec, max_workers: int | None = None,
-              executor: str | None = None,
-              seed: int | None = None) -> SweepReport:
+              executor: str | None = None, seed: int | None = None,
+              vector: int | None = None) -> SweepReport:
     """Run every design point of *spec* and aggregate the report.
 
-    ``max_workers``/``executor``/``seed`` override the spec's
-    ``[batch]`` table; the defaults match
+    ``max_workers``/``executor``/``seed``/``vector`` override the
+    spec's ``[batch]`` table; the defaults match
     :class:`~repro.runtime.BatchRunner` (process pool over all usable
-    cores, seed 0 so sweeps replay identically by default).
+    cores, seed 0 so sweeps replay identically by default).  With
+    ``vector > 1`` (SWEC transient sweeps only) consecutive design
+    points march in lockstep blocks of that size — see
+    :class:`SweepBatchJob`.
     """
     batch_settings = spec.batch
     runner = BatchRunner(
@@ -145,7 +275,18 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
                   else batch_settings.get("executor", "process")),
         seed=seed if seed is not None else batch_settings.get("seed", 0),
     )
-    jobs = build_jobs(spec)
+    if vector is None:
+        vector = spec.vector
+    if vector > 1:
+        if (spec.kind != "transient"
+                or spec.settings.get("engine", "swec") != "swec"):
+            from repro.errors import SweepSpecError
+
+            raise SweepSpecError(
+                "vector > 1 needs a SWEC transient sweep")
+        jobs = build_batch_jobs(spec, vector)
+    else:
+        jobs = build_jobs(spec)
     start = time.perf_counter()
     batch = runner.run(jobs)
     return _assemble_report(spec, jobs, batch,

@@ -223,6 +223,30 @@ class SweepSpec:
             raise SweepSpecError("sweep defines no measures")
         if self.n_points == 0:
             raise SweepSpecError("sweep grid is empty")
+        self._check_vector()
+
+    def _check_vector(self) -> None:
+        """Validate the optional ``[batch] vector`` lockstep setting."""
+        vector = self.batch.get("vector", 1)
+        if not isinstance(vector, int) or isinstance(vector, bool) \
+                or vector < 1:
+            raise SweepSpecError(
+                f"[batch] vector must be an integer >= 1, got {vector!r}")
+        if vector == 1:
+            return
+        if self.kind != "transient":
+            raise SweepSpecError(
+                "[batch] vector > 1 needs a transient sweep (lockstep "
+                "batching marches shared-topology transients)")
+        engine = self.settings.get("engine", "swec")
+        if engine != "swec":
+            raise SweepSpecError(
+                f"[batch] vector > 1 needs engine = 'swec', got {engine!r}")
+
+    @property
+    def vector(self) -> int:
+        """Design points marched per lockstep batch (1 = scalar jobs)."""
+        return self.batch.get("vector", 1)
 
     # ------------------------------------------------------------------
 

@@ -37,7 +37,7 @@ def _netlist_doc() -> Path:
 
 def test_docs_directory_is_complete():
     for name in ("architecture.md", "paper_map.md", "netlist_format.md",
-                 "ac_analysis.md"):
+                 "ac_analysis.md", "ensemble_transient.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -64,7 +64,8 @@ def test_spice_error_snippets_fail_as_documented(index):
 
 
 @pytest.mark.parametrize("document",
-                         ["netlist_format.md", "ac_analysis.md"])
+                         ["netlist_format.md", "ac_analysis.md",
+                          "ensemble_transient.md"])
 def test_python_snippets_run(document):
     snippets = _blocks(DOCS / document, "python")
     assert snippets, f"docs/{document} has no python snippets"
@@ -77,6 +78,21 @@ def test_ac_doc_covers_the_subsystem():
     for required in ("python -m repro.ac", "bandwidth_3db",
                      "johnson_noise", 'analysis = "ac"'):
         assert required in text, f"ac_analysis.md lacks {required!r}"
+
+
+def test_ensemble_doc_covers_the_subsystem():
+    text = (DOCS / "ensemble_transient.md").read_text()
+    for required in ("SwecEnsembleTransient", "run_grid",
+                     "ensemble_transient", "vector", "trace_instances",
+                     "bench_report.py"):
+        assert required in text, \
+            f"ensemble_transient.md lacks {required!r}"
+
+
+def test_readme_documents_ensemble_transients():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/ensemble_transient.md" in readme
+    assert "SwecEnsembleTransient" in readme
 
 
 def test_intra_repo_links_resolve():

@@ -57,6 +57,7 @@ MODULES = PACKAGES + [
     "repro.devices.rtt",
     "repro.errors",
     "repro.mna.assembler",
+    "repro.mna.batch",
     "repro.mna.linsolve",
     "repro.mna.sparse",
     "repro.perf.comparison",
@@ -77,6 +78,7 @@ MODULES = PACKAGES + [
     "repro.swec.conductance",
     "repro.swec.dc",
     "repro.swec.engine",
+    "repro.swec.ensemble",
     "repro.swec.timestep",
     "repro.sweep.cli",
     "repro.sweep.measures",
@@ -114,7 +116,7 @@ def test_public_classes_and_functions_have_docstrings(name):
 
 def test_version_is_exposed():
     import repro
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_top_level_promises_from_readme():

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Run the perf-trajectory kernels and emit a ``BENCH_<tag>.json``.
+
+Every invocation times a fixed set of hot-path kernels — the lockstep
+ensemble transient against its serial loop, the vectorized AC sweep
+against its per-frequency loop, the index-gather linearization against
+the per-device Python loop, and a plain single-instance SWEC march —
+and writes one machine-readable JSON file::
+
+    python tools/bench_report.py --tag ci --out bench
+    python tools/bench_report.py --check bench/BENCH_ci.json
+
+Schema (``repro-bench/1``): a top-level record with ``tag``, the
+runtime environment, and one entry per benchmark carrying the median
+seconds over ``--repeats`` runs, the speedup over its reference path
+where one exists, and the size axes (K, grid points, matrix size) the
+numbers were taken at.  CI uploads the file as an artifact on every
+push, so the perf trajectory accumulates run over run; ``--check``
+validates a file against the schema (the CI consumption step).
+
+``--quick`` shrinks every kernel (small K, short grids) for smoke use;
+the JSON records the axes actually used, so quick and full files are
+comparable but never confused.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+_REQUIRED_TOP = ("schema", "tag", "created_utc", "python", "numpy",
+                 "benchmarks")
+_REQUIRED_ENTRY = ("name", "median_seconds", "axes")
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(statistics.median(samples))
+
+
+def _bench_ensemble(quick: bool, repeats: int) -> list[dict]:
+    import numpy as np
+
+    from repro.circuits_lib import fet_rtd_inverter
+    from repro.swec import SwecEnsembleTransient, SwecOptions, SwecTransient
+    from repro.swec.timestep import StepControlOptions
+
+    def options():
+        return SwecOptions(step=StepControlOptions(
+            epsilon=0.05, h_min=1e-12, h_max=0.2e-9, h_initial=1e-12))
+
+    k = 16 if quick else 256
+    n_points = 101 if quick else 401
+    rng = np.random.default_rng(20050307)
+    circuits = [
+        fet_rtd_inverter(
+            fet_vth=float(1.0 + 0.15 * rng.uniform(-1.0, 1.0)),
+            load_capacitance=float(
+                1e-12 * (1.0 + 0.5 * rng.uniform(-1.0, 1.0))))[0]
+        for _ in range(k)
+    ]
+    times = np.linspace(0.0, 2.0e-8, n_points)
+
+    serial_seconds = _median_seconds(
+        lambda: [SwecTransient(c, options()).run_grid(times)
+                 for c in circuits], 1)
+    engine = SwecEnsembleTransient(circuits, options())
+    ensemble_seconds = _median_seconds(
+        lambda: engine.run_grid(times), repeats)
+    single_seconds = _median_seconds(
+        lambda: SwecTransient(circuits[0], options()).run_grid(times),
+        repeats)
+    axes = {"K": k, "grid_points": n_points,
+            "size": engine.size}
+    return [
+        {"name": "ensemble_transient_lockstep",
+         "median_seconds": ensemble_seconds,
+         "speedup": serial_seconds / ensemble_seconds,
+         "reference": "serial per-instance loop",
+         "axes": axes},
+        {"name": "swec_transient_single",
+         "median_seconds": single_seconds,
+         "axes": {"grid_points": n_points, "size": engine.size}},
+    ]
+
+
+def _bench_ac(quick: bool, repeats: int) -> list[dict]:
+    from repro import Circuit
+    from repro.ac import ACAnalysis, frequency_grid
+
+    circuit = Circuit("lowpass")
+    circuit.add_voltage_source("Vin", "in", "0", 1.0)
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-9)
+    n_points = 200 if quick else 1000
+    analysis = ACAnalysis(circuit)
+    grid = frequency_grid(1e3, 1e9, n_points, "log")
+    loop_seconds = _median_seconds(lambda: analysis.solve_loop(grid),
+                                   repeats)
+    vector_seconds = _median_seconds(lambda: analysis.solve(grid), repeats)
+    return [{
+        "name": "ac_sweep_vectorized",
+        "median_seconds": vector_seconds,
+        "speedup": loop_seconds / vector_seconds,
+        "reference": "per-frequency Python loop",
+        "axes": {"frequencies": n_points, "size": analysis.small.size},
+    }]
+
+
+def _bench_gather(quick: bool, repeats: int) -> list[dict]:
+    import numpy as np
+
+    from repro.circuits_lib import rtd_chain
+    from repro.mna.assembler import MnaSystem
+    from repro.swec import SwecLinearization
+
+    devices = 10 if quick else 40
+    circuit, _ = rtd_chain(devices)
+    system = MnaSystem(circuit)
+    linearization = SwecLinearization(system)
+    state = np.linspace(0.1, 0.4, system.size)
+    base = system.conductance_base()
+    device_g = linearization.device_conductances(state)
+    mosfet_g = linearization.mosfet_conductances(state)
+    calls = 200 if quick else 2000
+
+    def kernel():
+        for _ in range(calls):
+            linearization.device_voltages(state)
+            linearization.stamp(base.copy(), device_g, mosfet_g)
+
+    return [{
+        "name": "linearization_gather_stamp",
+        "median_seconds": _median_seconds(kernel, repeats),
+        "axes": {"devices": devices, "calls": calls,
+                 "size": system.size},
+    }]
+
+
+def collect(tag: str, quick: bool, repeats: int) -> dict:
+    """Run every kernel; return the BENCH record."""
+    import numpy as np
+
+    import repro
+
+    benchmarks = []
+    benchmarks += _bench_ensemble(quick, repeats)
+    benchmarks += _bench_ac(quick, repeats)
+    benchmarks += _bench_gather(quick, repeats)
+    return {
+        "schema": SCHEMA,
+        "tag": tag,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro": repro.__version__,
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+    }
+
+
+def check(path: Path) -> list[str]:
+    """Validate a BENCH file; returns the list of problems (empty = ok)."""
+    problems = []
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    for key in _REQUIRED_TOP:
+        if key not in record:
+            problems.append(f"{path}: missing top-level key {key!r}")
+    if record.get("schema") not in (SCHEMA,):
+        problems.append(
+            f"{path}: unknown schema {record.get('schema')!r}")
+    entries = record.get("benchmarks", [])
+    if not isinstance(entries, list) or not entries:
+        problems.append(f"{path}: benchmarks must be a non-empty list")
+        entries = []
+    for entry in entries:
+        for key in _REQUIRED_ENTRY:
+            if key not in entry:
+                problems.append(
+                    f"{path}: benchmark entry {entry.get('name', '?')!r} "
+                    f"missing {key!r}")
+        seconds = entry.get("median_seconds")
+        if not isinstance(seconds, (int, float)) or seconds <= 0.0:
+            problems.append(
+                f"{path}: {entry.get('name', '?')!r} has non-positive "
+                f"median_seconds {seconds!r}")
+        speedup = entry.get("speedup")
+        if speedup is not None and (
+                not isinstance(speedup, (int, float)) or speedup <= 0.0):
+            problems.append(
+                f"{path}: {entry.get('name', '?')!r} has invalid "
+                f"speedup {speedup!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_report.py",
+        description="Emit (or validate) a BENCH_<tag>.json perf record.")
+    parser.add_argument("--tag", default="local",
+                        help="record tag; the file is BENCH_<tag>.json")
+    parser.add_argument("--out", default="bench", metavar="DIR",
+                        help="output directory (created if needed)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per kernel (median is kept)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink every kernel for smoke/CI use")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="validate an existing BENCH file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        problems = check(Path(args.check))
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: valid {SCHEMA} record")
+        return 1 if problems else 0
+
+    record = collect(args.tag, args.quick, max(args.repeats, 1))
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{args.tag}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    for entry in record["benchmarks"]:
+        speedup = entry.get("speedup")
+        extra = f"  ({speedup:.1f}x vs {entry['reference']})" \
+            if speedup is not None else ""
+        print(f"{entry['name']:<32} {entry['median_seconds'] * 1e3:9.2f} ms"
+              f"{extra}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
