@@ -20,6 +20,9 @@ Package map (every subpackage):
 - :mod:`repro.circuit` — netlists, elements, waveforms, parser
 - :mod:`repro.devices` — RTD / RTT / nanowire / MOSFET / diode models
 - :mod:`repro.mna` — modified nodal analysis assembly and solves
+- :mod:`repro.core` — the unified solver-backend registry
+  (dense/sparse/stack/auto) and the shared stamp-factor-solve-advance
+  marching loop every transient path runs on
 - :mod:`repro.swec` — the paper's SWEC transient and DC engines, plus
   the lockstep ensemble transient (K instances per batched solve)
 - :mod:`repro.baselines` — SPICE-like NR, MLA and ACES-PWL comparators
@@ -105,7 +108,7 @@ from repro.runtime import (
     TransientJob,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ACAnalysis",

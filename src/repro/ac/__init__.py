@@ -31,7 +31,13 @@ line; :class:`~repro.runtime.ACJob` and sweep specs with
 ``analysis = "ac"`` run it on the batch runtime.
 """
 
-from repro.ac.analysis import ACAnalysis, GRID_SCALES, frequency_grid
+from repro.ac.analysis import (
+    ACAnalysis,
+    GRID_SCALES,
+    frequency_grid,
+    solve_many,
+    solve_many_sparse,
+)
 from repro.ac.linearize import SmallSignalSystem, linearize
 from repro.ac.noise import NoiseResult, johnson_noise, thermal_ou_amplitude
 from repro.ac.result import ACResult
@@ -45,5 +51,7 @@ __all__ = [
     "frequency_grid",
     "johnson_noise",
     "linearize",
+    "solve_many",
+    "solve_many_sparse",
     "thermal_ou_amplitude",
 ]

@@ -5,13 +5,25 @@
 
 .. math::  (G_0 + j \\omega C)\\, X(\\omega) = b_{ac}
 
-for a unit-amplitude excitation of one independent source.  The sweep
-is *vectorized*: all frequency matrices are assembled as one
-``(F, n, n)`` complex stack and handed to batched LAPACK via
-``numpy.linalg.solve``, chunked so memory stays bounded.  The naive
-per-frequency Python loop is kept as :meth:`ACAnalysis.solve_loop` —
-it is the reference implementation the vectorized path is validated
-(and benchmarked) against.
+for a unit-amplitude excitation of one independent source.  The solve
+strategy resolves against the :mod:`repro.core.backends` registry
+through the ``backend=`` knob:
+
+``stack`` (the default)
+    All frequency matrices are assembled as one ``(F, n, n)`` complex
+    stack and handed to batched LAPACK via
+    :func:`repro.mna.batch.solve_stack`, chunked so memory stays
+    bounded.
+``sparse``
+    One complex SuperLU factor/solve per frequency on CSR matrices —
+    the grid-scale path where dense ``(F, n, n)`` chunks would thrash.
+``dense``
+    The per-frequency Python loop (:meth:`ACAnalysis.solve_loop`) —
+    the reference implementation the batched paths are validated (and
+    benchmarked) against.
+``auto``
+    Selects ``sparse`` for large, sparse systems and ``stack``
+    otherwise (:func:`repro.core.backends.select_backend`).
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ import numpy as np
 from repro.ac.linearize import SmallSignalSystem, linearize
 from repro.ac.result import ACResult
 from repro.circuit.netlist import Circuit
+from repro.core.backends import select_backend
 from repro.errors import AnalysisError, SingularMatrixError
 from repro.mna.batch import solve_stack
 from repro.swec.dc import SwecDCOptions
@@ -32,8 +45,32 @@ from repro.swec.dc import SwecDCOptions
 #: ``.AC DEC`` style).
 GRID_SCALES = ("linear", "log", "decade")
 
-#: Complex matrix entries per assembly chunk (~64 MB at 16 bytes each).
-_CHUNK_ENTRIES = 4_000_000
+#: Solve strategies the complex frequency sweeps implement.  The AC
+#: layer shares the registry's *names* with the transient engines but
+#: needs a complex-dtype solve per name, so custom-registered
+#: transient backends are rejected here rather than silently mapped.
+AC_BACKENDS = ("stack", "sparse", "dense", "auto")
+
+
+def resolve_ac_backend(name: str | None, system) -> str:
+    """Resolve an AC ``backend=`` name to a concrete solve strategy.
+
+    ``None`` means the default ``stack``; ``auto`` picks ``sparse``
+    for large low-fill systems (:func:`repro.core.backends.
+    select_backend` on *system*) and ``stack`` otherwise.  Names
+    outside :data:`AC_BACKENDS` raise — the frequency domain needs an
+    explicit complex solve path per name.
+    """
+    if name is None:
+        return "stack"
+    if name not in AC_BACKENDS:
+        raise AnalysisError(
+            f"AC analysis implements backends "
+            f"{', '.join(AC_BACKENDS)}; got {name!r}")
+    if name == "auto":
+        return "sparse" if select_backend([system]) == "sparse" \
+            else "stack"
+    return name
 
 
 def frequency_grid(f_start: float, f_stop: float, n_points: int = 101,
@@ -73,13 +110,14 @@ def solve_many(small: SmallSignalSystem, frequencies,
                rhs_columns) -> np.ndarray:
     """Chunked batched solves of ``(G0 + j w C) X = rhs`` per column.
 
-    The one place the complex stack is assembled: *rhs_columns* is an
-    ``(n, k)`` matrix of right-hand sides (an excitation vector, noise
+    A thin wrapper over :func:`repro.mna.batch.solve_stack` (shared
+    with the ensemble transient engine): *rhs_columns* is an ``(n, k)``
+    matrix of right-hand sides (an excitation vector, noise
     injections, ...), solved for every frequency at once; returns the
-    ``(F, n, k)`` complex solution stack.  The batched LAPACK call is
-    :func:`repro.mna.batch.solve_stack` (shared with the ensemble
-    transient engine), whose chunking keeps the lazily assembled
-    ``(F, n, n)`` stack under ~64 MB at a time.
+    ``(F, n, k)`` complex solution stack.  The AC layer only supplies
+    the lazy per-chunk assembly — chunk sizing and memory bounding are
+    ``solve_stack``'s (:data:`repro.mna.batch.CHUNK_ENTRIES`, ~64 MB
+    of complex entries at a time).
     """
     frequencies = np.asarray(frequencies, dtype=float)
     if frequencies.ndim != 1 or frequencies.size == 0:
@@ -104,9 +142,47 @@ def solve_many(small: SmallSignalSystem, frequencies,
         return solve_stack(
             matrices,
             np.broadcast_to(rhs[None, :, :], (omega.size, *rhs.shape)),
-            chunk_entries=_CHUNK_ENTRIES, describe=describe, dtype=complex)
+            describe=describe, dtype=complex)
     except SingularMatrixError as exc:
         raise AnalysisError(str(exc)) from exc
+
+
+def solve_many_sparse(small: SmallSignalSystem, frequencies,
+                      rhs_columns) -> np.ndarray:
+    """Sparse counterpart of :func:`solve_many`: SuperLU per frequency.
+
+    Assembles ``G0`` and ``C`` as CSR once and pays one complex
+    O(nnz) factorization per frequency point
+    (:class:`~repro.mna.sparse.SparseSolver`) — the path ``auto``
+    selects for grid-scale circuits, where a dense ``(F, n, n)``
+    chunk no longer fits the cache (or memory).
+    """
+    from scipy import sparse as scipy_sparse
+
+    from repro.mna.sparse import SparseSolver
+
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.ndim != 1 or frequencies.size == 0:
+        raise AnalysisError("need a 1-D, non-empty frequency grid")
+    rhs = np.asarray(rhs_columns, dtype=complex)
+    n = small.size
+    if rhs.shape[:1] != (n,) or rhs.ndim != 2:
+        raise AnalysisError(
+            f"rhs columns must have shape ({n}, k), got {rhs.shape}")
+    g0 = scipy_sparse.csc_matrix(small.g0.astype(complex))
+    c = scipy_sparse.csc_matrix(small.c.astype(complex))
+    solver = SparseSolver()
+    out = np.empty((frequencies.size, n, rhs.shape[1]), dtype=complex)
+    try:
+        for index, frequency in enumerate(frequencies):
+            solver.factor(g0 + 2j * np.pi * float(frequency) * c)
+            # SuperLU back-substitutes all rhs columns in one call.
+            out[index] = solver.solve(rhs)
+    except SingularMatrixError as exc:
+        raise AnalysisError(
+            f"singular small-signal system at "
+            f"{frequencies[index]:.4g} Hz: {exc}") from exc
+    return out
 
 
 class ACAnalysis:
@@ -125,15 +201,27 @@ class ACAnalysis:
         transition region regardless of its transient stimulus.
     dc_options:
         :class:`~repro.swec.dc.SwecDCOptions` for the bias solve.
+    backend:
+        Solver backend name from the :mod:`repro.core.backends`
+        registry — ``"stack"`` (default, chunked batched LAPACK),
+        ``"sparse"`` (SuperLU per frequency), ``"dense"`` (the
+        per-frequency reference loop) or ``"auto"`` (by system size
+        and fill ratio).
     """
 
     def __init__(self, circuit: Circuit, source: str | None = None,
                  bias: Mapping[str, float] | None = None,
-                 dc_options: SwecDCOptions | None = None) -> None:
+                 dc_options: SwecDCOptions | None = None,
+                 backend: str | None = None) -> None:
         self.circuit = circuit
+        if backend is not None and backend not in AC_BACKENDS:
+            raise AnalysisError(
+                f"AC analysis implements backends "
+                f"{', '.join(AC_BACKENDS)}; got {backend!r}")
         self.small: SmallSignalSystem = linearize(circuit, bias, dc_options)
         self.source = source or self.small.default_source()
         self._rhs = self.small.excitation(self.source)
+        self.backend_name = resolve_ac_backend(backend, self.small.system)
 
     @property
     def bias_voltages(self) -> dict[str, float]:
@@ -149,28 +237,36 @@ class ACAnalysis:
                         circuit_name=self.circuit.name)
 
     def solve(self, frequencies) -> ACResult:
-        """Vectorized sweep: batched complex solves over *frequencies*.
+        """Sweep *frequencies* through the resolved solver backend.
 
-        One :func:`solve_many` call — within each chunk, assembly is a
-        single broadcast expression and the solve one batched LAPACK
-        call.
+        ``stack`` is one :func:`solve_many` call — within each chunk,
+        assembly is a single broadcast expression and the solve one
+        batched LAPACK call; ``sparse`` routes through
+        :func:`solve_many_sparse`; ``dense`` through the
+        :meth:`solve_loop` reference.
         """
         frequencies = np.asarray(frequencies, dtype=float)
-        states = solve_many(self.small, frequencies,
-                            self._rhs[:, None])[:, :, 0]
+        if self.backend_name == "dense":
+            return self.solve_loop(frequencies)
+        solver = solve_many_sparse if self.backend_name == "sparse" \
+            else solve_many
+        states = solver(self.small, frequencies,
+                        self._rhs[:, None])[:, :, 0]
         return self._result(frequencies, states)
 
     def noise(self, frequencies, temperature: float | None = None):
         """Johnson noise spectra about this analysis' operating point.
 
-        Reuses the existing linearization — no second bias solve.  See
+        Reuses the existing linearization — no second bias solve — and
+        this analysis' resolved solver backend.  See
         :func:`repro.ac.noise.johnson_noise`.
         """
         from repro.ac.noise import johnson_noise
 
         kwargs = {} if temperature is None else \
             {"temperature": temperature}
-        return johnson_noise(self.small, frequencies, **kwargs)
+        return johnson_noise(self.small, frequencies,
+                             backend=self.backend_name, **kwargs)
 
     def solve_loop(self, frequencies) -> ACResult:
         """Reference sweep: one Python-level solve per frequency.

@@ -110,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
                         default="log", help="grid spacing (default log)")
     parser.add_argument("--node", default=None,
                         help="observed node (default: last node)")
+    from repro.core.backends import available_backends
+
+    parser.add_argument("--backend", default=None,
+                        choices=available_backends(),
+                        help="solver backend for the frequency solves "
+                             "(default: stack, the batched path)")
     parser.add_argument("--noise", action="store_true",
                         help="also compute the Johnson noise spectrum")
     parser.add_argument("--temperature", type=float, default=300.0,
@@ -146,7 +152,8 @@ def main(argv: list[str] | None = None) -> int:
         # One ACAnalysis = one bias solve, shared by the Bode sweep
         # and the --noise spectra.
         analysis = ACAnalysis(circuit, source=source,
-                              bias=dict(args.bias))
+                              bias=dict(args.bias),
+                              backend=args.backend)
         result = analysis.solve(frequency_grid(
             args.start, args.stop, args.points, args.scale))
         node = args.node or result.node_names[-1]

@@ -133,7 +133,8 @@ class NoiseResult:
 def johnson_noise(circuit: "Circuit | SmallSignalSystem", frequencies,
                   temperature: float = ROOM_TEMPERATURE,
                   bias: Mapping[str, float] | None = None,
-                  dc_options: SwecDCOptions | None = None) -> NoiseResult:
+                  dc_options: SwecDCOptions | None = None,
+                  backend: str | None = None) -> NoiseResult:
     """Johnson-Nyquist node-voltage spectra of *circuit*.
 
     Linearizes about the DC operating point (with optional *bias*
@@ -141,7 +142,10 @@ def johnson_noise(circuit: "Circuit | SmallSignalSystem", frequencies,
     resistor, and accumulates ``4kT/R |Z(j omega)|^2`` per node.  The
     injection columns for all resistors are solved together in the
     same chunked, batched complex solves as the AC transfer sweep
-    (:func:`repro.ac.analysis.solve_many`).
+    (:func:`repro.ac.analysis.solve_many`); ``backend="sparse"``
+    routes them through the per-frequency SuperLU path
+    (:func:`repro.ac.analysis.solve_many_sparse`) instead, exactly as
+    in :class:`~repro.ac.analysis.ACAnalysis`.
 
     An already-linearized :class:`~repro.ac.linearize.
     SmallSignalSystem` may be passed instead of a circuit to reuse an
@@ -174,7 +178,12 @@ def johnson_noise(circuit: "Circuit | SmallSignalSystem", frequencies,
         system.stamp_current(injections[:, r], i, j, 1.0)
         weights[r] = 4.0 * BOLTZMANN * temperature * resistor.conductance
     # solved[f, row, r] = Z from resistor r to MNA unknown `row`.
-    solved = solve_many(small, frequencies, injections)
+    from repro.ac.analysis import resolve_ac_backend, solve_many_sparse
+
+    if resolve_ac_backend(backend, system) == "sparse":
+        solved = solve_many_sparse(small, frequencies, injections)
+    else:
+        solved = solve_many(small, frequencies, injections)
     n_nodes = len(small.node_names)
     transimpedance = np.abs(solved[:, :n_nodes, :]) ** 2
     contributions = (weights[None, None, :]

@@ -30,10 +30,11 @@ from repro.analysis.sensitivity import (
     relative_sensitivity,
     sensitivity_table,
 )
-from repro.analysis.waveforms import TransientResult
+from repro.analysis.waveforms import EnsembleTransientResult, TransientResult
 
 __all__ = [
     "DCSweepResult",
+    "EnsembleTransientResult",
     "TransientResult",
     "ascii_plot",
     "ascii_plot_result",

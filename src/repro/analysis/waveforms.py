@@ -159,3 +159,129 @@ class TransientResult:
     def __repr__(self) -> str:
         return (f"TransientResult(engine={self.engine!r}, points={len(self)}, "
                 f"nodes={len(self.node_names)})")
+
+
+class EnsembleTransientResult:
+    """Time-domain result of a lockstep ensemble march.
+
+    Stores the shared accepted time grid and the ``(K, n)`` state
+    stack per point.  Per-instance access mirrors
+    :class:`TransientResult`: :meth:`voltage` returns a ``(K, T)``
+    waveform block and :meth:`instance` materializes one instance as a
+    plain ``TransientResult`` (with an *empty* flop counter — the
+    ensemble-level :attr:`flops` counts the whole batch and does not
+    split into integer per-instance shares).
+    """
+
+    def __init__(self, node_names, n_instances: int,
+                 engine: str = "swec-ensemble") -> None:
+        self.node_names = tuple(node_names)
+        self.n_instances = int(n_instances)
+        self.engine = engine
+        self._times: list[float] = []
+        self._states: list[np.ndarray] = []
+        self.flops = FlopCounter()
+        self.accepted_steps = 0
+        self.rejected_steps = 0
+        self.aborted = False
+        self.abort_reason: str | None = None
+        #: Factorizations skipped by the backend's reuse cache
+        #: (``factor_rtol``; 0 when caching is disabled or unsupported).
+        self.factor_reuses = 0
+        #: Name of the solver backend that marched this result.
+        self.backend: str | None = None
+        #: instance index -> ``[(t, device_g_row), ...]`` for the
+        #: instances named in ``trace_instances``.
+        self.conductance_trace: dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+
+    def append(self, t: float, states: np.ndarray) -> None:
+        """Record an accepted time point for all instances at once."""
+        if self._times and t <= self._times[-1]:
+            raise AnalysisError(
+                f"non-monotonic time points: {t} after {self._times[-1]}")
+        self._times.append(float(t))
+        self._states.append(np.array(states, dtype=float, copy=True))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Shared accepted time points."""
+        return np.array(self._times)
+
+    @property
+    def states(self) -> np.ndarray:
+        """``(K, T, n)`` state stack over the shared grid."""
+        if not self._states:
+            return np.zeros((self.n_instances, 0, len(self.node_names)))
+        return np.stack(self._states, axis=1)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def t_final(self) -> float:
+        """Last accepted time."""
+        if not self._times:
+            raise AnalysisError("empty ensemble result")
+        return self._times[-1]
+
+    def _node_column(self, node: str) -> int:
+        try:
+            return self.node_names.index(node)
+        except ValueError:
+            raise AnalysisError(
+                f"node {node!r} not in result (have {self.node_names})"
+            ) from None
+
+    def voltage(self, node: str) -> np.ndarray:
+        """``(K, T)`` voltage waveforms of *node*, one row per instance."""
+        column = self._node_column(node)
+        return self.states[:, :, column]
+
+    def final_voltages(self) -> dict[str, np.ndarray]:
+        """Node name -> ``(K,)`` voltages at the last accepted point."""
+        if not self._states:
+            raise AnalysisError("empty ensemble result")
+        last = self._states[-1]
+        return {name: last[:, k].copy()
+                for k, name in enumerate(self.node_names)}
+
+    def instance(self, k: int) -> TransientResult:
+        """Materialize instance *k* as a scalar ``TransientResult``."""
+        if not 0 <= k < self.n_instances:
+            raise AnalysisError(
+                f"instance index {k} out of range [0, {self.n_instances})")
+        result = TransientResult(self.node_names, engine=self.engine)
+        for t, row in zip(self._times, self._states):
+            result.append(t, row[k])
+        result.accepted_steps = self.accepted_steps
+        result.rejected_steps = self.rejected_steps
+        result.aborted = self.aborted
+        result.abort_reason = self.abort_reason
+        if k in self.conductance_trace:
+            result.conductance_trace = [  # type: ignore[attr-defined]
+                (t, g.copy()) for t, g in self.conductance_trace[k]]
+        return result
+
+    def summary(self) -> str:
+        """One-paragraph diagnostic summary."""
+        lines = [
+            f"engine={self.engine} instances={self.n_instances} "
+            f"points={len(self)} "
+            f"t_final={self._times[-1] if self._times else 0.0:.4g}",
+            f"steps: accepted={self.accepted_steps} "
+            f"rejected={self.rejected_steps}",
+        ]
+        if self.backend is not None:
+            lines.append(f"backend={self.backend}")
+        if self.aborted:
+            lines.append(f"ABORTED: {self.abort_reason}")
+        lines.append(f"flops={self.flops.total:,}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"EnsembleTransientResult(instances={self.n_instances}, "
+                f"points={len(self)}, nodes={len(self.node_names)})")

@@ -283,6 +283,24 @@ class PiecewiseLinear(Waveform):
         return f"PiecewiseLinear({pts!r})"
 
 
+def waveform_state_key(waveform: Waveform):
+    """Structural deduplication key for waveform evaluations.
+
+    Instances built by independent builder calls carry distinct but
+    value-identical waveform objects (K ``fet_rtd_inverter()`` calls
+    make K equal ``Pulse``\\ s); keying on ``(type, attribute state)``
+    lets batched engines share one evaluation per time point.
+    Waveforms with unhashable state fall back to object identity —
+    never wrong, just unshared.
+    """
+    try:
+        state = tuple(sorted(vars(waveform).items()))
+        hash(state)
+    except TypeError:
+        return ("id", id(waveform))
+    return (type(waveform), state)
+
+
 def as_waveform(value: "Waveform | float | int") -> Waveform:
     """Coerce a bare number to a :class:`DC` waveform.
 

@@ -1,0 +1,668 @@
+"""The shared SWEC marching loop: stamp -> factor -> solve -> advance.
+
+Before this module the repo carried four hand-rolled copies of the same
+recipe (scalar transient, DC fixed point, lockstep ensemble, AC sweep).
+:class:`LinearStepper` owns the transient form of it once, batch-first:
+K same-topology circuit instances march together, and every
+backend-specific operation — assembly representation, factorization,
+solve, flop accounting — is delegated to a
+:class:`~repro.core.backends.SolverBackend` chosen by name.  The scalar
+:class:`~repro.swec.engine.SwecTransient` is literally the K = 1 slice
+of this march; :class:`~repro.swec.ensemble.SwecEnsembleTransient` is a
+thin alias that defaults to the batched ``stack`` backend.
+
+Per accepted point the stepper
+
+1. evaluates the chord conductances of all K states at once through
+   the vectorized device laws (grouping instances that share a device
+   parameter record, so the common all-instances-alike case is one
+   ``current_many`` call per device slot),
+2. hands them to the backend's ``stamp`` (dense ``(K, n, n)`` stack or
+   sparse ``(K, nnz)`` data stack — the stepper never sees the matrix
+   representation), and
+3. solves the backward-Euler (or trapezoidal) update through the
+   backend's ``solve_transient``.
+
+Two marching modes survive unchanged from the ensemble engine:
+:meth:`LinearStepper.run` (the paper's eq.-10/12 adaptive control,
+worst-case over the ensemble) and :meth:`LinearStepper.run_grid` (an
+explicit shared grid, the bit-reproducible mode that also carries the
+paper's eq.-13 noise injections as implicit Euler-Maruyama).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.waveforms import EnsembleTransientResult
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import waveform_state_key
+from repro.core.backends import SolverBackend, create_backend
+from repro.errors import AnalysisError
+from repro.mna.assembler import MnaSystem
+from repro.perf.flops import FlopCounter
+
+__all__ = ["LinearStepper"]
+
+
+def _check_same_topology(reference: Circuit, circuit: Circuit,
+                         index: int) -> None:
+    """Raise unless *circuit* shares *reference*'s exact topology."""
+    if circuit.nodes != reference.nodes:
+        raise AnalysisError(
+            f"ensemble instance {index} has different nodes "
+            f"{circuit.nodes} vs {reference.nodes}")
+    for category in ("resistors", "capacitors", "inductors",
+                     "voltage_sources", "current_sources", "devices",
+                     "mosfets"):
+        ours = getattr(circuit, category)
+        theirs = getattr(reference, category)
+        if len(ours) != len(theirs):
+            raise AnalysisError(
+                f"ensemble instance {index} has {len(ours)} {category}, "
+                f"instance 0 has {len(theirs)}")
+        for a, b in zip(ours, theirs):
+            if a.name != b.name or a.nodes != b.nodes:
+                raise AnalysisError(
+                    f"ensemble instance {index}: {category[:-1]} "
+                    f"{a.name!r} on {a.nodes} does not match instance "
+                    f"0's {b.name!r} on {b.nodes}")
+
+
+class _SourceBank:
+    """Vectorized ``b(t)`` assembly across instances.
+
+    Per source slot, instances whose waveforms are value-identical
+    (:func:`~repro.circuit.sources.waveform_state_key`) are grouped so
+    each distinct waveform is evaluated once per time point.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit],
+                 system: MnaSystem) -> None:
+        self.n_instances = len(circuits)
+        self.size = system.size
+        self._vsrc: list[tuple[int, list]] = []
+        for slot, source in enumerate(circuits[0].voltage_sources):
+            row = system.vsource_index(source.name)
+            waveforms = [c.voltage_sources[slot].waveform for c in circuits]
+            self._vsrc.append((row, self._group(waveforms)))
+        self._isrc: list[tuple[int, int, list]] = []
+        for slot, source in enumerate(circuits[0].current_sources):
+            p = system.node_index(source.nodes[0])
+            q = system.node_index(source.nodes[1])
+            waveforms = [c.current_sources[slot].waveform for c in circuits]
+            self._isrc.append((p, q, self._group(waveforms)))
+
+    @staticmethod
+    def _group(waveforms) -> list:
+        groups: dict = {}
+        order: list = []
+        for k, waveform in enumerate(waveforms):
+            key = waveform_state_key(waveform)
+            if key not in groups:
+                groups[key] = (waveform, [])
+                order.append(key)
+            groups[key][1].append(k)
+        return [(groups[key][0],
+                 np.asarray(groups[key][1], dtype=np.intp))
+                for key in order]
+
+    def assemble(self, t: float, out: np.ndarray) -> np.ndarray:
+        """Fill *out* (a ``(K, n)`` buffer) with ``b(t)`` per instance."""
+        out.fill(0.0)
+        for row, groups in self._vsrc:
+            if len(groups) == 1:
+                out[:, row] = groups[0][0].value(t)
+            else:
+                for waveform, idx in groups:
+                    out[idx, row] = waveform.value(t)
+        for p, q, groups in self._isrc:
+            for waveform, idx in groups:
+                value = waveform.value(t)
+                if p >= 0:
+                    out[idx, p] -= value
+                if q >= 0:
+                    out[idx, q] += value
+        return out
+
+
+class _DeviceSlot:
+    """Chord evaluation for one two-terminal device slot across K
+    instances, grouped by the models' ``batch_key`` so equal-parameter
+    models share one vectorized call."""
+
+    def __init__(self, elements) -> None:
+        n = len(elements)
+        self.multiplicity = np.array([e.multiplicity for e in elements])
+        groups: dict = {}
+        order = []
+        for k, element in enumerate(elements):
+            key = element.model.batch_key()
+            if key not in groups:
+                groups[key] = (element.model, [])
+                order.append(key)
+            groups[key][1].append(k)
+        self.groups = [
+            (groups[key][0], np.asarray(groups[key][1], dtype=np.intp))
+            for key in order]
+        self.single = len(self.groups) == 1 and \
+            self.groups[0][1].size == n
+
+    def chord(self, voltages: np.ndarray) -> np.ndarray:
+        """``(K,)`` chord conductances (multiplicity applied)."""
+        if self.single:
+            model = self.groups[0][0]
+            return self.multiplicity * model.chord_conductance_many(voltages)
+        out = np.empty_like(voltages)
+        for model, idx in self.groups:
+            out[idx] = self.multiplicity[idx] * \
+                model.chord_conductance_many(voltages[idx])
+        return out
+
+    def chord_derivative(self, voltages: np.ndarray) -> np.ndarray:
+        """``(K,)`` chord derivatives for the eq.-5 predictor."""
+        if self.single:
+            model = self.groups[0][0]
+            return self.multiplicity * \
+                model.chord_conductance_derivative_many(voltages)
+        out = np.empty_like(voltages)
+        for model, idx in self.groups:
+            out[idx] = self.multiplicity[idx] * \
+                model.chord_conductance_derivative_many(voltages[idx])
+        return out
+
+
+class LinearStepper:
+    """Backend-agnostic lockstep SWEC march over K circuit instances.
+
+    Parameters
+    ----------
+    circuits:
+        A sequence of K :class:`~repro.circuit.Circuit` objects sharing
+        one topology (same nodes and element names/connections; values,
+        waveforms and device parameters are free), or a single circuit
+        with ``n_instances=K`` for noise-/initial-state-only ensembles.
+    options:
+        :class:`~repro.swec.engine.SwecOptions`.  ``options.backend``
+        selects the solver backend by registry name; ``None`` falls
+        back to *default_backend*.
+    n_instances:
+        Instance count when *circuits* is a single circuit.
+    noise:
+        Optional ``(node, amplitude)`` white-noise current injections
+        (the paper's eq.-13 ``B dW`` term); amplitudes are scalars or
+        length-K arrays.  Noise requires the fixed-grid backward-Euler
+        mode.
+    trace_instances:
+        Instance indices whose per-step device chord conductances are
+        recorded (requires ``options.trace_conductance``); tracing is
+        per-instance opt-in so the trace memory stays at
+        ``8 * T * len(trace_instances) * n_devices`` bytes.
+    chunk_entries:
+        Matrix entries per batched-solve chunk on the ``stack`` backend
+        (default :data:`repro.mna.batch.CHUNK_ENTRIES`); results are
+        bit-identical for any value.
+    default_backend:
+        Registry name used when ``options.backend`` is ``None``
+        (``"auto"`` resolves by system size and fill ratio).
+    """
+
+    def __init__(self, circuits, options=None, *,
+                 n_instances: int | None = None,
+                 noise: Sequence[tuple[str, object]] | Mapping | None = None,
+                 trace_instances: Sequence[int] = (),
+                 chunk_entries: int | None = None,
+                 default_backend: str = "stack") -> None:
+        from repro.swec.conductance import SwecLinearization
+        from repro.swec.engine import SwecOptions
+        from repro.swec.timestep import EnsembleStepController
+
+        if isinstance(circuits, Circuit):
+            if n_instances is None or n_instances < 1:
+                raise AnalysisError(
+                    "a single-circuit ensemble needs n_instances >= 1")
+            circuits = [circuits] * int(n_instances)
+        else:
+            circuits = list(circuits)
+            if not circuits:
+                raise AnalysisError("ensemble needs at least one circuit")
+            if n_instances is not None and n_instances != len(circuits):
+                raise AnalysisError(
+                    f"n_instances={n_instances} does not match the "
+                    f"{len(circuits)} circuits given")
+        self.circuits = circuits
+        self.n_instances = len(circuits)
+        self.options = options or SwecOptions()
+        for index, circuit in enumerate(circuits[1:], start=1):
+            _check_same_topology(circuits[0], circuit, index)
+
+        systems: dict[int, MnaSystem] = {}
+        self.systems = []
+        for circuit in circuits:
+            if id(circuit) not in systems:
+                systems[id(circuit)] = MnaSystem(circuit)
+            self.systems.append(systems[id(circuit)])
+        self.system = self.systems[0]
+        self.size = self.system.size
+        self.linearization = SwecLinearization(
+            self.system, use_predictor=self.options.use_predictor)
+        self.controller = EnsembleStepController(
+            self.systems, circuits, self.options.step)
+        self._chunk_entries = chunk_entries
+        self.backend: SolverBackend = create_backend(
+            self.options.resolved_backend(), self.systems,
+            default=default_backend,
+            factor_rtol=self.options.factor_rtol,
+            chunk_entries=chunk_entries)
+
+        self._sources = _SourceBank(circuits, self.system)
+        self._device_slots = [
+            _DeviceSlot([c.devices[j] for c in circuits])
+            for j in range(len(circuits[0].devices))]
+        # Cross-slot grouping: device slots whose K models all share one
+        # parameter record evaluate as a single (K, n_slots) vectorized
+        # call — a 20x20 RTD mesh pays one chord_conductance_many call
+        # per step instead of 400.  Slots with per-instance parameter
+        # variations keep the per-slot grouped path.
+        self._multiplicity = (
+            np.stack([slot.multiplicity for slot in self._device_slots],
+                     axis=1)
+            if self._device_slots else np.zeros((self.n_instances, 0)))
+        uniform: dict = {}
+        order: list = []
+        self._mixed_slots: list[int] = []
+        for j, slot in enumerate(self._device_slots):
+            if slot.single:
+                key = slot.groups[0][0].batch_key()
+                if key not in uniform:
+                    uniform[key] = (slot.groups[0][0], [])
+                    order.append(key)
+                uniform[key][1].append(j)
+            else:
+                self._mixed_slots.append(j)
+        self._uniform_groups = [
+            (uniform[key][0],
+             np.asarray(uniform[key][1], dtype=np.intp))
+            for key in order]
+        # Single instance, few devices: the vectorized laws pay more in
+        # numpy small-array overhead than they save, so the K = 1 slice
+        # of small circuits evaluates chords through the scalar
+        # SwecLinearization loop (numerically equivalent — the lockstep
+        # tests bound the difference at 1e-10).
+        n_nonlinear = len(self._device_slots) + len(circuits[0].mosfets)
+        self._scalar_chords = self.n_instances == 1 and n_nonlinear <= 32
+        mosfets = circuits[0].mosfets
+        if mosfets:
+            models = [[c.mosfets[j].model for c in circuits]
+                      for j in range(len(mosfets))]
+            self._mosfet_params = {
+                name: np.array([[getattr(m, name) for m in row]
+                                for row in models]).T
+                for name in ("kp", "w", "l", "vth", "polarity",
+                             "channel_modulation")}
+        else:
+            self._mosfet_params = None
+
+        self._noise_matrix = self._build_noise(noise)
+        K = self.n_instances
+        self.trace_instances = tuple(int(k) for k in trace_instances)
+        for k in self.trace_instances:
+            if not 0 <= k < K:
+                raise AnalysisError(
+                    f"trace instance {k} out of range [0, {K})")
+        if self.options.trace_conductance and not self.trace_instances:
+            raise AnalysisError(
+                "trace_conductance on an ensemble needs explicit "
+                "trace_instances=(...) — a full per-instance trace would "
+                "hold K * T * n_devices floats")
+        if self.trace_instances and not self.options.trace_conductance:
+            raise AnalysisError(
+                "trace_instances needs options.trace_conductance=True "
+                "(tracing is gated on the same flag as the scalar engine)")
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the resolved solver backend."""
+        return self.backend.name
+
+    # ------------------------------------------------------------------
+
+    def _build_noise(self, noise) -> np.ndarray | None:
+        if noise is None:
+            return None
+        if isinstance(noise, Mapping):
+            noise = list(noise.items())
+        noise = list(noise)
+        if not noise:
+            return None
+        K, n = self.n_instances, self.size
+        matrix = np.zeros((K, n, len(noise)))
+        for column, entry in enumerate(noise):
+            node, amplitude = entry[0], entry[1]
+            index = self.system.node_index(node)
+            if index < 0:
+                raise AnalysisError("cannot inject noise at ground")
+            amplitude = np.asarray(amplitude, dtype=float)
+            if amplitude.ndim == 0:
+                matrix[:, index, column] = float(amplitude)
+            elif amplitude.shape == (K,):
+                matrix[:, index, column] = amplitude
+            else:
+                raise AnalysisError(
+                    f"noise amplitude for {node!r} must be a scalar or "
+                    f"a length-{K} array, got shape {amplitude.shape}")
+        return matrix
+
+    @property
+    def num_noises(self) -> int:
+        """Number of independent white-noise injections."""
+        return 0 if self._noise_matrix is None else \
+            self._noise_matrix.shape[2]
+
+    # ------------------------------------------------------------------
+    # Chord conductances, all instances at once
+    # ------------------------------------------------------------------
+
+    def _device_conductances(self, states, prev_states, h_prev, h_next,
+                             flops: FlopCounter | None) -> np.ndarray:
+        """``(K, n_devices)`` chord conductances, Taylor-corrected."""
+        if self._scalar_chords:
+            return self.linearization.device_conductances(
+                states[0],
+                None if prev_states is None else prev_states[0],
+                h_prev, h_next, flops=flops)[None, :]
+        voltages = self.linearization.device_voltages(states)
+        K = self.n_instances
+        if not self._device_slots:
+            return voltages
+        conductances = np.empty_like(voltages)
+        predict = (self.options.use_predictor and prev_states is not None
+                   and h_prev and h_next)
+        if predict:
+            prev_voltages = self.linearization.device_voltages(prev_states)
+            dv_dt = (voltages - prev_voltages) / h_prev
+        for model, idx in self._uniform_groups:
+            v = voltages[:, idx]
+            g = self._multiplicity[:, idx] * \
+                model.chord_conductance_many(v)
+            if predict:
+                dg_dv = self._multiplicity[:, idx] * \
+                    model.chord_conductance_derivative_many(v)
+                g = g + 0.5 * h_next * dg_dv * dv_dt[:, idx]
+            conductances[:, idx] = g
+        for j in self._mixed_slots:
+            slot = self._device_slots[j]
+            g = slot.chord(voltages[:, j])
+            if predict:
+                dg_dv = slot.chord_derivative(voltages[:, j])
+                g = g + 0.5 * h_next * dg_dv * dv_dt[:, j]
+            conductances[:, j] = g
+        np.maximum(conductances, 0.0, out=conductances)
+        if flops is not None:
+            flops.count_device_eval(
+                "rtd_current", count=K * len(self._device_slots))
+            if predict:
+                flops.count_device_eval(
+                    "rtd_conductance", count=K * len(self._device_slots))
+        return conductances
+
+    def _mosfet_conductances(self, states,
+                             flops: FlopCounter | None) -> np.ndarray:
+        """``(K, n_mosfets)`` chord conductances ``Ids/Vds``."""
+        if self._mosfet_params is None:
+            return np.zeros((self.n_instances, 0))
+        if self._scalar_chords:
+            return self.linearization.mosfet_conductances(
+                states[0], flops=flops)[None, :]
+        from repro.devices.mosfet import mosfet_chord_stack
+
+        voltages = self.linearization.mosfet_voltages(states)
+        p = self._mosfet_params
+        conductances = mosfet_chord_stack(
+            voltages[..., 0], voltages[..., 1], kp=p["kp"], w=p["w"],
+            l=p["l"], vth=p["vth"], polarity=p["polarity"],
+            channel_modulation=p["channel_modulation"])
+        np.maximum(conductances, 0.0, out=conductances)
+        if flops is not None:
+            flops.count_device_eval(
+                "mosfet", count=conductances.size)
+        return conductances
+
+    def _stamp(self, states, prev_states, h_prev, h_next,
+               flops: FlopCounter | None) -> np.ndarray:
+        """Evaluate chords and stamp ``G`` into the backend; returns
+        the ``(K, n_devices)`` chords (for the conductance trace)."""
+        device_g = self._device_conductances(
+            states, prev_states, h_prev, h_next, flops)
+        mosfet_g = self._mosfet_conductances(states, flops)
+        self.backend.stamp(device_g, mosfet_g)
+        return device_g
+
+    # ------------------------------------------------------------------
+    # Initial states
+    # ------------------------------------------------------------------
+
+    def _initial_state_stack(self, initial_states) -> np.ndarray:
+        K, n = self.n_instances, self.size
+        if initial_states is None:
+            return np.stack([system.initial_state()
+                             for system in self.systems])
+        states = np.array(initial_states, dtype=float, copy=True)
+        if states.shape == (n,):
+            states = np.broadcast_to(states, (K, n)).copy()
+        if states.shape != (K, n):
+            raise AnalysisError(
+                f"initial states must have shape ({n},) or ({K}, {n}), "
+                f"got {states.shape}")
+        return states
+
+    def _dc_initialize(self, states: np.ndarray,
+                       result: EnsembleTransientResult, t: float = 0.0,
+                       max_iter: int = 200, tol: float = 1e-9) -> np.ndarray:
+        """Batched chord fixed point at time *t* (DC operating points)."""
+        K, n = self.n_instances, self.size
+        b = self._sources.assemble(t, np.empty((K, n)))
+        damping = np.ones(K)
+        prev_delta = np.full(K, np.inf)
+        flops = result.flops
+        for _ in range(max_iter):
+            self._stamp(states, None, None, None, flops)
+            new_states = self.backend.solve_conductance(b)
+            delta = (np.max(np.abs(new_states - states), axis=1)
+                     if n else np.zeros(K))
+            shrink = (delta > prev_delta) & (damping > 0.1)
+            damping[shrink] *= 0.5
+            prev_delta = delta
+            states = states + damping[:, None] * (new_states - states)
+            if np.all(delta < tol):
+                break
+        return states
+
+    # ------------------------------------------------------------------
+    # Marching
+    # ------------------------------------------------------------------
+
+    def _new_result(self) -> EnsembleTransientResult:
+        result = EnsembleTransientResult(
+            self.system.circuit.nodes, self.n_instances)
+        result.backend = self.backend_name
+        self.backend.begin_run(result.flops)
+        return result
+
+    def _finish(self, result: EnsembleTransientResult
+                ) -> EnsembleTransientResult:
+        result.factor_reuses = self.backend.reuses
+        return result
+
+    def _record_trace(self, result: EnsembleTransientResult, t: float,
+                      device_g: np.ndarray) -> None:
+        for k in self.trace_instances:
+            result.conductance_trace.setdefault(k, []).append(
+                (t, device_g[k].copy()))
+
+    def _solve_step(self, t, h, states, b_buf, b2_buf, t_next=None,
+                    noise_increments=None) -> np.ndarray:
+        """One implicit solve for the whole stack, BE or trapezoidal."""
+        backend = self.backend
+        trapezoidal = self.options.method == "trap"
+        if t_next is None:
+            t_next = t + h
+        if trapezoidal:
+            rhs = self._sources.assemble(t, b_buf)
+            rhs += self._sources.assemble(t_next, b2_buf)
+            rhs *= 0.5
+            tmp = backend.c_matvec(states)
+            tmp /= h
+            rhs += tmp
+            gx = backend.g_matvec(states)
+            gx *= 0.5
+            rhs -= gx
+        else:
+            rhs = self._sources.assemble(t_next, b_buf)
+            tmp = backend.c_matvec(states)
+            tmp /= h
+            rhs += tmp
+        if noise_increments is not None:
+            rhs += np.einsum("knm,km->kn", self._noise_matrix,
+                             noise_increments) / h
+        return backend.solve_transient(h, rhs, trapezoidal)
+
+    def run(self, t_stop: float,
+            initial_states=None) -> EnsembleTransientResult:
+        """Adaptive lockstep march from ``t = 0`` to *t_stop*.
+
+        The shared grid takes the worst-case (smallest) eq.-10/12 step
+        over the ensemble each point.  Noise injections need a fixed
+        grid — use :meth:`run_grid`.
+        """
+        if t_stop <= 0.0:
+            raise AnalysisError(f"t_stop must be positive, got {t_stop!r}")
+        if self._noise_matrix is not None:
+            raise AnalysisError(
+                "noise ensembles need the fixed-grid mode (run_grid); "
+                "an adaptive grid would couple every path's step sizes "
+                "to the noise realizations")
+        opts = self.options
+        K, n = self.n_instances, self.size
+        result = self._new_result()
+        states = self._initial_state_stack(initial_states)
+        if opts.initialize_dc and initial_states is None:
+            states = self._dc_initialize(states, result)
+
+        b_buf = np.empty((K, n))
+        b2_buf = np.empty((K, n))
+
+        t = 0.0
+        result.append(t, states)
+        h = self.controller.initial_step(t_stop)
+        h_prev: float | None = None
+        prev_states: np.ndarray | None = None
+
+        while t < t_stop * (1.0 - 1e-12):
+            if len(result) >= opts.max_points:
+                result.aborted = True
+                result.abort_reason = (
+                    f"max_points={opts.max_points} reached at t={t:.4g}")
+                break
+            device_g = self._stamp(
+                states, prev_states, h_prev, h, result.flops)
+            h = self.controller.next_step_from_diagonal(
+                t, h if h_prev is None else h_prev,
+                self.backend.g_diagonal(), t_stop)
+
+            accepted = False
+            while not accepted:
+                new_states = self._solve_step(t, h, states, b_buf, b2_buf)
+                if opts.dv_limit is not None:
+                    nn = self.system.num_nodes
+                    dv = float(np.max(np.abs(
+                        new_states[:, :nn] - states[:, :nn])))
+                    if dv > opts.dv_limit and h > opts.step.h_min * 1.001:
+                        result.rejected_steps += 1
+                        h = max(h * 0.5, opts.step.h_min)
+                        continue
+                accepted = True
+
+            prev_states, h_prev = states, h
+            states = new_states
+            t += h
+            result.append(t, states)
+            result.accepted_steps += 1
+            self._record_trace(result, t, device_g)
+        return self._finish(result)
+
+    def run_grid(self, times, initial_states=None, *, seeds=None,
+                 rng=None) -> EnsembleTransientResult:
+        """Lockstep march on an explicit shared grid.
+
+        With noise injections configured, each step adds
+        ``B dW_n / h_n`` to the right-hand side (implicit
+        Euler-Maruyama; backward Euler only).  *seeds* gives each
+        instance its own RNG stream (a sequence of K ints or
+        ``SeedSequence``\\ s) — the bit-reproducible form that survives
+        ensemble splitting; *rng* draws all increments from one shared
+        Generator instead.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 2:
+            raise AnalysisError(
+                f"need a 1-D grid with >= 2 points, got shape {times.shape}")
+        if np.any(np.diff(times) <= 0.0):
+            raise AnalysisError("grid times must be strictly increasing")
+        opts = self.options
+        if self._noise_matrix is not None and opts.method != "be":
+            raise AnalysisError(
+                "noise injections integrate as implicit Euler-Maruyama "
+                "on the backward-Euler path only")
+        K, n = self.n_instances, self.size
+        result = self._new_result()
+        states = self._initial_state_stack(initial_states)
+        if opts.initialize_dc and initial_states is None:
+            states = self._dc_initialize(states, result, t=float(times[0]))
+
+        increments = self._draw_increments(times, seeds, rng)
+        b_buf = np.empty((K, n))
+        b2_buf = np.empty((K, n))
+
+        result.append(float(times[0]), states)
+        h_prev: float | None = None
+        prev_states: np.ndarray | None = None
+        for step in range(times.size - 1):
+            t_next = float(times[step + 1])
+            t = float(times[step])
+            h = t_next - t
+            device_g = self._stamp(
+                states, prev_states, h_prev, h, result.flops)
+            noise = None if increments is None else increments[:, step, :]
+            new_states = self._solve_step(t, h, states, b_buf, b2_buf,
+                                          t_next=t_next,
+                                          noise_increments=noise)
+            prev_states, h_prev = states, h
+            states = new_states
+            result.append(t_next, states)
+            result.accepted_steps += 1
+            self._record_trace(result, t_next, device_g)
+        return self._finish(result)
+
+    def _draw_increments(self, times, seeds, rng) -> np.ndarray | None:
+        """``(K, T-1, m)`` Wiener increments, or None without noise."""
+        if self._noise_matrix is None:
+            return None
+        K = self.n_instances
+        m = self._noise_matrix.shape[2]
+        steps = times.size - 1
+        scale = np.sqrt(np.diff(times))[None, :, None]
+        if seeds is not None:
+            seeds = list(seeds)
+            if len(seeds) != K:
+                raise AnalysisError(
+                    f"need one seed per instance ({K}), got {len(seeds)}")
+            draws = np.stack([
+                np.random.default_rng(seed).standard_normal((steps, m))
+                for seed in seeds])
+        else:
+            generator = np.random.default_rng(rng)
+            draws = generator.standard_normal((K, steps, m))
+        return draws * scale

@@ -136,6 +136,66 @@ class SparseOperators:
             signs.append(-1.0)
         return np.array(positions, dtype=np.intp), np.array(signs)
 
+    # ------------------------------------------------------------------
+    # Batch-assembly views (the sparse solver backend's contract)
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Nonzeros of the cached union pattern."""
+        return int(self._nnz)
+
+    @property
+    def base_data(self) -> np.ndarray:
+        """``G_base`` scattered onto the union pattern (read-only view)."""
+        return self._base_data
+
+    @property
+    def c_data(self) -> np.ndarray:
+        """``C`` scattered onto the union pattern (read-only view)."""
+        return self._c_data
+
+    def stamp_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened ``(positions, columns, signs)`` stamp scatter.
+
+        Mirrors :class:`~repro.mna.batch.ConductanceStamper` on the
+        union *data* array: entry ``i`` adds
+        ``values[..., columns[i]] * signs[i]`` at ``positions[i]``,
+        where ``values`` concatenates the device then MOSFET chord
+        conductances.  Entries are emitted device-by-device in stamp
+        order, so batched ``np.add.at`` accumulation reproduces the
+        scalar :meth:`conductance_data` loop bit for bit.
+        """
+        positions: list[int] = []
+        columns: list[int] = []
+        signs: list[float] = []
+        for column, (slot_positions, slot_signs) in enumerate(
+                self._device_slots + self._mosfet_slots):
+            positions.extend(int(p) for p in slot_positions)
+            columns.extend([column] * len(slot_positions))
+            signs.extend(float(s) for s in slot_signs)
+        return (np.asarray(positions, dtype=np.intp),
+                np.asarray(columns, dtype=np.intp),
+                np.asarray(signs, dtype=float))
+
+    def diagonal_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(positions, mask)`` of the main diagonal in the data array.
+
+        Rows whose diagonal entry is absent from the pattern (pure
+        branch-current rows) carry position 0 and mask 0.0, so
+        ``data[positions] * mask`` yields the diagonal with structural
+        zeros reported as 0.0.
+        """
+        positions = np.zeros(self.size, dtype=np.intp)
+        mask = np.zeros(self.size)
+        for row in range(self.size):
+            try:
+                positions[row] = self._locate(row, row)
+                mask[row] = 1.0
+            except SingularMatrixError:
+                continue
+        return positions, mask
+
     def _assemble(self, data: np.ndarray) -> sparse.csr_matrix:
         """CSR matrix over the cached pattern with *data* values."""
         return sparse.csr_matrix(
@@ -229,10 +289,16 @@ class SparseSolver:
             self.flops.factorizations += 1
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Back-substitute against the cached factorization."""
+        """Back-substitute against the cached factorization.
+
+        Real and complex systems alike (the AC sweeps factor
+        ``G0 + jwC`` through this solver).
+        """
         if self._lu is None:
             raise SingularMatrixError("factor() before solve()")
-        solution = self._lu.solve(np.asarray(rhs, dtype=float))
+        rhs = np.asarray(
+            rhs, dtype=complex if np.iscomplexobj(rhs) else float)
+        solution = self._lu.solve(rhs)
         if self.flops is not None:
             self.flops.add("solve", 2 * (self._lu.L.nnz + self._lu.U.nnz))
             self.flops.linear_solves += 1

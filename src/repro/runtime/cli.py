@@ -14,6 +14,8 @@ The job-spec file is TOML (Python 3.11+, via :mod:`tomllib`) or JSON
     circuit = "fet_rtd_inverter"   # repro.circuits_lib builder name
     t_stop = 1e-8
     engine = "swec"                # swec | spice | mla | aces
+    backend = "auto"               # SWEC solver backend: dense |
+                                   # sparse | stack | auto
     [jobs.params]                  # builder keyword arguments
     [jobs.options]                 # flat engine + step-control options
     epsilon = 0.05

@@ -26,12 +26,36 @@ side-steps pickling limits of closure-carrying objects such as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import AnalysisError
+
+
+def apply_backend(options: Any, backend: str | None):
+    """Fold a job-level ``backend=`` into SWEC engine options.
+
+    *options* may be None, a flat mapping (the CLI form) or a built
+    :class:`~repro.swec.SwecOptions`; returns the options with
+    ``backend`` set (the job-level knob wins over the options table).
+    """
+    if backend is None:
+        return options
+    from repro.core.backends import available_backends
+    from repro.swec import SwecOptions
+
+    if backend not in available_backends():
+        raise AnalysisError(
+            f"unknown solver backend {backend!r} "
+            f"(available: {', '.join(available_backends())})"
+        )
+    if options is None:
+        return SwecOptions(backend=backend)
+    if isinstance(options, Mapping):
+        return {**dict(options), "backend": backend}
+    return replace(options, backend=backend)
 
 
 def _resolve_circuit_builder(name: str) -> Callable:
@@ -180,6 +204,9 @@ class TransientJob:
     engine: str = "swec"
     options: Any = None
     initial_state: Sequence[float] | None = None
+    #: Solver backend for the SWEC engine (``dense``/``sparse``/
+    #: ``stack``/``auto``); overrides any ``options`` setting.
+    backend: str | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -192,6 +219,10 @@ class TransientJob:
                 "TransientJob needs exactly one of circuit=, builder= "
                 "or netlist="
             )
+        if self.backend is not None and self.engine != "swec":
+            raise AnalysisError(
+                f"backend= applies to the swec engine only, not {self.engine!r}"
+            )
 
     def build_circuit(self):
         """Materialize the circuit this job simulates."""
@@ -203,7 +234,7 @@ class TransientJob:
         """Execute the job; *seed* is unused (transients are
         deterministic) but accepted for a uniform job interface."""
         engine_class, options_from_dict = _engine_factory(self.engine)
-        options = self.options
+        options = apply_backend(self.options, self.backend)
         if isinstance(options, Mapping):
             options = options_from_dict(dict(options))
         engine = engine_class(self.build_circuit(), options)
@@ -240,6 +271,9 @@ class ACJob:
     source: str | None = None
     bias: dict = field(default_factory=dict)
     dc_options: Any = None
+    #: Solver backend for the frequency solves (``stack``/``sparse``/
+    #: ``dense``/``auto``); default is the vectorized ``stack`` path.
+    backend: str | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -273,6 +307,7 @@ class ACJob:
             source=self.source,
             bias=self.bias,
             dc_options=dc_options,
+            backend=self.backend,
         )
         return analysis.solve(
             frequency_grid(self.f_start, self.f_stop, self.n_points, self.scale)
@@ -395,6 +430,9 @@ class EnsembleTransientJob:
     confidence: float = 0.95
     return_result: bool = False
     path_seeds: Any = None
+    #: Solver backend for the lockstep march (``stack``/``sparse``/
+    #: ``dense``/``auto``); overrides any ``options`` setting.
+    backend: str | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -481,7 +519,7 @@ class EnsembleTransientJob:
         from repro.stochastic.montecarlo import ensemble_statistics
         from repro.swec.ensemble import SwecEnsembleTransient
 
-        options = self.options
+        options = apply_backend(self.options, self.backend)
         if isinstance(options, Mapping):
             options = _swec_options(dict(options))
         noise = self._noise_pairs()

@@ -163,7 +163,8 @@ def run_circuit_ensemble(circuit, noise, t_stop: float, steps: int,
                          n_paths: int, node: str | None = None,
                          seed=None, options=None,
                          confidence: float = 0.95,
-                         return_result: bool = False):
+                         return_result: bool = False,
+                         backend: str | None = None):
     """K circuit-noise realizations through the lockstep SWEC engine.
 
     *circuit* is a :class:`~repro.circuit.Circuit` (voltage sources
@@ -178,8 +179,12 @@ def run_circuit_ensemble(circuit, noise, t_stop: float, steps: int,
     Returns :class:`EnsembleStatistics` of the voltage at *node*
     (default: the first noise injection node), or the raw
     :class:`~repro.swec.ensemble.EnsembleTransientResult` with
-    ``return_paths``-style ``return_result=True``.
+    ``return_paths``-style ``return_result=True``.  *backend* names
+    the :mod:`repro.core.backends` solver for the march (``sparse``
+    turns grid-mesh noise ensembles tractable); it overrides any
+    ``options.backend`` setting.
     """
+    from repro.runtime.jobs import apply_backend
     from repro.swec.ensemble import SwecEnsembleTransient
 
     if steps < 1:
@@ -189,6 +194,7 @@ def run_circuit_ensemble(circuit, noise, t_stop: float, steps: int,
     noise = list(noise.items()) if hasattr(noise, "items") else list(noise)
     if not noise:
         raise AnalysisError("need at least one (node, amplitude) injection")
+    options = apply_backend(options, backend)
     engine = SwecEnsembleTransient(circuit, options,
                                    n_instances=n_paths, noise=noise)
     times = np.linspace(0.0, float(t_stop), int(steps) + 1)
@@ -207,7 +213,9 @@ def run_circuit_ensemble_parallel(builder, noise, t_stop: float,
                                   seed: int = 0, options=None,
                                   confidence: float = 0.95,
                                   params: dict | None = None,
-                                  runner=None) -> EnsembleStatistics:
+                                  runner=None,
+                                  backend: str | None = None
+                                  ) -> EnsembleStatistics:
     """One large circuit-noise ensemble as *chunks* lockstep batches.
 
     *builder* is a :mod:`repro.circuits_lib` circuit builder (or its
@@ -243,7 +251,7 @@ def run_circuit_ensemble_parallel(builder, noise, t_stop: float,
             t_stop=t_stop, builder=builder, params=dict(params or {}),
             n_instances=size, steps=steps, noise=noise, options=options,
             path_seeds=path_seeds[offset:offset + size],
-            return_result=True, label=f"chunk-{k}"))
+            return_result=True, backend=backend, label=f"chunk-{k}"))
         offset += size
     runner = runner or BatchRunner()
     report = runner.run(jobs)

@@ -10,7 +10,11 @@ the chord-conductance fixed point.  ``SwecLinearization`` computes the
 equivalent conductances (with the eq.-5 Taylor predictor) and
 ``AdaptiveStepController`` implements the eq.-10/12 step bound.
 ``SwecEnsembleTransient`` marches K same-topology circuit instances in
-lockstep, one batched LAPACK call per time point.
+lockstep, one batched LAPACK call per time point.  Both transients are
+faces of the unified :class:`~repro.core.stepper.LinearStepper` march
+(``SwecTransient`` is its K = 1 slice), with the per-point
+factor/solve delegated to a :mod:`repro.core.backends` solver backend
+(``backend="dense"/"sparse"/"stack"/"auto"``).
 """
 
 from repro.swec.conductance import SwecLinearization

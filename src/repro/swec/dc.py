@@ -20,9 +20,9 @@ import numpy as np
 
 from repro.analysis.dcsweep import DCSweepResult
 from repro.circuit.netlist import Circuit
+from repro.core.backends import available_backends, create_backend
 from repro.errors import AnalysisError, ConvergenceError
 from repro.mna.assembler import MnaSystem
-from repro.mna.linsolve import LinearSolver
 from repro.swec.conductance import SwecLinearization
 
 
@@ -40,6 +40,10 @@ class SwecDCOptions:
         a quasi-static ramp and perform exactly ``stepwise_solves`` linear
         solves per value, with the chord conductances carried over from
         the previous point.  One solve per point — the Table I costing.
+
+    ``backend`` names the :mod:`repro.core.backends` solver used for
+    every chord solve — ``"dense"`` (default), ``"sparse"`` for
+    grid-scale circuits, or ``"auto"`` to select by size.
     """
 
     max_iterations: int = 100
@@ -48,6 +52,7 @@ class SwecDCOptions:
     min_damping: float = 0.05
     mode: str = "fixed_point"
     stepwise_solves: int = 1
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -60,10 +65,20 @@ class SwecDCOptions:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.stepwise_solves < 1:
             raise ValueError("stepwise_solves must be >= 1")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(available: {', '.join(available_backends())})")
 
 
 class SwecDC:
-    """Chord-conductance DC solver with source continuation."""
+    """Chord-conductance DC solver with source continuation.
+
+    Every iteration stamps the chord conductances and solves
+    ``G(x_k) x_{k+1} = b`` through the :mod:`repro.core.backends`
+    solver named by :attr:`SwecDCOptions.backend` — the same registry
+    the transient engines resolve against.
+    """
 
     def __init__(self, circuit: Circuit,
                  options: SwecDCOptions | None = None) -> None:
@@ -72,7 +87,23 @@ class SwecDC:
         self.system = MnaSystem(circuit)
         self.linearization = SwecLinearization(self.system,
                                                use_predictor=False)
-        self._g_base = self.system.conductance_base()
+        self._backend = create_backend(
+            self.options.backend, [self.system], default="dense")
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the resolved solver backend."""
+        return self._backend.name
+
+    def _chord_solve(self, b: np.ndarray, x: np.ndarray,
+                     result: DCSweepResult) -> np.ndarray:
+        """Stamp ``G(x)`` and solve ``G x_new = b`` via the backend."""
+        device_g = self.linearization.device_conductances(
+            x, flops=result.flops)
+        mosfet_g = self.linearization.mosfet_conductances(
+            x, flops=result.flops)
+        self._backend.stamp(device_g[None, :], mosfet_g[None, :])
+        return self._backend.solve_conductance(b[None, :])[0]
 
     # ------------------------------------------------------------------
 
@@ -114,14 +145,11 @@ class SwecDC:
                     result: DCSweepResult) -> tuple[np.ndarray, int, bool]:
         """Damped chord fixed point for one source value."""
         opts = self.options
-        solver = LinearSolver(result.flops)
+        self._backend.begin_run(result.flops)
         damping = opts.initial_damping
         prev_delta = np.inf
         for iteration in range(1, opts.max_iterations + 1):
-            g = self.linearization.conductance_matrix(
-                self._g_base, x, flops=result.flops)
-            solver.factor(g)
-            x_new = solver.solve(b)
+            x_new = self._chord_solve(b, x, result)
             delta = float(np.max(np.abs(x_new - x)))
             if delta < opts.tolerance:
                 return x_new, iteration, True
@@ -134,13 +162,10 @@ class SwecDC:
     def solve_point_stepwise(self, b: np.ndarray, x: np.ndarray,
                              result: DCSweepResult):
         """Fixed number of chord solves (quasi-static ramp step)."""
-        solver = LinearSolver(result.flops)
+        self._backend.begin_run(result.flops)
         solves = self.options.stepwise_solves
         for _ in range(solves):
-            g = self.linearization.conductance_matrix(
-                self._g_base, x, flops=result.flops)
-            solver.factor(g)
-            x = solver.solve(b)
+            x = self._chord_solve(b, x, result)
         return x, solves, True
 
     def sweep(self, source_name: str, values) -> DCSweepResult:

@@ -13,6 +13,13 @@ move.  Because every chord is non-negative, the matrix stays an M-matrix-
 like diffusive operator and the march cannot oscillate the way
 Newton-Raphson does on NDR devices.
 
+:class:`SwecTransient` is the K = 1 slice of the unified
+:class:`~repro.core.stepper.LinearStepper` march — the same loop that
+drives :class:`~repro.swec.ensemble.SwecEnsembleTransient` — with the
+solver chosen through the :mod:`repro.core.backends` registry
+(``dense`` by default; ``sparse``, ``stack`` or ``auto`` via
+:attr:`SwecOptions.backend`).
+
 A small safety net beyond the paper: an optional per-step voltage-change
 limit rejects a step and halves ``h`` when the solution jumps more than
 ``dv_limit`` — this matters only for the stiff latch circuits and is
@@ -25,12 +32,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.waveforms import TransientResult
+from repro.analysis.waveforms import EnsembleTransientResult, TransientResult
 from repro.circuit.netlist import Circuit
+from repro.core.backends import available_backends
+from repro.core.stepper import LinearStepper
 from repro.errors import AnalysisError
-from repro.mna.assembler import MnaSystem
-from repro.mna.linsolve import CachedFactorization, LinearSolver
-from repro.swec.conductance import SwecLinearization
 from repro.swec.timestep import AdaptiveStepController, StepControlOptions
 
 
@@ -64,14 +70,24 @@ class SwecOptions:
     factor_rtol:
         Factorization-reuse knob.  ``None`` (default) refactorizes the
         system matrix at every solve, the pure paper behaviour.  A float
-        enables the reuse cache: when the stamped ``G + C/h`` is
-        unchanged within this relative tolerance since the last
-        factorization (common in slowly-varying regions and linear
-        circuits at a settled step size), the cached LU is reused and
-        only a back-substitution is paid.  ``0.0`` reuses only on
-        bitwise-identical matrices; small values like ``1e-9`` trade a
-        bounded matrix perturbation for fewer factorizations.  Skipped
-        factorizations are reported in ``TransientResult.factor_reuses``.
+        enables the reuse cache on the ``dense`` and ``sparse``
+        backends: when the stamped ``G + C/h`` is unchanged within this
+        relative tolerance since the last factorization (common in
+        slowly-varying regions and linear circuits at a settled step
+        size), the cached LU is reused and only a back-substitution is
+        paid.  ``0.0`` reuses only on bitwise-identical matrices; small
+        values like ``1e-9`` trade a bounded matrix perturbation for
+        fewer factorizations.  Skipped factorizations are reported in
+        ``TransientResult.factor_reuses``.  The ``stack`` backend
+        refactors unconditionally (batched LAPACK fuses factor+solve).
+    backend:
+        Solver backend name from the :mod:`repro.core.backends`
+        registry — ``"dense"``, ``"sparse"``, ``"stack"`` or
+        ``"auto"`` (select by system size and fill ratio).  ``None``
+        keeps each engine's historical default: ``dense`` for
+        :class:`SwecTransient`, ``stack`` for
+        :class:`~repro.swec.ensemble.SwecEnsembleTransient` — unless
+        the legacy ``matrix_format="sparse"`` alias forces ``sparse``.
     """
 
     step: StepControlOptions = field(default_factory=StepControlOptions)
@@ -84,9 +100,11 @@ class SwecOptions:
     #: Integration formula: ``"be"`` (backward Euler, the paper's choice)
     #: or ``"trap"`` (trapezoidal; second-order, used by the ablation).
     method: str = "be"
-    #: ``"dense"`` LAPACK solves, or ``"sparse"`` SuperLU for the grid-
-    #: scale workloads.
+    #: Legacy alias kept for compatibility: ``"sparse"`` forces the
+    #: sparse backend.  Prefer the ``backend`` knob.
     matrix_format: str = "dense"
+    #: Solver backend registry name (or None for the engine default).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("be", "trap"):
@@ -97,257 +115,105 @@ class SwecOptions:
         if self.factor_rtol is not None and self.factor_rtol < 0.0:
             raise ValueError(
                 f"factor_rtol must be non-negative, got {self.factor_rtol!r}")
+        if self.backend is not None and \
+                self.backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(available: {', '.join(available_backends())})")
+
+    def resolved_backend(self) -> str | None:
+        """Backend name to instantiate, or None for the engine default.
+
+        The explicit ``backend`` knob wins; the legacy
+        ``matrix_format="sparse"`` alias maps to ``"sparse"``.
+        """
+        if self.backend is not None:
+            return self.backend
+        if self.matrix_format == "sparse":
+            return "sparse"
+        return None
 
 
 class SwecTransient:
-    """Step-wise equivalent conductance transient simulator."""
+    """Step-wise equivalent conductance transient simulator.
+
+    The K = 1 slice of the unified lockstep march: construction builds
+    a single-instance :class:`~repro.core.stepper.LinearStepper` on the
+    resolved solver backend (``dense`` unless
+    ``options.backend``/``matrix_format`` say otherwise), and
+    :meth:`run`/:meth:`run_grid` adapt its ensemble result back to a
+    scalar :class:`~repro.analysis.waveforms.TransientResult`.
+    """
 
     def __init__(self, circuit: Circuit,
                  options: SwecOptions | None = None) -> None:
         self.circuit = circuit
         self.options = options or SwecOptions()
-        self.system = MnaSystem(circuit)
-        self.linearization = SwecLinearization(
-            self.system, use_predictor=self.options.use_predictor)
-        self.controller = AdaptiveStepController(self.system,
-                                                 self.options.step)
-        self._g_base = self.system.conductance_base()
-        self._c_matrix = self.system.capacitance_matrix()
+        trace = (0,) if self.options.trace_conductance else ()
+        self._stepper = LinearStepper(
+            [circuit], self.options, trace_instances=trace,
+            default_backend="dense")
+        self.system = self._stepper.system
+        self.linearization = self._stepper.linearization
+        self.controller: AdaptiveStepController = self._stepper.controller
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the resolved solver backend."""
+        return self._stepper.backend_name
 
     # ------------------------------------------------------------------
 
-    def _dc_initialize(self, x: np.ndarray, result: TransientResult,
-                       t: float = 0.0, max_iter: int = 200,
-                       tol: float = 1e-9) -> np.ndarray:
-        """Chord-conductance fixed point at time *t* (DC operating point)."""
-        solver = LinearSolver(result.flops)
-        b = self.system.source_vector(t)
-        damping = 1.0
-        prev_delta = np.inf
-        for _ in range(max_iter):
-            g = self.linearization.conductance_matrix(
-                self._g_base, x, flops=result.flops)
-            solver.factor(g)
-            x_new = solver.solve(b)
-            delta = float(np.max(np.abs(x_new - x))) if x.size else 0.0
-            if delta > prev_delta and damping > 0.1:
-                damping *= 0.5
-            prev_delta = delta
-            x = x + damping * (x_new - x)
-            if delta < tol:
-                break
-        return x
+    def _scalar_result(self,
+                       ensemble: EnsembleTransientResult) -> TransientResult:
+        """Collapse the K = 1 ensemble result to a scalar one."""
+        result = TransientResult(self.system.circuit.nodes, engine="swec")
+        for t, row in zip(ensemble.times, ensemble.states[0]):
+            result.append(float(t), row)
+        result.flops = ensemble.flops
+        result.accepted_steps = ensemble.accepted_steps
+        result.rejected_steps = ensemble.rejected_steps
+        result.aborted = ensemble.aborted
+        result.abort_reason = ensemble.abort_reason
+        result.factor_reuses = ensemble.factor_reuses
+        if self.options.trace_conductance:
+            result.conductance_trace = [  # type: ignore[attr-defined]
+                (t, g.copy())
+                for t, g in ensemble.conductance_trace.get(0, [])]
+        return result
+
+    @staticmethod
+    def _initial_states(initial_state) -> np.ndarray | None:
+        if initial_state is None:
+            return None
+        states = np.asarray(initial_state, dtype=float)
+        if states.ndim != 1:
+            raise AnalysisError(
+                f"initial state must be a 1-D vector, got shape "
+                f"{states.shape}")
+        return states
 
     # ------------------------------------------------------------------
 
     def run(self, t_stop: float,
             initial_state: np.ndarray | None = None) -> TransientResult:
         """Simulate from ``t = 0`` to *t_stop*; returns the waveforms."""
-        if t_stop <= 0.0:
-            raise AnalysisError(f"t_stop must be positive, got {t_stop!r}")
-        opts = self.options
-        system = self.system
-        result = TransientResult(system.circuit.nodes, engine="swec")
-        if opts.trace_conductance:
-            result.conductance_trace = []  # type: ignore[attr-defined]
-
-        x = (system.initial_state() if initial_state is None
-             else np.array(initial_state, dtype=float, copy=True))
-        if x.shape != (system.size,):
-            raise AnalysisError(
-                f"initial state must have shape ({system.size},), "
-                f"got {x.shape}")
-        if opts.initialize_dc and initial_state is None:
-            x = self._dc_initialize(x, result)
-
-        use_sparse = opts.matrix_format == "sparse"
-        if use_sparse:
-            from repro.mna.sparse import SparseOperators, SparseSolver
-            operators = SparseOperators(system)
-            solver = SparseSolver(result.flops)
-            c = operators.c_matrix
-        else:
-            operators = None
-            solver = LinearSolver(result.flops)
-            c = self._c_matrix
-            # Pre-allocated per-step buffers: the stamped G, the system
-            # matrix A, the C/h scale, the RHS and two dot scratches.
-            g_buf = np.empty_like(self._g_base)
-            a_buf = np.empty_like(self._g_base)
-            ch_buf = np.empty_like(self._g_base)
-            rhs_buf = np.empty(system.size)
-            b_buf = np.empty(system.size)
-            tmp_buf = np.empty(system.size)
-        if opts.factor_rtol is not None:
-            solver = CachedFactorization(solver, opts.factor_rtol)
-        trapezoidal = opts.method == "trap"
-
-        t = 0.0
-        result.append(t, x)
-        h = self.controller.initial_step(t_stop)
-        h_prev: float | None = None
-        prev_x: np.ndarray | None = None
-
-        while t < t_stop * (1.0 - 1e-12):
-            if len(result) >= opts.max_points:
-                result.aborted = True
-                result.abort_reason = (
-                    f"max_points={opts.max_points} reached at t={t:.4g}")
-                break
-
-            # Equivalent conductances at t_n (with Taylor prediction).
-            device_g = self.linearization.device_conductances(
-                x, prev_x, h_prev, h, flops=result.flops)
-            mosfet_g = self.linearization.mosfet_conductances(
-                x, flops=result.flops)
-            if use_sparse:
-                g_data = operators.conductance_data(device_g, mosfet_g)
-                g = operators.matrix_from_data(g_data)
-            else:
-                np.copyto(g_buf, self._g_base)
-                self.linearization.stamp(g_buf, device_g, mosfet_g)
-                g = g_buf
-
-            # Adaptive step from the freshly stamped G (eq. 12).
-            h = self.controller.next_step(t, h if h_prev is None else h_prev,
-                                          g, t_stop)
-
-            accepted = False
-            while not accepted:
-                if use_sparse:
-                    a = operators.system_matrix_from_data(g_data, h,
-                                                          trapezoidal)
-                    if trapezoidal:
-                        rhs = (0.5 * (self.system.source_vector(t)
-                                      + self.system.source_vector(t + h))
-                               + (c @ x) / h - 0.5 * (g @ x))
-                    else:
-                        rhs = self.system.source_vector(t + h) + (c @ x) / h
-                else:
-                    np.multiply(c, 1.0 / h, out=ch_buf)
-                    np.dot(c, x, out=tmp_buf)
-                    tmp_buf /= h
-                    if trapezoidal:
-                        np.multiply(g, 0.5, out=a_buf)
-                        a_buf += ch_buf
-                        rhs = self.system.source_vector(t, out=rhs_buf)
-                        rhs += self.system.source_vector(t + h, out=b_buf)
-                        rhs *= 0.5
-                        rhs += tmp_buf
-                        np.dot(g, x, out=tmp_buf)
-                        tmp_buf *= 0.5
-                        rhs -= tmp_buf
-                    else:
-                        np.add(g, ch_buf, out=a_buf)
-                        rhs = self.system.source_vector(t + h, out=rhs_buf)
-                        rhs += tmp_buf
-                    a = a_buf
-                solver.factor(a)
-                x_new = solver.solve(rhs)
-                if opts.dv_limit is not None:
-                    dv = float(np.max(np.abs(
-                        x_new[:system.num_nodes] - x[:system.num_nodes])))
-                    if dv > opts.dv_limit and h > opts.step.h_min * 1.001:
-                        result.rejected_steps += 1
-                        h = max(h * 0.5, opts.step.h_min)
-                        continue
-                accepted = True
-
-            prev_x, h_prev = x, h
-            x = x_new
-            t += h
-            result.append(t, x)
-            result.accepted_steps += 1
-            if opts.trace_conductance:
-                # Reuse the chords already computed (and flop-counted)
-                # for this step instead of re-evaluating every device.
-                result.conductance_trace.append(  # type: ignore[attr-defined]
-                    (t, device_g.copy()))
-
-        if isinstance(solver, CachedFactorization):
-            result.factor_reuses = solver.reuses
-        return result
-
-    # ------------------------------------------------------------------
+        return self._scalar_result(self._stepper.run(
+            t_stop, initial_states=self._initial_states(initial_state)))
 
     def run_grid(self, times,
                  initial_state: np.ndarray | None = None) -> TransientResult:
-        """March the backward-Euler update on an explicit time grid.
+        """March the implicit update on an explicit time grid.
 
         No adaptive control: the step sizes are exactly
         ``h_n = times[n+1] - times[n]``.  This is the per-instance
         reference :class:`~repro.swec.ensemble.SwecEnsembleTransient`
         is validated against, and the fixed-grid mode behind
-        bit-reproducible stochastic ensembles.  Dense backward Euler
-        only (``method="trap"`` and ``matrix_format="sparse"`` are the
-        adaptive engine's territory).
+        bit-reproducible stochastic ensembles.  Any solver backend
+        applies.
         """
-        opts = self.options
-        if opts.method != "be" or opts.matrix_format != "dense":
-            raise AnalysisError(
-                "run_grid supports the dense backward-Euler path only")
-        times = np.asarray(times, dtype=float)
-        if times.ndim != 1 or times.size < 2:
-            raise AnalysisError(
-                f"need a 1-D grid with >= 2 points, got shape {times.shape}")
-        if np.any(np.diff(times) <= 0.0):
-            raise AnalysisError("grid times must be strictly increasing")
-        system = self.system
-        result = TransientResult(system.circuit.nodes, engine="swec")
-        if opts.trace_conductance:
-            result.conductance_trace = []  # type: ignore[attr-defined]
-
-        x = (system.initial_state() if initial_state is None
-             else np.array(initial_state, dtype=float, copy=True))
-        if x.shape != (system.size,):
-            raise AnalysisError(
-                f"initial state must have shape ({system.size},), "
-                f"got {x.shape}")
-        if opts.initialize_dc and initial_state is None:
-            x = self._dc_initialize(x, result, t=float(times[0]))
-
-        solver = LinearSolver(result.flops)
-        if opts.factor_rtol is not None:
-            solver = CachedFactorization(solver, opts.factor_rtol)
-        c = self._c_matrix
-        g_buf = np.empty_like(self._g_base)
-        a_buf = np.empty_like(self._g_base)
-        ch_buf = np.empty_like(self._g_base)
-        rhs_buf = np.empty(system.size)
-        tmp_buf = np.empty(system.size)
-
-        result.append(times[0], x)
-        h_prev: float | None = None
-        prev_x: np.ndarray | None = None
-        for k in range(times.size - 1):
-            t_next = float(times[k + 1])
-            h = t_next - float(times[k])
-            device_g = self.linearization.device_conductances(
-                x, prev_x, h_prev, h, flops=result.flops)
-            mosfet_g = self.linearization.mosfet_conductances(
-                x, flops=result.flops)
-            np.copyto(g_buf, self._g_base)
-            self.linearization.stamp(g_buf, device_g, mosfet_g)
-
-            np.multiply(c, 1.0 / h, out=ch_buf)
-            np.dot(c, x, out=tmp_buf)
-            tmp_buf /= h
-            np.add(g_buf, ch_buf, out=a_buf)
-            rhs = self.system.source_vector(t_next, out=rhs_buf)
-            rhs += tmp_buf
-            solver.factor(a_buf)
-            x_new = solver.solve(rhs)
-
-            prev_x, h_prev = x, h
-            x = x_new
-            result.append(t_next, x)
-            result.accepted_steps += 1
-            if opts.trace_conductance:
-                result.conductance_trace.append(  # type: ignore[attr-defined]
-                    (float(times[k + 1]), device_g.copy()))
-        if isinstance(solver, CachedFactorization):
-            result.factor_reuses = solver.reuses
-        return result
+        return self._scalar_result(self._stepper.run_grid(
+            times, initial_states=self._initial_states(initial_state)))
 
     # ------------------------------------------------------------------
 

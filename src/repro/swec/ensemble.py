@@ -3,34 +3,33 @@
 SWEC replaces Newton iteration with exactly one linear solve per time
 point, so every instance of a shared-topology circuit follows the *same*
 computational recipe — ideal for lockstep batching.
-:class:`SwecEnsembleTransient` exploits that: K instances of one
+:class:`SwecEnsembleTransient` is the batched face of the unified
+:class:`~repro.core.stepper.LinearStepper` march: K instances of one
 topology (differing in device parameters, source waveforms, element
 values, initial states and/or noise realizations) march together on a
-shared time grid.  Per step it
+shared time grid, with every factor/solve delegated to a
+:mod:`repro.core.backends` solver backend:
 
-1. evaluates the chord conductances of all K states at once through
-   the vectorized device laws (grouping instances that share a device
-   parameter record, so the common all-instances-alike case is one
-   ``current_many`` call per device slot),
-2. scatters them into a preallocated ``(K, n, n)`` matrix stack with
-   the precomputed index arrays of
-   :class:`~repro.mna.batch.ConductanceStamper`, and
-3. hands the stack to one batched ``np.linalg.solve``
-   (:func:`~repro.mna.batch.solve_stack`, chunked exactly like the AC
-   sweeps so memory stays bounded)
-
-instead of paying the Python interpreter, the per-device loops and K
-separate LAPACK calls per step.
+``stack`` (the default)
+    One chunked batched ``np.linalg.solve`` per time point over the
+    scatter-stamped ``(K, n, n)`` stack — the lockstep hot path.
+``sparse``
+    SuperLU on the cached CSR pattern, one O(nnz) factor per instance
+    — grid-scale ensembles that would not fit (or crawl) as dense
+    stacks.
+``dense``
+    One scipy LU per instance — the serial reference the stack path
+    is benchmarked against.
 
 Two marching modes:
 
-adaptive (:meth:`SwecEnsembleTransient.run`)
+adaptive (:meth:`LinearStepper.run`)
     The paper's eq.-10/12 step control, taken worst-case over the
     ensemble: shared waveforms are evaluated once for the slope bound
     and the node-RC bound is the minimum over all instances.  With
-    K = 1 this reproduces :class:`~repro.swec.engine.SwecTransient`'s
-    grid and states.
-fixed grid (:meth:`SwecEnsembleTransient.run_grid`)
+    K = 1 this *is* :class:`~repro.swec.engine.SwecTransient`'s march
+    (the scalar engine is the same stepper).
+fixed grid (:meth:`LinearStepper.run_grid`)
     An explicit shared grid — the mode behind bit-reproducible
     stochastic ensembles.  White-noise current injections (the paper's
     eq. 13 ``B dW`` term) enter the backward-Euler right-hand side as
@@ -40,776 +39,37 @@ fixed grid (:meth:`SwecEnsembleTransient.run_grid`)
     seeded Generator, so results are bit-identical for any solve chunk
     size, worker count or ensemble split.
 
-Memory scales as a handful of ``(K, n, n)`` float stacks (base G,
-stamped G, system matrix A, C) — about ``32 * K * n**2`` bytes — plus
-the ``(K, T, n)`` result; conductance tracing is therefore opt-in *per
-instance* (``trace_instances``), bounding the trace at
+Memory on the ``stack``/``dense`` backends scales as a handful of
+``(K, n, n)`` float stacks — about ``48 * K * n**2`` bytes — plus the
+``(K, T, n)`` result; the ``sparse`` backend replaces the matrix
+stacks with ``(K, nnz)`` data arrays.  Conductance tracing is opt-in
+*per instance* (``trace_instances``), bounding the trace at
 ``8 * T * len(trace_instances) * n_devices`` bytes instead of a full
 ``device_g`` copy per instance per step.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Mapping, Sequence
-
-import numpy as np
-
-from repro.analysis.waveforms import TransientResult
-from repro.circuit.netlist import Circuit
-from repro.errors import AnalysisError, SingularMatrixError
-from repro.mna.assembler import MnaSystem
-from repro.mna.batch import solve_stack
-from repro.perf.flops import FlopCounter
-from repro.swec.conductance import SwecLinearization
-from repro.swec.engine import SwecOptions
-from repro.swec.timestep import AdaptiveStepController
+from repro.analysis.waveforms import EnsembleTransientResult
+from repro.core.stepper import LinearStepper
 
 __all__ = ["EnsembleTransientResult", "SwecEnsembleTransient"]
 
 
-class EnsembleTransientResult:
-    """Time-domain result of a lockstep ensemble march.
-
-    Stores the shared accepted time grid and the ``(K, n)`` state
-    stack per point.  Per-instance access mirrors
-    :class:`~repro.analysis.waveforms.TransientResult`:
-    :meth:`voltage` returns a ``(K, T)`` waveform block and
-    :meth:`instance` materializes one instance as a plain
-    ``TransientResult`` (with an *empty* flop counter — the
-    ensemble-level :attr:`flops` counts the whole batch and does not
-    split into integer per-instance shares).
-    """
-
-    def __init__(self, node_names, n_instances: int,
-                 engine: str = "swec-ensemble") -> None:
-        self.node_names = tuple(node_names)
-        self.n_instances = int(n_instances)
-        self.engine = engine
-        self._times: list[float] = []
-        self._states: list[np.ndarray] = []
-        self.flops = FlopCounter()
-        self.accepted_steps = 0
-        self.rejected_steps = 0
-        self.aborted = False
-        self.abort_reason: str | None = None
-        #: instance index -> ``[(t, device_g_row), ...]`` for the
-        #: instances named in ``trace_instances``.
-        self.conductance_trace: dict[int, list] = {}
-
-    # ------------------------------------------------------------------
-
-    def append(self, t: float, states: np.ndarray) -> None:
-        """Record an accepted time point for all instances at once."""
-        if self._times and t <= self._times[-1]:
-            raise AnalysisError(
-                f"non-monotonic time points: {t} after {self._times[-1]}")
-        self._times.append(float(t))
-        self._states.append(np.array(states, dtype=float, copy=True))
-
-    # ------------------------------------------------------------------
-
-    @property
-    def times(self) -> np.ndarray:
-        """Shared accepted time points."""
-        return np.array(self._times)
-
-    @property
-    def states(self) -> np.ndarray:
-        """``(K, T, n)`` state stack over the shared grid."""
-        if not self._states:
-            return np.zeros((self.n_instances, 0, len(self.node_names)))
-        return np.stack(self._states, axis=1)
-
-    def __len__(self) -> int:
-        return len(self._times)
-
-    @property
-    def t_final(self) -> float:
-        """Last accepted time."""
-        if not self._times:
-            raise AnalysisError("empty ensemble result")
-        return self._times[-1]
-
-    def _node_column(self, node: str) -> int:
-        try:
-            return self.node_names.index(node)
-        except ValueError:
-            raise AnalysisError(
-                f"node {node!r} not in result (have {self.node_names})"
-            ) from None
-
-    def voltage(self, node: str) -> np.ndarray:
-        """``(K, T)`` voltage waveforms of *node*, one row per instance."""
-        column = self._node_column(node)
-        return self.states[:, :, column]
-
-    def final_voltages(self) -> dict[str, np.ndarray]:
-        """Node name -> ``(K,)`` voltages at the last accepted point."""
-        if not self._states:
-            raise AnalysisError("empty ensemble result")
-        last = self._states[-1]
-        return {name: last[:, k].copy()
-                for k, name in enumerate(self.node_names)}
-
-    def instance(self, k: int) -> TransientResult:
-        """Materialize instance *k* as a scalar ``TransientResult``."""
-        if not 0 <= k < self.n_instances:
-            raise AnalysisError(
-                f"instance index {k} out of range [0, {self.n_instances})")
-        result = TransientResult(self.node_names, engine=self.engine)
-        for t, row in zip(self._times, self._states):
-            result.append(t, row[k])
-        result.accepted_steps = self.accepted_steps
-        result.rejected_steps = self.rejected_steps
-        result.aborted = self.aborted
-        result.abort_reason = self.abort_reason
-        if k in self.conductance_trace:
-            result.conductance_trace = [  # type: ignore[attr-defined]
-                (t, g.copy()) for t, g in self.conductance_trace[k]]
-        return result
-
-    def summary(self) -> str:
-        """One-paragraph diagnostic summary."""
-        lines = [
-            f"engine={self.engine} instances={self.n_instances} "
-            f"points={len(self)} "
-            f"t_final={self._times[-1] if self._times else 0.0:.4g}",
-            f"steps: accepted={self.accepted_steps} "
-            f"rejected={self.rejected_steps}",
-        ]
-        if self.aborted:
-            lines.append(f"ABORTED: {self.abort_reason}")
-        lines.append(f"flops={self.flops.total:,}")
-        return "\n".join(lines)
-
-    def __repr__(self) -> str:
-        return (f"EnsembleTransientResult(instances={self.n_instances}, "
-                f"points={len(self)}, nodes={len(self.node_names)})")
-
-
-def _waveform_key(waveform):
-    """Structural deduplication key for waveform evaluations.
-
-    Instances built by independent builder calls carry distinct but
-    value-identical waveform objects (K ``fet_rtd_inverter()`` calls
-    make K equal ``Pulse``\\ s); keying on ``(type, attribute state)``
-    lets them share one evaluation per time point.  Waveforms with
-    unhashable state fall back to object identity — never wrong, just
-    unshared.
-    """
-    try:
-        state = tuple(sorted(vars(waveform).items()))
-        hash(state)
-    except TypeError:
-        return ("id", id(waveform))
-    return (type(waveform), state)
-
-
-class _EnsembleStepController(AdaptiveStepController):
-    """Worst-case eq.-10/12 step control over an instance ensemble.
-
-    Value-identical waveforms are deduplicated so the slope and
-    breakpoint bounds pay one evaluation per *distinct* source, and
-    the node-RC bound is vectorized over the ``(K, n, n)``
-    conductance stack.
-    """
-
-    def __init__(self, systems: Sequence[MnaSystem],
-                 circuits: Sequence[Circuit], options) -> None:
-        super().__init__(systems[0], options)
-        seen: set = set()
-        sources = []
-        for circuit in circuits:
-            for source in (list(circuit.voltage_sources)
-                           + list(circuit.current_sources)):
-                key = _waveform_key(source.waveform)
-                if key in seen:
-                    continue
-                seen.add(key)
-                sources.append(source)
-        self._sources = sources
-        self._breakpoints = self._collect_breakpoints()
-        caps: dict[int, np.ndarray] = {}
-        rows = []
-        for system in systems:
-            if id(system) not in caps:
-                caps[id(system)] = np.diag(
-                    system.capacitance_matrix())[:system.num_nodes].copy()
-            rows.append(caps[id(system)])
-        self._node_capacitance_stack = np.stack(rows)
-
-    def node_rc_bound(self, conductance_stack) -> float:
-        """``min_{k,j} eps C_j^k / G_jj^k`` over the whole ensemble."""
-        eps = self.options.epsilon
-        nn = self.system.num_nodes
-        diag = np.diagonal(conductance_stack, axis1=-2, axis2=-1)[:, :nn]
-        c = self._node_capacitance_stack
-        mask = (c > 0.0) & (diag > 0.0)
-        if not mask.any():
-            return math.inf
-        return float(np.min(eps * c[mask] / diag[mask]))
-
-
-def _check_same_topology(reference: Circuit, circuit: Circuit,
-                         index: int) -> None:
-    """Raise unless *circuit* shares *reference*'s exact topology."""
-    if circuit.nodes != reference.nodes:
-        raise AnalysisError(
-            f"ensemble instance {index} has different nodes "
-            f"{circuit.nodes} vs {reference.nodes}")
-    for category in ("resistors", "capacitors", "inductors",
-                     "voltage_sources", "current_sources", "devices",
-                     "mosfets"):
-        ours = getattr(circuit, category)
-        theirs = getattr(reference, category)
-        if len(ours) != len(theirs):
-            raise AnalysisError(
-                f"ensemble instance {index} has {len(ours)} {category}, "
-                f"instance 0 has {len(theirs)}")
-        for a, b in zip(ours, theirs):
-            if a.name != b.name or a.nodes != b.nodes:
-                raise AnalysisError(
-                    f"ensemble instance {index}: {category[:-1]} "
-                    f"{a.name!r} on {a.nodes} does not match instance "
-                    f"0's {b.name!r} on {b.nodes}")
-
-
-class _SourceBank:
-    """Vectorized ``b(t)`` assembly across instances.
-
-    Per source slot, instances whose waveforms are value-identical
-    (:func:`_waveform_key`) are grouped so each distinct waveform is
-    evaluated once per time point.
-    """
-
-    def __init__(self, circuits: Sequence[Circuit],
-                 system: MnaSystem) -> None:
-        self.n_instances = len(circuits)
-        self.size = system.size
-        self._vsrc: list[tuple[int, list]] = []
-        for slot, source in enumerate(circuits[0].voltage_sources):
-            row = system.vsource_index(source.name)
-            waveforms = [c.voltage_sources[slot].waveform for c in circuits]
-            self._vsrc.append((row, self._group(waveforms)))
-        self._isrc: list[tuple[int, int, list]] = []
-        for slot, source in enumerate(circuits[0].current_sources):
-            p = system.node_index(source.nodes[0])
-            q = system.node_index(source.nodes[1])
-            waveforms = [c.current_sources[slot].waveform for c in circuits]
-            self._isrc.append((p, q, self._group(waveforms)))
-
-    @staticmethod
-    def _group(waveforms) -> list:
-        groups: dict = {}
-        order: list = []
-        for k, waveform in enumerate(waveforms):
-            key = _waveform_key(waveform)
-            if key not in groups:
-                groups[key] = (waveform, [])
-                order.append(key)
-            groups[key][1].append(k)
-        return [(groups[key][0],
-                 np.asarray(groups[key][1], dtype=np.intp))
-                for key in order]
-
-    def assemble(self, t: float, out: np.ndarray) -> np.ndarray:
-        """Fill *out* (a ``(K, n)`` buffer) with ``b(t)`` per instance."""
-        out.fill(0.0)
-        for row, groups in self._vsrc:
-            if len(groups) == 1:
-                out[:, row] = groups[0][0].value(t)
-            else:
-                for waveform, idx in groups:
-                    out[idx, row] = waveform.value(t)
-        for p, q, groups in self._isrc:
-            for waveform, idx in groups:
-                value = waveform.value(t)
-                if p >= 0:
-                    out[idx, p] -= value
-                if q >= 0:
-                    out[idx, q] += value
-        return out
-
-
-class _DeviceSlot:
-    """Chord evaluation for one two-terminal device slot across K
-    instances, grouped by the models' ``batch_key`` so equal-parameter
-    models share one vectorized call."""
-
-    def __init__(self, elements) -> None:
-        n = len(elements)
-        self.multiplicity = np.array([e.multiplicity for e in elements])
-        groups: dict = {}
-        order = []
-        for k, element in enumerate(elements):
-            key = element.model.batch_key()
-            if key not in groups:
-                groups[key] = (element.model, [])
-                order.append(key)
-            groups[key][1].append(k)
-        self.groups = [
-            (groups[key][0], np.asarray(groups[key][1], dtype=np.intp))
-            for key in order]
-        self.single = len(self.groups) == 1 and \
-            self.groups[0][1].size == n
-
-    def chord(self, voltages: np.ndarray) -> np.ndarray:
-        """``(K,)`` chord conductances (multiplicity applied)."""
-        if self.single:
-            model = self.groups[0][0]
-            return self.multiplicity * model.chord_conductance_many(voltages)
-        out = np.empty_like(voltages)
-        for model, idx in self.groups:
-            out[idx] = self.multiplicity[idx] * \
-                model.chord_conductance_many(voltages[idx])
-        return out
-
-    def chord_derivative(self, voltages: np.ndarray) -> np.ndarray:
-        """``(K,)`` chord derivatives for the eq.-5 predictor."""
-        if self.single:
-            model = self.groups[0][0]
-            return self.multiplicity * \
-                model.chord_conductance_derivative_many(voltages)
-        out = np.empty_like(voltages)
-        for model, idx in self.groups:
-            out[idx] = self.multiplicity[idx] * \
-                model.chord_conductance_derivative_many(voltages[idx])
-        return out
-
-
-class SwecEnsembleTransient:
+class SwecEnsembleTransient(LinearStepper):
     """Lockstep SWEC transient over K same-topology circuit instances.
 
-    Parameters
-    ----------
-    circuits:
-        A sequence of K :class:`~repro.circuit.Circuit` objects sharing
-        one topology (same nodes and element names/connections; values,
-        waveforms and device parameters are free), or a single circuit
-        with ``n_instances=K`` for noise-/initial-state-only ensembles.
-    options:
-        :class:`~repro.swec.engine.SwecOptions`; only the dense
-        backward-Euler path is batched (``method="trap"`` and
-        ``matrix_format="sparse"`` raise).
-    n_instances:
-        Instance count when *circuits* is a single circuit.
-    noise:
-        Optional ``(node, amplitude)`` white-noise current injections
-        (the paper's eq.-13 ``B dW`` term); amplitudes are scalars or
-        length-K arrays.  Noise requires the fixed-grid mode.
-    trace_instances:
-        Instance indices whose per-step device chord conductances are
-        recorded (requires ``options.trace_conductance``); tracing is
-        per-instance opt-in so the trace memory stays at
-        ``8 * T * len(trace_instances) * n_devices`` bytes.
-    chunk_entries:
-        Matrix entries per batched-solve chunk (default
-        :data:`repro.mna.batch.CHUNK_ENTRIES`); results are
-        bit-identical for any value.
+    A :class:`~repro.core.stepper.LinearStepper` whose default solver
+    backend is ``stack`` (chunked batched LAPACK); set
+    ``options.backend`` to ``"sparse"`` for grid-scale ensembles or
+    ``"auto"`` to select by size.  See the module docstring and
+    :class:`~repro.core.stepper.LinearStepper` for the parameters
+    (``circuits``, ``options``, ``n_instances``, ``noise``,
+    ``trace_instances``, ``chunk_entries``) and the
+    :meth:`~repro.core.stepper.LinearStepper.run` /
+    :meth:`~repro.core.stepper.LinearStepper.run_grid` marching modes.
     """
 
-    def __init__(self, circuits, options: SwecOptions | None = None, *,
-                 n_instances: int | None = None,
-                 noise: Sequence[tuple[str, object]] | Mapping | None = None,
-                 trace_instances: Sequence[int] = (),
-                 chunk_entries: int | None = None) -> None:
-        if isinstance(circuits, Circuit):
-            if n_instances is None or n_instances < 1:
-                raise AnalysisError(
-                    "a single-circuit ensemble needs n_instances >= 1")
-            circuits = [circuits] * int(n_instances)
-        else:
-            circuits = list(circuits)
-            if not circuits:
-                raise AnalysisError("ensemble needs at least one circuit")
-            if n_instances is not None and n_instances != len(circuits):
-                raise AnalysisError(
-                    f"n_instances={n_instances} does not match the "
-                    f"{len(circuits)} circuits given")
-        self.circuits = circuits
-        self.n_instances = len(circuits)
-        self.options = options or SwecOptions()
-        if self.options.method != "be":
-            raise AnalysisError(
-                "the ensemble engine batches the backward-Euler path only")
-        if self.options.matrix_format != "dense":
-            raise AnalysisError(
-                "the ensemble engine is dense-only; use SwecTransient "
-                "for the sparse path")
-        for index, circuit in enumerate(circuits[1:], start=1):
-            _check_same_topology(circuits[0], circuit, index)
-
-        systems: dict[int, MnaSystem] = {}
-        self.systems = []
-        for circuit in circuits:
-            if id(circuit) not in systems:
-                systems[id(circuit)] = MnaSystem(circuit)
-            self.systems.append(systems[id(circuit)])
-        self.system = self.systems[0]
-        self.size = self.system.size
-        self.linearization = SwecLinearization(
-            self.system, use_predictor=self.options.use_predictor)
-        self.controller = _EnsembleStepController(
-            self.systems, circuits, self.options.step)
-        self._chunk_entries = chunk_entries
-
-        K, n = self.n_instances, self.size
-        bases: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        self._g_base = np.empty((K, n, n))
-        self._c = np.empty((K, n, n))
-        for k, system in enumerate(self.systems):
-            if id(system) not in bases:
-                bases[id(system)] = (system.conductance_base(),
-                                     system.capacitance_matrix())
-            self._g_base[k], self._c[k] = bases[id(system)]
-
-        self._sources = _SourceBank(circuits, self.system)
-        self._device_slots = [
-            _DeviceSlot([c.devices[j] for c in circuits])
-            for j in range(len(circuits[0].devices))]
-        mosfets = circuits[0].mosfets
-        if mosfets:
-            models = [[c.mosfets[j].model for c in circuits]
-                      for j in range(len(mosfets))]
-            self._mosfet_params = {
-                name: np.array([[getattr(m, name) for m in row]
-                                for row in models]).T
-                for name in ("kp", "w", "l", "vth", "polarity",
-                             "channel_modulation")}
-        else:
-            self._mosfet_params = None
-
-        self._noise_matrix = self._build_noise(noise)
-        self.trace_instances = tuple(int(k) for k in trace_instances)
-        for k in self.trace_instances:
-            if not 0 <= k < K:
-                raise AnalysisError(
-                    f"trace instance {k} out of range [0, {K})")
-        if self.options.trace_conductance and not self.trace_instances:
-            raise AnalysisError(
-                "trace_conductance on an ensemble needs explicit "
-                "trace_instances=(...) — a full per-instance trace would "
-                "hold K * T * n_devices floats")
-        if self.trace_instances and not self.options.trace_conductance:
-            raise AnalysisError(
-                "trace_instances needs options.trace_conductance=True "
-                "(tracing is gated on the same flag as the scalar engine)")
-
-    # ------------------------------------------------------------------
-
-    def _build_noise(self, noise) -> np.ndarray | None:
-        if noise is None:
-            return None
-        if isinstance(noise, Mapping):
-            noise = list(noise.items())
-        noise = list(noise)
-        if not noise:
-            return None
-        K, n = self.n_instances, self.size
-        matrix = np.zeros((K, n, len(noise)))
-        for column, entry in enumerate(noise):
-            node, amplitude = entry[0], entry[1]
-            index = self.system.node_index(node)
-            if index < 0:
-                raise AnalysisError("cannot inject noise at ground")
-            amplitude = np.asarray(amplitude, dtype=float)
-            if amplitude.ndim == 0:
-                matrix[:, index, column] = float(amplitude)
-            elif amplitude.shape == (K,):
-                matrix[:, index, column] = amplitude
-            else:
-                raise AnalysisError(
-                    f"noise amplitude for {node!r} must be a scalar or "
-                    f"a length-{K} array, got shape {amplitude.shape}")
-        return matrix
-
-    @property
-    def num_noises(self) -> int:
-        """Number of independent white-noise injections."""
-        return 0 if self._noise_matrix is None else \
-            self._noise_matrix.shape[2]
-
-    # ------------------------------------------------------------------
-    # Chord conductances, all instances at once
-    # ------------------------------------------------------------------
-
-    def _device_conductances(self, states, prev_states, h_prev, h_next,
-                             flops: FlopCounter | None) -> np.ndarray:
-        """``(K, n_devices)`` chord conductances, Taylor-corrected."""
-        voltages = self.linearization.device_voltages(states)
-        K = self.n_instances
-        if not self._device_slots:
-            return voltages
-        conductances = np.empty_like(voltages)
-        predict = (self.options.use_predictor and prev_states is not None
-                   and h_prev and h_next)
-        if predict:
-            prev_voltages = self.linearization.device_voltages(prev_states)
-            dv_dt = (voltages - prev_voltages) / h_prev
-        for j, slot in enumerate(self._device_slots):
-            g = slot.chord(voltages[:, j])
-            if predict:
-                dg_dv = slot.chord_derivative(voltages[:, j])
-                g = g + 0.5 * h_next * dg_dv * dv_dt[:, j]
-            conductances[:, j] = g
-        np.maximum(conductances, 0.0, out=conductances)
-        if flops is not None:
-            flops.count_device_eval(
-                "rtd_current", count=K * len(self._device_slots))
-            if predict:
-                flops.count_device_eval(
-                    "rtd_conductance", count=K * len(self._device_slots))
-        return conductances
-
-    def _mosfet_conductances(self, states,
-                             flops: FlopCounter | None) -> np.ndarray:
-        """``(K, n_mosfets)`` chord conductances ``Ids/Vds``."""
-        if self._mosfet_params is None:
-            return np.zeros((self.n_instances, 0))
-        from repro.devices.mosfet import mosfet_chord_stack
-
-        voltages = self.linearization.mosfet_voltages(states)
-        p = self._mosfet_params
-        conductances = mosfet_chord_stack(
-            voltages[..., 0], voltages[..., 1], kp=p["kp"], w=p["w"],
-            l=p["l"], vth=p["vth"], polarity=p["polarity"],
-            channel_modulation=p["channel_modulation"])
-        np.maximum(conductances, 0.0, out=conductances)
-        if flops is not None:
-            flops.count_device_eval(
-                "mosfet", count=conductances.size)
-        return conductances
-
-    def _conductance_stack(self, states, prev_states, h_prev, h_next,
-                           out: np.ndarray,
-                           flops: FlopCounter | None) -> np.ndarray:
-        """Stamp ``G`` for every instance into the *out* stack."""
-        device_g = self._device_conductances(
-            states, prev_states, h_prev, h_next, flops)
-        mosfet_g = self._mosfet_conductances(states, flops)
-        np.copyto(out, self._g_base)
-        self.linearization.stamp(out, device_g, mosfet_g)
-        return device_g
-
-    # ------------------------------------------------------------------
-    # Initial states
-    # ------------------------------------------------------------------
-
-    def _initial_state_stack(self, initial_states) -> np.ndarray:
-        K, n = self.n_instances, self.size
-        if initial_states is None:
-            return np.stack([system.initial_state()
-                             for system in self.systems])
-        states = np.array(initial_states, dtype=float, copy=True)
-        if states.shape == (n,):
-            states = np.broadcast_to(states, (K, n)).copy()
-        if states.shape != (K, n):
-            raise AnalysisError(
-                f"initial states must have shape ({n},) or ({K}, {n}), "
-                f"got {states.shape}")
-        return states
-
-    def _dc_initialize(self, states: np.ndarray,
-                       result: EnsembleTransientResult, t: float = 0.0,
-                       max_iter: int = 200, tol: float = 1e-9) -> np.ndarray:
-        """Batched chord fixed point at time *t* (DC operating points)."""
-        K, n = self.n_instances, self.size
-        b = self._sources.assemble(t, np.empty((K, n)))
-        g_buf = np.empty_like(self._g_base)
-        damping = np.ones(K)
-        prev_delta = np.full(K, np.inf)
-        flops = result.flops
-        for _ in range(max_iter):
-            self._conductance_stack(states, None, None, None, g_buf, flops)
-            new_states = solve_stack(g_buf, b,
-                                     chunk_entries=self._chunk_entries)
-            flops.count_factorization(n, count=K)
-            flops.count_solve(n, count=K)
-            delta = (np.max(np.abs(new_states - states), axis=1)
-                     if n else np.zeros(K))
-            shrink = (delta > prev_delta) & (damping > 0.1)
-            damping[shrink] *= 0.5
-            prev_delta = delta
-            states = states + damping[:, None] * (new_states - states)
-            if np.all(delta < tol):
-                break
-        return states
-
-    # ------------------------------------------------------------------
-    # Marching
-    # ------------------------------------------------------------------
-
-    def _new_result(self) -> EnsembleTransientResult:
-        return EnsembleTransientResult(
-            self.system.circuit.nodes, self.n_instances)
-
-    def _record_trace(self, result: EnsembleTransientResult, t: float,
-                      device_g: np.ndarray) -> None:
-        for k in self.trace_instances:
-            result.conductance_trace.setdefault(k, []).append(
-                (t, device_g[k].copy()))
-
-    def run(self, t_stop: float,
-            initial_states=None) -> EnsembleTransientResult:
-        """Adaptive lockstep march from ``t = 0`` to *t_stop*.
-
-        The shared grid takes the worst-case (smallest) eq.-10/12 step
-        over the ensemble each point.  Noise injections need a fixed
-        grid — use :meth:`run_grid`.
-        """
-        if t_stop <= 0.0:
-            raise AnalysisError(f"t_stop must be positive, got {t_stop!r}")
-        if self._noise_matrix is not None:
-            raise AnalysisError(
-                "noise ensembles need the fixed-grid mode (run_grid); "
-                "an adaptive grid would couple every path's step sizes "
-                "to the noise realizations")
-        opts = self.options
-        K, n = self.n_instances, self.size
-        result = self._new_result()
-        states = self._initial_state_stack(initial_states)
-        if opts.initialize_dc and initial_states is None:
-            states = self._dc_initialize(states, result)
-
-        g_buf = np.empty_like(self._g_base)
-        a_buf = np.empty_like(self._g_base)
-        b_buf = np.empty((K, n))
-        tmp_buf = np.empty((K, n, 1))
-
-        t = 0.0
-        result.append(t, states)
-        h = self.controller.initial_step(t_stop)
-        h_prev: float | None = None
-        prev_states: np.ndarray | None = None
-
-        while t < t_stop * (1.0 - 1e-12):
-            if len(result) >= opts.max_points:
-                result.aborted = True
-                result.abort_reason = (
-                    f"max_points={opts.max_points} reached at t={t:.4g}")
-                break
-            device_g = self._conductance_stack(
-                states, prev_states, h_prev, h, g_buf, result.flops)
-            h = self.controller.next_step(
-                t, h if h_prev is None else h_prev, g_buf, t_stop)
-
-            accepted = False
-            while not accepted:
-                new_states = self._solve_step(
-                    t, h, states, g_buf, a_buf, b_buf, tmp_buf,
-                    result.flops)
-                if opts.dv_limit is not None:
-                    nn = self.system.num_nodes
-                    dv = float(np.max(np.abs(
-                        new_states[:, :nn] - states[:, :nn])))
-                    if dv > opts.dv_limit and h > opts.step.h_min * 1.001:
-                        result.rejected_steps += 1
-                        h = max(h * 0.5, opts.step.h_min)
-                        continue
-                accepted = True
-
-            prev_states, h_prev = states, h
-            states = new_states
-            t += h
-            result.append(t, states)
-            result.accepted_steps += 1
-            self._record_trace(result, t, device_g)
-        return result
-
-    def run_grid(self, times, initial_states=None, *, seeds=None,
-                 rng=None) -> EnsembleTransientResult:
-        """Lockstep march on an explicit shared grid.
-
-        With noise injections configured, each step adds
-        ``B dW_n / h_n`` to the right-hand side (implicit
-        Euler-Maruyama).  *seeds* gives each instance its own RNG
-        stream (a sequence of K ints or ``SeedSequence``s) — the
-        bit-reproducible form that survives ensemble splitting; *rng*
-        draws all increments from one shared Generator instead.
-        """
-        times = np.asarray(times, dtype=float)
-        if times.ndim != 1 or times.size < 2:
-            raise AnalysisError(
-                f"need a 1-D grid with >= 2 points, got shape {times.shape}")
-        if np.any(np.diff(times) <= 0.0):
-            raise AnalysisError("grid times must be strictly increasing")
-        opts = self.options
-        K, n = self.n_instances, self.size
-        result = self._new_result()
-        states = self._initial_state_stack(initial_states)
-        if opts.initialize_dc and initial_states is None:
-            states = self._dc_initialize(states, result, t=float(times[0]))
-
-        increments = self._draw_increments(times, seeds, rng)
-        g_buf = np.empty_like(self._g_base)
-        a_buf = np.empty_like(self._g_base)
-        b_buf = np.empty((K, n))
-        tmp_buf = np.empty((K, n, 1))
-
-        result.append(float(times[0]), states)
-        h_prev: float | None = None
-        prev_states: np.ndarray | None = None
-        for step in range(times.size - 1):
-            t_next = float(times[step + 1])
-            t = float(times[step])
-            h = t_next - t
-            device_g = self._conductance_stack(
-                states, prev_states, h_prev, h, g_buf, result.flops)
-            noise = None if increments is None else increments[:, step, :]
-            new_states = self._solve_step(
-                t, h, states, g_buf, a_buf, b_buf, tmp_buf, result.flops,
-                t_next=t_next, noise_increments=noise)
-            prev_states, h_prev = states, h
-            states = new_states
-            result.append(t_next, states)
-            result.accepted_steps += 1
-            self._record_trace(result, t_next, device_g)
-        return result
-
-    def _draw_increments(self, times, seeds, rng) -> np.ndarray | None:
-        """``(K, T-1, m)`` Wiener increments, or None without noise."""
-        if self._noise_matrix is None:
-            return None
-        K = self.n_instances
-        m = self._noise_matrix.shape[2]
-        steps = times.size - 1
-        scale = np.sqrt(np.diff(times))[None, :, None]
-        if seeds is not None:
-            seeds = list(seeds)
-            if len(seeds) != K:
-                raise AnalysisError(
-                    f"need one seed per instance ({K}), got {len(seeds)}")
-            draws = np.stack([
-                np.random.default_rng(seed).standard_normal((steps, m))
-                for seed in seeds])
-        else:
-            generator = np.random.default_rng(rng)
-            draws = generator.standard_normal((K, steps, m))
-        return draws * scale
-
-    def _solve_step(self, t, h, states, g_buf, a_buf, b_buf, tmp_buf,
-                    flops, t_next=None, noise_increments=None) -> np.ndarray:
-        """One backward-Euler solve for the whole stack."""
-        K, n = self.n_instances, self.size
-        np.multiply(self._c, 1.0 / h, out=a_buf)
-        a_buf += g_buf
-        rhs = self._sources.assemble(
-            t + h if t_next is None else t_next, b_buf)
-        np.matmul(self._c, states[:, :, None], out=tmp_buf)
-        tmp = tmp_buf[:, :, 0]
-        tmp /= h
-        rhs += tmp
-        if noise_increments is not None:
-            rhs += np.einsum("knm,km->kn", self._noise_matrix,
-                             noise_increments) / h
-        solution = solve_stack(a_buf, rhs,
-                               chunk_entries=self._chunk_entries)
-        flops.count_factorization(n, count=K)
-        flops.count_solve(n, count=K)
-        if not np.all(np.isfinite(solution)):
-            bad = np.flatnonzero(~np.all(np.isfinite(solution), axis=1))
-            raise SingularMatrixError(
-                f"non-finite solution at t={t:.4g} for instance(s) "
-                f"{bad.tolist()[:8]}")
-        return solution
+    def __init__(self, circuits, options=None, **kwargs) -> None:
+        kwargs.setdefault("default_backend", "stack")
+        super().__init__(circuits, options, **kwargs)

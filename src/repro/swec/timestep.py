@@ -143,17 +143,24 @@ class AdaptiveStepController:
     # Main entry
     # ------------------------------------------------------------------
 
-    def next_step(self, t: float, h_prev: float,
-                  conductance_matrix, t_stop: float) -> float:
-        """Return the next accepted step size ``h_n`` (paper eq. 12)."""
+    def _clamp(self, t: float, h_prev: float, bound: float,
+               t_stop: float) -> float:
+        """Clamp the raw constraint *bound* into an accepted step size."""
         opts = self.options
-        h = min(self.slope_bound(t), self.node_rc_bound(conductance_matrix))
+        h = bound
         if not math.isfinite(h):
             h = opts.h_max if math.isfinite(opts.h_max) else h_prev * opts.growth_limit
         h = min(h, h_prev * opts.growth_limit, opts.h_max)
         h = max(h, opts.h_min)
         h = self.breakpoint_bound(t, h, t_stop)
         return max(h, min(opts.h_min, t_stop - t))
+
+    def next_step(self, t: float, h_prev: float,
+                  conductance_matrix, t_stop: float) -> float:
+        """Return the next accepted step size ``h_n`` (paper eq. 12)."""
+        bound = min(self.slope_bound(t),
+                    self.node_rc_bound(conductance_matrix))
+        return self._clamp(t, h_prev, bound, t_stop)
 
     def initial_step(self, t_stop: float) -> float:
         """First step: explicit option, else a conservative fraction."""
@@ -163,3 +170,71 @@ class AdaptiveStepController:
         if math.isfinite(self.options.h_max):
             fallback = min(fallback, self.options.h_max)
         return max(fallback, self.options.h_min)
+
+
+class EnsembleStepController(AdaptiveStepController):
+    """Worst-case eq.-10/12 step control over an instance ensemble.
+
+    Value-identical waveforms are deduplicated
+    (:func:`~repro.circuit.sources.waveform_state_key`) so the slope
+    and breakpoint bounds pay one evaluation per *distinct* source,
+    and the node-RC bound is vectorized over a ``(K, n)`` diagonal
+    stack — the only part of ``G`` the bound needs, which is what the
+    solver backends expose regardless of matrix representation.
+    """
+
+    def __init__(self, systems, circuits,
+                 options: StepControlOptions | None = None) -> None:
+        from repro.circuit.sources import waveform_state_key
+
+        super().__init__(systems[0], options)
+        seen: set = set()
+        sources = []
+        for circuit in circuits:
+            for source in (list(circuit.voltage_sources)
+                           + list(circuit.current_sources)):
+                key = waveform_state_key(source.waveform)
+                if key in seen:
+                    continue
+                seen.add(key)
+                sources.append(source)
+        self._sources = sources
+        self._breakpoints = self._collect_breakpoints()
+        caps: dict[int, np.ndarray] = {}
+        rows = []
+        for system in systems:
+            if id(system) not in caps:
+                caps[id(system)] = np.diag(
+                    system.capacitance_matrix())[:system.num_nodes].copy()
+            rows.append(caps[id(system)])
+        self._node_capacitance_stack = np.stack(rows)
+        # The capacitance stack is fixed for the march, so the
+        # (instance, node) pairs with grounded capacitance — and their
+        # eps * C_j numerators — are precomputed once; the per-step
+        # bound is one gather, one divide and a min.
+        c = self._node_capacitance_stack
+        self._rc_instances, self._rc_nodes = np.nonzero(c > 0.0)
+        self._rc_scaled = (self.options.epsilon
+                           * c[self._rc_instances, self._rc_nodes])
+
+    def node_rc_bound_stack(self, diagonal_stack) -> float:
+        """``min_{k,j} eps C_j^k / G_jj^k`` over the whole ensemble.
+
+        *diagonal_stack* is the ``(K, n)`` stamped-``G`` diagonal
+        (only the leading ``num_nodes`` columns are consulted).
+        """
+        if self._rc_nodes.size == 0:
+            return math.inf
+        diag = np.asarray(diagonal_stack)[self._rc_instances,
+                                          self._rc_nodes]
+        mask = diag > 0.0
+        if not mask.any():
+            return math.inf
+        return float(np.min(self._rc_scaled[mask] / diag[mask]))
+
+    def next_step_from_diagonal(self, t: float, h_prev: float,
+                                diagonal_stack, t_stop: float) -> float:
+        """Eq.-12 next step from the stamped diagonals of all instances."""
+        bound = min(self.slope_bound(t),
+                    self.node_rc_bound_stack(diagonal_stack))
+        return self._clamp(t, h_prev, bound, t_stop)

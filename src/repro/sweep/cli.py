@@ -60,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         "--vector", type=int, default=None, metavar="N",
         help="march N consecutive SWEC transient points per lockstep "
              "batch (default: [batch].vector, else 1)")
+    from repro.core.backends import available_backends
+
+    parser.add_argument(
+        "--backend", default=None, choices=available_backends(),
+        help="solver backend for every point (default: the spec's "
+             "backend setting, else each engine's default)")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the tidy table as CSV")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -79,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
         spec = load_sweep_spec(args.spec)
         report = run_sweep(spec, max_workers=args.workers,
                            executor=args.executor, seed=args.seed,
-                           vector=args.vector)
+                           vector=args.vector, backend=args.backend)
     except (NanoSimError, TypeError, ValueError) as exc:
         # ValueError covers json/toml decode errors on malformed
         # files; per-point simulation failures never raise — they are

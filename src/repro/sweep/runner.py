@@ -25,7 +25,7 @@ process never holds more than one small dict per point.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.runtime.jobs import (
     ACJob,
@@ -94,6 +94,8 @@ class SweepBatchJob:
     t_stop: float
     options: object = None
     initial_state: object = None
+    #: Solver backend for the lockstep march; overrides ``options``.
+    backend: str | None = None
     measures: list[MeasureSpec] = field(default_factory=list)
     points: list[dict] = field(default_factory=list)
     labels: list[str] = field(default_factory=list)
@@ -103,6 +105,7 @@ class SweepBatchJob:
         """March the block; return per-point measure/diagnostic dicts."""
         import numpy as np
 
+        from repro.runtime.jobs import apply_backend
         from repro.swec.ensemble import SwecEnsembleTransient
 
         circuits = [
@@ -110,7 +113,7 @@ class SweepBatchJob:
                                 params)
             for params in self.params_list
         ]
-        options = self.options
+        options = apply_backend(self.options, self.backend)
         if isinstance(options, dict):
             options = _swec_options(dict(options))
         engine = SwecEnsembleTransient(circuits, options)
@@ -256,7 +259,8 @@ def _assemble_report(spec: SweepSpec, jobs, batch: BatchReport,
 
 def run_sweep(spec: SweepSpec, max_workers: int | None = None,
               executor: str | None = None, seed: int | None = None,
-              vector: int | None = None) -> SweepReport:
+              vector: int | None = None,
+              backend: str | None = None) -> SweepReport:
     """Run every design point of *spec* and aggregate the report.
 
     ``max_workers``/``executor``/``seed``/``vector`` override the
@@ -265,8 +269,18 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
     cores, seed 0 so sweeps replay identically by default).  With
     ``vector > 1`` (SWEC transient sweeps only) consecutive design
     points march in lockstep blocks of that size — see
-    :class:`SweepBatchJob`.
+    :class:`SweepBatchJob`.  ``backend`` forces the solver backend of
+    every point (transient and AC sweeps), overriding the spec's
+    ``backend`` setting.
     """
+    if backend is not None:
+        if spec.kind == "ensemble":
+            from repro.errors import SweepSpecError
+
+            raise SweepSpecError(
+                "backend= applies to transient and AC sweeps only")
+        spec = replace(spec, settings={**spec.settings,
+                                       "backend": backend})
     batch_settings = spec.batch
     runner = BatchRunner(
         max_workers=(max_workers if max_workers is not None

@@ -326,6 +326,9 @@ class SweepSpec:
             t_stop = 4e-8                # job settings, per kind
                                          # (AC: f_start/f_stop/n_points/
                                          #  scale/source/bias/dc_options)
+            backend = "auto"             # solver backend for every
+                                         # point: dense | sparse |
+                                         # stack | auto (transient/AC)
             [sweep.options]              # engine options (transient)
             epsilon = 0.05
             [sweep.fixed]                # unswept parameter pins

@@ -107,13 +107,40 @@ class TestSinglePoleRC:
                            rtol=1e-12, atol=0.0)
 
     def test_chunked_solve_matches_unchunked(self, monkeypatch):
-        import repro.ac.analysis as mod
+        # Chunk sizing lives in the shared solve_stack, not the AC
+        # layer; shrinking the shared bound must not change results.
+        import repro.mna.batch as batch
 
         f = frequency_grid(1e2, 1e9, 50, "log")
         full = ACAnalysis(lowpass()).solve(f)
-        monkeypatch.setattr(mod, "_CHUNK_ENTRIES", 7 * 9)  # 7 freqs/chunk
+        monkeypatch.setattr(batch, "CHUNK_ENTRIES", 7 * 9)  # 7 freqs/chunk
         chunked = ACAnalysis(lowpass()).solve(f)
         assert np.array_equal(full.states, chunked.states)
+
+    def test_backends_agree(self):
+        f = frequency_grid(1e2, 1e9, 40, "log")
+        stack = ACAnalysis(lowpass(), backend="stack").solve(f)
+        sparse = ACAnalysis(lowpass(), backend="sparse").solve(f)
+        dense = ACAnalysis(lowpass(), backend="dense").solve(f)
+        auto = ACAnalysis(lowpass(), backend="auto").solve(f)
+        assert np.allclose(stack.states, sparse.states, rtol=1e-12)
+        assert np.allclose(stack.states, dense.states, rtol=1e-12)
+        assert np.allclose(stack.states, auto.states, rtol=1e-12)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AnalysisError, match="backend"):
+            ACAnalysis(lowpass(), backend="ragged")
+
+    def test_noise_backend_validated_and_equivalent(self):
+        from repro.ac import johnson_noise
+
+        f = frequency_grid(1e3, 1e8, 21, "log")
+        stack = johnson_noise(lowpass(), f)
+        sparse = johnson_noise(lowpass(), f, backend="sparse")
+        assert np.allclose(stack.psd("out"), sparse.psd("out"),
+                           rtol=1e-10)
+        with pytest.raises(AnalysisError, match="backend"):
+            johnson_noise(lowpass(), f, backend="ragged")
 
     def test_bode_measures(self):
         result = ACAnalysis(lowpass()).sweep(1e2, 1e9, 401)

@@ -1,0 +1,345 @@
+"""Solver-backend core tests: registry, equivalence, accounting.
+
+The acceptance bar of the unified pipeline: every registered backend
+(``dense``/``sparse``/``stack``, plus the ``auto`` selector) must march
+the same circuits to the same waveforms at 1e-9, report *comparable*
+flop accounting (identical factorization/solve event counts for the
+same march), and honour the ``CachedFactorization`` reuse/invalidate
+contract across backend swaps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuits_lib import (
+    fet_rtd_inverter,
+    mobile_dflipflop,
+    rtd_mesh,
+)
+from repro.core import (
+    BACKENDS,
+    LinearStepper,
+    available_backends,
+    create_backend,
+    get_backend,
+    register_backend,
+    select_backend,
+    system_density,
+)
+from repro.errors import AnalysisError
+from repro.mna import CachedFactorization, LinearSolver, MnaSystem
+from repro.swec import SwecDC, SwecOptions, SwecTransient
+from repro.swec.dc import SwecDCOptions
+from repro.swec.timestep import StepControlOptions
+
+ALL_BACKENDS = ("dense", "sparse", "stack", "auto")
+WAVEFORM_ATOL = 1e-9
+
+
+def swec_options(**kwargs):
+    step = StepControlOptions(epsilon=0.05, h_min=1e-12, h_max=0.2e-9,
+                              h_initial=1e-12)
+    return SwecOptions(step=step, **kwargs)
+
+
+def noisy_rc_circuit():
+    """The stochastic fixture topology, deterministic here."""
+    circuit = Circuit("noisy-rc")
+    circuit.add_resistor("R1", "n1", "0", 1e3)
+    circuit.add_capacitor("C1", "n1", "0", 1e-12)
+    circuit.add_current_source("Id", "0", "n1", 1e-4)
+    return circuit
+
+
+def _circuit(name):
+    if name == "inverter":
+        return fet_rtd_inverter()[0]
+    if name == "latch":
+        return mobile_dflipflop()[0]
+    if name == "noisy_rc":
+        return noisy_rc_circuit()
+    if name == "grid_10x10":
+        return rtd_mesh(10, 10)[0]
+    raise AssertionError(name)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert set(BACKENDS) == {"dense", "sparse", "stack"}
+        assert available_backends() == ("dense", "sparse", "stack",
+                                        "auto")
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(AnalysisError, match="unknown solver backend"):
+            get_backend("ragged")
+
+    def test_register_backend_rejects_bad_names(self):
+        class Anonymous:
+            pass
+
+        with pytest.raises(ValueError):
+            register_backend(Anonymous)
+
+        class Reserved:
+            name = "auto"
+
+        with pytest.raises(ValueError):
+            register_backend(Reserved)
+
+    def test_register_and_resolve_custom_backend(self):
+        from repro.core.backends import DenseBackend
+
+        class Custom(DenseBackend):
+            name = "custom-lu"
+
+        try:
+            register_backend(Custom)
+            assert get_backend("custom-lu") is Custom
+            assert "custom-lu" in available_backends()
+            # A registered name is immediately a legal options value.
+            SwecOptions(backend="custom-lu")
+        finally:
+            BACKENDS.pop("custom-lu", None)
+
+    def test_auto_selects_by_size_and_density(self):
+        small = MnaSystem(fet_rtd_inverter()[0])
+        assert select_backend([small]) == "dense"
+        assert select_backend([small, small]) == "stack"
+        mesh = MnaSystem(rtd_mesh(16, 16)[0])
+        assert mesh.size >= 192
+        assert system_density(mesh) <= 0.05
+        assert select_backend([mesh]) == "sparse"
+
+    def test_create_backend_resolves_auto(self):
+        mesh = MnaSystem(rtd_mesh(16, 16)[0])
+        assert create_backend("auto", [mesh]).name == "sparse"
+        small = MnaSystem(fet_rtd_inverter()[0])
+        assert create_backend(None, [small], default="auto").name == "dense"
+
+
+class TestWaveformEquivalence:
+    """dense == sparse == stack == auto at 1e-9 on the tier-1 circuits."""
+
+    @pytest.mark.parametrize("name", ["inverter", "latch", "noisy_rc",
+                                      "grid_10x10"])
+    def test_fixed_grid_agreement(self, name):
+        t_stop = 2e-9 if name == "grid_10x10" else 4e-9
+        times = np.linspace(0.0, t_stop, 81)
+        results = {}
+        for backend in ALL_BACKENDS:
+            circuit = _circuit(name)
+            engine = SwecTransient(circuit, swec_options(backend=backend))
+            results[backend] = engine.run_grid(times).states
+        reference = results["dense"]
+        for backend in ALL_BACKENDS[1:]:
+            error = float(np.max(np.abs(results[backend] - reference)))
+            assert error < WAVEFORM_ATOL, (name, backend, error)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS[1:])
+    def test_adaptive_agreement_on_inverter(self, backend):
+        dense = SwecTransient(fet_rtd_inverter()[0],
+                              swec_options()).run(4e-9)
+        other = SwecTransient(fet_rtd_inverter()[0],
+                              swec_options(backend=backend)).run(4e-9)
+        grid = np.linspace(0.0, 4e-9, 101)
+        error = np.max(np.abs(dense.resample(grid, "out")
+                              - other.resample(grid, "out")))
+        assert error < WAVEFORM_ATOL, (backend, error)
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_ensemble_backends_match_stack(self, backend):
+        rng = np.random.default_rng(7)
+        circuits = [fet_rtd_inverter(
+            fet_vth=float(1.0 + 0.1 * rng.uniform(-1.0, 1.0)))[0]
+            for _ in range(3)]
+        times = np.linspace(0.0, 3e-9, 61)
+        stack = LinearStepper(circuits, swec_options()).run_grid(times)
+        other = LinearStepper(circuits,
+                              swec_options(backend=backend)) \
+            .run_grid(times)
+        assert stack.backend == "stack" and other.backend == backend
+        error = float(np.max(np.abs(stack.states - other.states)))
+        assert error < WAVEFORM_ATOL
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_dc_backends_agree(self, backend):
+        from repro.circuits_lib import rtd_divider
+
+        circuit, info = rtd_divider(resistance=10.0)
+        dc = SwecDC(circuit, SwecDCOptions(backend=backend))
+        sweep = dc.sweep(info.source, np.linspace(0.0, 2.0, 21))
+        reference = SwecDC(rtd_divider(resistance=10.0)[0]) \
+            .sweep(info.source, np.linspace(0.0, 2.0, 21))
+        assert np.allclose(sweep.states, reference.states,
+                           rtol=0.0, atol=WAVEFORM_ATOL)
+
+
+class TestFlopParity:
+    """Event counters (factorizations, solves) are backend-invariant."""
+
+    def test_event_counts_match_across_backends(self):
+        times = np.linspace(0.0, 1e-9, 41)
+        counters = {}
+        for backend in ("dense", "sparse", "stack"):
+            circuit = rtd_mesh(4, 4)[0]
+            options = swec_options(backend=backend, initialize_dc=False)
+            result = SwecTransient(circuit, options).run_grid(
+                times, initial_state=np.zeros(MnaSystem(circuit).size))
+            counters[backend] = result.flops
+        reference = counters["dense"]
+        assert reference.factorizations == len(times) - 1
+        assert reference.linear_solves == len(times) - 1
+        for backend, flops in counters.items():
+            assert flops.factorizations == reference.factorizations, backend
+            assert flops.linear_solves == reference.linear_solves, backend
+            categories = flops.by_category()
+            assert categories.get("factor", 0) > 0, backend
+            assert categories.get("solve", 0) > 0, backend
+            assert (flops.device_evaluations
+                    == reference.device_evaluations), backend
+
+    def test_sparse_flop_totals_beat_dense_at_scale(self):
+        """The Table-I story at grid scale: the sparse cost model must
+        report far fewer factor flops than the dense ``2/3 n^3``."""
+        times = np.linspace(0.0, 0.5e-9, 11)
+        totals = {}
+        for backend in ("dense", "sparse"):
+            circuit = rtd_mesh(8, 8)[0]
+            options = swec_options(backend=backend, initialize_dc=False)
+            result = SwecTransient(circuit, options).run_grid(
+                times, initial_state=np.zeros(MnaSystem(circuit).size))
+            totals[backend] = result.flops.by_category()["factor"]
+        assert totals["sparse"] < totals["dense"] / 3
+
+
+class TestFactorizationCache:
+    """CachedFactorization reuse/invalidate across backend swaps."""
+
+    def test_invalidate_forces_refactor(self):
+        matrix = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        cache = CachedFactorization(LinearSolver(), rtol=0.0)
+        assert cache.factor(matrix) is True
+        assert cache.factor(matrix) is False
+        assert cache.reuses == 1
+        cache.invalidate()
+        assert cache.factor(matrix) is True
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_backend_reuse_and_invalidate(self, backend):
+        system = MnaSystem(noisy_rc_circuit())
+        solver = create_backend(backend, [system], factor_rtol=0.0)
+        solver.begin_run(None)
+        device_g = np.zeros((1, 0))
+        rhs = np.array([[1e-4 * 1e3]])
+        solver.stamp(device_g, device_g)
+        first = solver.solve_transient(1e-12, rhs)
+        second = solver.solve_transient(1e-12, rhs)
+        assert np.array_equal(first, second)
+        assert solver.reuses == 1
+        solver.invalidate()
+        solver.solve_transient(1e-12, rhs)
+        assert solver.reuses == 1  # fresh factor after invalidate
+        solver.begin_run(None)
+        assert solver.reuses == 0  # a new run starts cold
+
+    def test_cache_does_not_leak_across_backend_swap(self):
+        """Re-running the same circuit on a different backend must start
+        from a cold cache and still reproduce the waveform."""
+        times = np.linspace(0.0, 2e-9, 81)
+        circuit = noisy_rc_circuit()
+        dense = SwecTransient(
+            circuit, swec_options(factor_rtol=0.0)).run_grid(times)
+        assert dense.factor_reuses > 0
+        swapped = SwecTransient(
+            circuit, swec_options(factor_rtol=0.0, backend="sparse"))
+        sparse = swapped.run_grid(times)
+        assert sparse.factor_reuses > 0
+        assert np.allclose(dense.states, sparse.states,
+                           rtol=0.0, atol=WAVEFORM_ATOL)
+        # The second run on the *same* engine starts cold again —
+        # begin_run invalidates — and is bit-identical to the first.
+        again = swapped.run_grid(times)
+        assert np.array_equal(sparse.states, again.states)
+
+    def test_stack_backend_reports_no_reuse(self):
+        times = np.linspace(0.0, 1e-9, 21)
+        result = SwecTransient(
+            noisy_rc_circuit(),
+            swec_options(factor_rtol=0.0, backend="stack")) \
+            .run_grid(times)
+        assert result.factor_reuses == 0
+
+
+class TestBackendKnobThreading:
+    """backend= flows through jobs, sweep specs and option tables."""
+
+    def test_transient_job_backend(self):
+        from repro.runtime import job_from_mapping
+
+        job = job_from_mapping({
+            "type": "transient", "circuit": "fet_rtd_inverter",
+            "t_stop": 1e-9, "backend": "sparse",
+            "options": {"epsilon": 0.05, "h_min": 1e-12,
+                        "h_max": 0.2e-9, "h_initial": 1e-12},
+        })
+        assert job.run().engine == "swec"
+
+    def test_transient_job_backend_needs_swec(self):
+        from repro.runtime import TransientJob
+
+        with pytest.raises(AnalysisError, match="swec"):
+            TransientJob(t_stop=1e-9, builder="fet_rtd_inverter",
+                         engine="spice", backend="sparse")
+
+    def test_ac_job_backend(self):
+        from repro.runtime import job_from_mapping
+
+        job = job_from_mapping({
+            "type": "ac", "circuit": "fet_rtd_inverter",
+            "f_start": 1e3, "f_stop": 1e9, "n_points": 11,
+            "backend": "sparse", "bias": {"Vin": 2.0},
+        })
+        stack = job_from_mapping({
+            "type": "ac", "circuit": "fet_rtd_inverter",
+            "f_start": 1e3, "f_stop": 1e9, "n_points": 11,
+            "backend": "stack", "bias": {"Vin": 2.0},
+        })
+        assert np.allclose(job.run().states, stack.run().states,
+                           rtol=1e-9, atol=0.0)
+
+    def test_ensemble_transient_job_backend(self):
+        from repro.runtime import job_from_mapping
+
+        spec = {
+            "type": "ensemble_transient", "circuit": "fet_rtd_inverter",
+            "t_stop": 1e-9, "steps": 20, "n_instances": 2,
+            "return_result": True,
+            "options": {"epsilon": 0.05, "h_min": 1e-12,
+                        "h_max": 0.2e-9, "h_initial": 1e-12},
+        }
+        sparse = job_from_mapping({**spec, "backend": "sparse"}).run()
+        stack = job_from_mapping({**spec, "backend": "stack"}).run()
+        assert sparse.backend == "sparse" and stack.backend == "stack"
+        assert np.allclose(sparse.states, stack.states,
+                           rtol=0.0, atol=WAVEFORM_ATOL)
+
+    def test_sweep_spec_accepts_backend_setting(self):
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec.from_mapping({
+            "sweep": {"circuit": "fet_rtd_inverter", "t_stop": 1e-9,
+                      "backend": "stack"},
+            "axes": [{"name": "load_capacitance",
+                      "values": [0.5e-12, 1e-12]}],
+            "measures": [{"kind": "final"}],
+        })
+        assert spec.settings["backend"] == "stack"
+
+    def test_unknown_backend_rejected_at_job_level(self):
+        from repro.runtime import TransientJob
+
+        job = TransientJob(t_stop=1e-9, builder="fet_rtd_inverter",
+                           backend="ragged")
+        with pytest.raises(AnalysisError, match="backend"):
+            job.run()

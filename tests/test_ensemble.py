@@ -194,15 +194,26 @@ class TestConstruction:
         with pytest.raises(AnalysisError, match="different nodes"):
             SwecEnsembleTransient([a, b])
 
-    def test_trap_and_sparse_rejected(self):
+    def test_trap_and_sparse_backends_supported(self):
+        """The unified solver core lifted the old dense/BE-only limits:
+        trapezoidal and sparse ensembles march like any other."""
         circuit, _ = fet_rtd_inverter()
-        with pytest.raises(AnalysisError, match="backward-Euler"):
-            SwecEnsembleTransient(circuit, SwecOptions(method="trap"),
-                                  n_instances=2)
-        with pytest.raises(AnalysisError, match="dense"):
-            SwecEnsembleTransient(circuit,
-                                  SwecOptions(matrix_format="sparse"),
-                                  n_instances=2)
+        times = np.linspace(0.0, 1e-9, 41)
+        trap = SwecEnsembleTransient(
+            circuit, swec_options(method="trap"), n_instances=2)
+        assert trap.run_grid(times).states.shape[0] == 2
+        legacy = SwecEnsembleTransient(
+            circuit, swec_options(matrix_format="sparse"), n_instances=2)
+        assert legacy.backend_name == "sparse"
+        reference = SwecEnsembleTransient(
+            circuit, swec_options(), n_instances=2)
+        assert np.allclose(legacy.run_grid(times).states,
+                           reference.run_grid(times).states,
+                           rtol=0.0, atol=1e-9)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SwecOptions(backend="ragged")
 
     def test_noise_requires_fixed_grid(self):
         engine = SwecEnsembleTransient(noisy_rc_circuit(), n_instances=3,

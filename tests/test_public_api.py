@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.circuit",
     "repro.circuits_lib",
+    "repro.core",
     "repro.devices",
     "repro.mna",
     "repro.perf",
@@ -55,6 +56,8 @@ MODULES = PACKAGES + [
     "repro.devices.nanowire",
     "repro.devices.rtd",
     "repro.devices.rtt",
+    "repro.core.backends",
+    "repro.core.stepper",
     "repro.errors",
     "repro.mna.assembler",
     "repro.mna.batch",
@@ -116,7 +119,7 @@ def test_public_classes_and_functions_have_docstrings(name):
 
 def test_version_is_exposed():
     import repro
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_top_level_promises_from_readme():

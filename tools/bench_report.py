@@ -4,8 +4,9 @@
 Every invocation times a fixed set of hot-path kernels — the lockstep
 ensemble transient against its serial loop, the vectorized AC sweep
 against its per-frequency loop, the index-gather linearization against
-the per-device Python loop, and a plain single-instance SWEC march —
-and writes one machine-readable JSON file::
+the per-device Python loop, a plain single-instance SWEC march, and
+the sparse solver backend against the dense one on a grid mesh — and
+writes one machine-readable JSON file::
 
     python tools/bench_report.py --tag ci --out bench
     python tools/bench_report.py --check bench/BENCH_ci.json
@@ -149,16 +150,70 @@ def _bench_gather(quick: bool, repeats: int) -> list[dict]:
     }]
 
 
-def collect(tag: str, quick: bool, repeats: int) -> dict:
-    """Run every kernel; return the BENCH record."""
+def _bench_backends(quick: bool, repeats: int) -> list[dict]:
+    import numpy as np
+
+    from repro.circuit import Pulse
+    from repro.circuits_lib import rtd_mesh
+    from repro.mna.assembler import MnaSystem
+    from repro.swec import SwecOptions, SwecTransient
+    from repro.swec.timestep import StepControlOptions
+
+    grid = 12 if quick else 30
+    n_points = 21 if quick else 41
+
+    def options(backend):
+        return SwecOptions(
+            step=StepControlOptions(epsilon=0.05, h_min=1e-13,
+                                    h_max=0.05e-9, h_initial=1e-12),
+            backend=backend, initialize_dc=False)
+
+    drive = Pulse(0.0, 1.0, delay=0.02e-9, rise=0.05e-9, fall=0.05e-9,
+                  width=0.3e-9, period=1e-9)
+    times = np.linspace(0.0, 0.2e-9, n_points)
+    seconds = {}
+    for backend in ("dense", "sparse"):
+        circuit, _ = rtd_mesh(grid, grid, drive=drive)
+        engine = SwecTransient(circuit, options(backend))
+        x0 = np.zeros(MnaSystem(circuit).size)
+        seconds[backend] = _median_seconds(
+            lambda: engine.run_grid(times, initial_state=x0), repeats)
+    axes = {"grid": grid, "grid_points": n_points,
+            "size": grid * grid + 2}
+    return [{
+        "name": "grid_mesh_sparse_backend",
+        "median_seconds": seconds["sparse"],
+        "speedup": seconds["dense"] / seconds["sparse"],
+        "reference": "dense backend, same march",
+        "axes": axes,
+    }]
+
+
+#: Kernel groups addressable via ``--only``.
+KERNELS = {
+    "ensemble": _bench_ensemble,
+    "ac": _bench_ac,
+    "gather": _bench_gather,
+    "backends": _bench_backends,
+}
+
+
+def collect(tag: str, quick: bool, repeats: int,
+            only: list[str] | None = None) -> dict:
+    """Run the selected kernels (all by default); return the record."""
     import numpy as np
 
     import repro
 
+    selected = list(KERNELS) if not only else list(only)
+    unknown = [name for name in selected if name not in KERNELS]
+    if unknown:
+        raise SystemExit(
+            f"unknown kernel group(s) {unknown} "
+            f"(available: {', '.join(KERNELS)})")
     benchmarks = []
-    benchmarks += _bench_ensemble(quick, repeats)
-    benchmarks += _bench_ac(quick, repeats)
-    benchmarks += _bench_gather(quick, repeats)
+    for name in selected:
+        benchmarks += KERNELS[name](quick, repeats)
     return {
         "schema": SCHEMA,
         "tag": tag,
@@ -222,6 +277,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="timing repeats per kernel (median is kept)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink every kernel for smoke/CI use")
+    parser.add_argument("--only", action="append", metavar="GROUP",
+                        default=None,
+                        help="run only this kernel group (repeatable; "
+                             f"groups: {', '.join(KERNELS)})")
     parser.add_argument("--check", metavar="FILE", default=None,
                         help="validate an existing BENCH file and exit")
     args = parser.parse_args(argv)
@@ -234,7 +293,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{args.check}: valid {SCHEMA} record")
         return 1 if problems else 0
 
-    record = collect(args.tag, args.quick, max(args.repeats, 1))
+    record = collect(args.tag, args.quick, max(args.repeats, 1),
+                     only=args.only)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{args.tag}.json"
