@@ -1,0 +1,75 @@
+"""Service-cache bench: a repeated sweep must be (nearly) free.
+
+A 50-point transient sweep over the RTD divider is run twice against
+one content-addressed result store (``repro.service``):
+
+* the **cold** pass simulates every point and publishes it;
+* the **warm** pass must be served entirely from the store — zero
+  points recomputed, bit-identical measure columns, and at least
+  **20x** faster wall-clock (the whole point of fingerprinted result
+  reuse; the real margin is far larger).
+
+``python tools/bench_report.py --only service_cache`` records the same
+kernel for the perf trajectory.
+"""
+
+import tempfile
+import time
+
+from conftest import print_rows
+from repro.service import ResultStore
+from repro.sweep import ParameterAxis, SweepSpec, run_sweep
+from repro.sweep.measures import MeasureSpec
+
+N_POINTS = 50
+
+
+def _spec() -> SweepSpec:
+    """50 RTD-divider transients, ~10 ms each cold."""
+    return SweepSpec(
+        name="bench-service-cache",
+        template="rtd_divider",
+        settings={
+            "t_stop": 2e-9,
+            "options": {"epsilon": 0.05, "h_min": 1e-13, "h_max": 5e-11,
+                        "h_initial": 1e-12},
+        },
+        axes=[ParameterAxis.from_range("resistance", 5.0, 300.0,
+                                       N_POINTS)],
+        measures=[
+            MeasureSpec(kind="peak", node="out", name="v_peak"),
+            MeasureSpec(kind="final", node="out", name="v_final"),
+        ],
+    )
+
+
+def test_warm_sweep_is_20x_faster_than_cold():
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+
+        cold_start = time.perf_counter()
+        cold = run_sweep(_spec(), executor="serial", seed=0, cache=store)
+        cold_seconds = time.perf_counter() - cold_start
+
+        warm_start = time.perf_counter()
+        warm = run_sweep(_spec(), executor="serial", seed=0, cache=store)
+        warm_seconds = time.perf_counter() - warm_start
+
+        assert cold.ok and warm.ok
+        assert cold.n_points == warm.n_points == N_POINTS
+        # the warm pass recomputed nothing...
+        assert warm.executor == "cache"
+        assert store.puts == N_POINTS          # cold pass only
+        # ...and served bit-identical measures
+        for column in ("v_peak", "v_final", "flops"):
+            assert warm.columns[column] == cold.columns[column], column
+
+        speedup = cold_seconds / warm_seconds
+        print_rows(
+            f"Service cache: {N_POINTS}-point sweep, cold vs warm",
+            ["pass", "wall s", "speedup"],
+            [["cold", round(cold_seconds, 3), 1.0],
+             ["warm", round(warm_seconds, 3), round(speedup, 1)]])
+        assert speedup >= 20.0, (
+            f"expected >= 20x warm-over-cold, measured {speedup:.1f}x "
+            f"({cold_seconds:.2f} s -> {warm_seconds:.2f} s)")

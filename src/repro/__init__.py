@@ -108,7 +108,7 @@ from repro.runtime import (
     TransientJob,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ACAnalysis",

@@ -75,8 +75,8 @@ AUTO_SPARSE_MAX_DENSITY = 0.05
 def _conductance_pairs(system) -> list[tuple[int, int]]:
     """Two-terminal stamp pairs: devices, then MOSFET drain-source."""
     return list(system.device_terminals()) + [
-        (drain, source)
-        for drain, _gate, source in system.mosfet_terminals()]
+        (drain, source) for drain, _gate, source in system.mosfet_terminals()
+    ]
 
 
 class SolverBackend:
@@ -111,9 +111,14 @@ class SolverBackend:
     #: Registry key; subclasses override.
     name = "?"
 
-    def __init__(self, systems, *, flops: FlopCounter | None = None,
-                 factor_rtol: float | None = None,
-                 chunk_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        systems,
+        *,
+        flops: FlopCounter | None = None,
+        factor_rtol: float | None = None,
+        chunk_entries: int | None = None,
+    ) -> None:
         systems = list(systems)
         if not systems:
             raise AnalysisError("a solver backend needs >= 1 system")
@@ -143,8 +148,9 @@ class SolverBackend:
         """``(K, n)`` products ``G x`` per instance (stamped ``G``)."""
         raise NotImplementedError
 
-    def solve_transient(self, h: float, rhs: np.ndarray,
-                        trapezoidal: bool = False) -> np.ndarray:
+    def solve_transient(
+        self, h: float, rhs: np.ndarray, trapezoidal: bool = False
+    ) -> np.ndarray:
         """Solve ``(scale G + C/h) x = rhs`` for the whole stack."""
         raise NotImplementedError
 
@@ -187,19 +193,21 @@ class _DenseStorageBackend(SolverBackend):
         bases: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for k, system in enumerate(self.systems):
             if id(system) not in bases:
-                bases[id(system)] = (system.conductance_base(),
-                                     system.capacitance_matrix())
+                bases[id(system)] = (
+                    system.conductance_base(),
+                    system.capacitance_matrix(),
+                )
             self._g_base[k], self._c[k] = bases[id(system)]
         self._g = np.empty((K, n, n))
         self._a = np.empty((K, n, n))
-        self._stamper = ConductanceStamper(
-            _conductance_pairs(self.system), n)
+        self._stamper = ConductanceStamper(_conductance_pairs(self.system), n)
 
     def stamp(self, device_g: np.ndarray, mosfet_g: np.ndarray) -> None:
         np.copyto(self._g, self._g_base)
         values = np.concatenate(
-            (np.asarray(device_g, dtype=float),
-             np.asarray(mosfet_g, dtype=float)), axis=-1)
+            (np.asarray(device_g, dtype=float), np.asarray(mosfet_g, dtype=float)),
+            axis=-1,
+        )
         if values.shape[-1]:
             self._stamper.stamp(self._g, values)
 
@@ -239,9 +247,10 @@ class _PerInstanceSolvers:
 
     def _rebind_flops(self) -> None:
         for solver in self._solvers:
-            inner = solver.solver if isinstance(
-                solver, CachedFactorization) else solver
-            inner.flops = self.flops
+            if isinstance(solver, CachedFactorization):
+                solver.solver.flops = self.flops
+            else:
+                solver.flops = self.flops
 
     def _reset_reuses(self) -> None:
         for solver in self._solvers:
@@ -255,8 +264,11 @@ class _PerInstanceSolvers:
 
     @property
     def reuses(self) -> int:
-        return sum(solver.reuses for solver in self._solvers
-                   if isinstance(solver, CachedFactorization))
+        return sum(
+            solver.reuses
+            for solver in self._solvers
+            if isinstance(solver, CachedFactorization)
+        )
 
 
 class DenseBackend(_PerInstanceSolvers, _DenseStorageBackend):
@@ -275,18 +287,17 @@ class DenseBackend(_PerInstanceSolvers, _DenseStorageBackend):
         super().__init__(systems, **kwargs)
         self._make_solvers(LinearSolver)
 
-    def _factor_solve(self, matrices: np.ndarray,
-                      rhs: np.ndarray) -> np.ndarray:
+    def _factor_solve(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         out = np.empty((self.n_instances, self.size))
         for k, solver in enumerate(self._solvers):
             solver.factor(matrices[k])
             out[k] = solver.solve(rhs[k])
         return out
 
-    def solve_transient(self, h: float, rhs: np.ndarray,
-                        trapezoidal: bool = False) -> np.ndarray:
-        return self._factor_solve(
-            self._system_matrix(h, trapezoidal), rhs)
+    def solve_transient(
+        self, h: float, rhs: np.ndarray, trapezoidal: bool = False
+    ) -> np.ndarray:
+        return self._factor_solve(self._system_matrix(h, trapezoidal), rhs)
 
     def solve_conductance(self, rhs: np.ndarray) -> np.ndarray:
         return self._factor_solve(self._g, rhs)
@@ -304,20 +315,20 @@ class StackBackend(_DenseStorageBackend):
     name = "stack"
 
     def _solve(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        solution = solve_stack(matrices, rhs,
-                               chunk_entries=self.chunk_entries)
+        solution = solve_stack(matrices, rhs, chunk_entries=self.chunk_entries)
         if self.flops is not None:
-            self.flops.count_factorization(self.size,
-                                           count=self.n_instances)
+            self.flops.count_factorization(self.size, count=self.n_instances)
             self.flops.count_solve(self.size, count=self.n_instances)
         if not np.all(np.isfinite(solution)):
             bad = np.flatnonzero(~np.all(np.isfinite(solution), axis=1))
             raise SingularMatrixError(
-                f"non-finite solution for instance(s) {bad.tolist()[:8]}")
+                f"non-finite solution for instance(s) {bad.tolist()[:8]}"
+            )
         return solution
 
-    def solve_transient(self, h: float, rhs: np.ndarray,
-                        trapezoidal: bool = False) -> np.ndarray:
+    def solve_transient(
+        self, h: float, rhs: np.ndarray, trapezoidal: bool = False
+    ) -> np.ndarray:
         return self._solve(self._system_matrix(h, trapezoidal), rhs)
 
     def solve_conductance(self, rhs: np.ndarray) -> np.ndarray:
@@ -354,7 +365,8 @@ class SparseBackend(_PerInstanceSolvers, SolverBackend):
             if ops.nnz != self._nnz:
                 raise AnalysisError(
                     "sparse backend needs one shared sparsity pattern "
-                    "across the instance stack")
+                    "across the instance stack"
+                )
         K = self.n_instances
         self._base_data = np.stack([ops.base_data for ops in self._ops])
         self._c_data = np.stack([ops.c_data for ops in self._ops])
@@ -363,21 +375,20 @@ class SparseBackend(_PerInstanceSolvers, SolverBackend):
         self._positions = positions
         self._columns = columns
         self._signs = signs
-        self._diag_positions, self._diag_mask = \
-            pattern.diagonal_positions()
+        self._diag_positions, self._diag_mask = pattern.diagonal_positions()
         self._make_solvers(SparseSolver)
 
     def stamp(self, device_g: np.ndarray, mosfet_g: np.ndarray) -> None:
         np.copyto(self._g_data, self._base_data)
         values = np.concatenate(
-            (np.asarray(device_g, dtype=float),
-             np.asarray(mosfet_g, dtype=float)), axis=-1)
+            (np.asarray(device_g, dtype=float), np.asarray(mosfet_g, dtype=float)),
+            axis=-1,
+        )
         if self._positions.size == 0 or not values.shape[-1]:
             return
         contributions = values[:, self._columns] * self._signs
         rows = np.arange(self.n_instances, dtype=np.intp)[:, None]
-        np.add.at(self._g_data, (rows, self._positions[None, :]),
-                  contributions)
+        np.add.at(self._g_data, (rows, self._positions[None, :]), contributions)
 
     def g_diagonal(self) -> np.ndarray:
         return self._g_data[:, self._diag_positions] * self._diag_mask
@@ -394,8 +405,7 @@ class SparseBackend(_PerInstanceSolvers, SolverBackend):
             out[k] = ops.matrix_from_data(self._g_data[k]) @ states[k]
         return out
 
-    def _factor_solve(self, data: np.ndarray,
-                      rhs: np.ndarray) -> np.ndarray:
+    def _factor_solve(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         out = np.empty((self.n_instances, self.size))
         for k, solver in enumerate(self._solvers):
             matrix = self._ops[k].matrix_from_data(data[k]).tocsc()
@@ -403,8 +413,9 @@ class SparseBackend(_PerInstanceSolvers, SolverBackend):
             out[k] = solver.solve(rhs[k])
         return out
 
-    def solve_transient(self, h: float, rhs: np.ndarray,
-                        trapezoidal: bool = False) -> np.ndarray:
+    def solve_transient(
+        self, h: float, rhs: np.ndarray, trapezoidal: bool = False
+    ) -> np.ndarray:
         scale = 0.5 if trapezoidal else 1.0
         data = scale * self._g_data + self._c_data / h
         return self._factor_solve(data, rhs)
@@ -453,7 +464,8 @@ def get_backend(name: str) -> type:
     except KeyError:
         raise AnalysisError(
             f"unknown solver backend {name!r} "
-            f"(available: {', '.join(available_backends())})") from None
+            f"(available: {', '.join(available_backends())})"
+        ) from None
 
 
 def system_density(system) -> float:
@@ -466,8 +478,7 @@ def system_density(system) -> float:
     n = system.size
     if n == 0:
         return 1.0
-    pattern = (system.conductance_base() != 0.0) \
-        | (system.capacitance_matrix() != 0.0)
+    pattern = (system.conductance_base() != 0.0) | (system.capacitance_matrix() != 0.0)
     nnz = int(np.count_nonzero(pattern))
     nnz += 4 * len(_conductance_pairs(system))
     return min(1.0, nnz / float(n * n))
@@ -483,17 +494,23 @@ def select_backend(systems, n_instances: int | None = None) -> str:
     systems = list(systems)
     k = len(systems) if n_instances is None else int(n_instances)
     system = systems[0]
-    if system.size >= AUTO_SPARSE_MIN_SIZE and \
-            system_density(system) <= AUTO_SPARSE_MAX_DENSITY:
+    if (
+        system.size >= AUTO_SPARSE_MIN_SIZE
+        and system_density(system) <= AUTO_SPARSE_MAX_DENSITY
+    ):
         return "sparse"
     return "stack" if k > 1 else "dense"
 
 
-def create_backend(name: str | None, systems, *,
-                   default: str = "dense",
-                   flops: FlopCounter | None = None,
-                   factor_rtol: float | None = None,
-                   chunk_entries: int | None = None) -> SolverBackend:
+def create_backend(
+    name: str | None,
+    systems,
+    *,
+    default: str = "dense",
+    flops: FlopCounter | None = None,
+    factor_rtol: float | None = None,
+    chunk_entries: int | None = None,
+) -> SolverBackend:
     """Instantiate the backend *name* (or *default*) for *systems*.
 
     ``"auto"`` (and ``None`` with ``default="auto"``) resolves through
@@ -504,5 +521,9 @@ def create_backend(name: str | None, systems, *,
     if resolved == "auto":
         resolved = select_backend(systems)
     cls = get_backend(resolved)
-    return cls(systems, flops=flops, factor_rtol=factor_rtol,
-               chunk_entries=chunk_entries)
+    return cls(
+        systems,
+        flops=flops,
+        factor_rtol=factor_rtol,
+        chunk_entries=chunk_entries,
+    )

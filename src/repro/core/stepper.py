@@ -47,28 +47,36 @@ from repro.perf.flops import FlopCounter
 __all__ = ["LinearStepper"]
 
 
-def _check_same_topology(reference: Circuit, circuit: Circuit,
-                         index: int) -> None:
+def _check_same_topology(reference: Circuit, circuit: Circuit, index: int) -> None:
     """Raise unless *circuit* shares *reference*'s exact topology."""
     if circuit.nodes != reference.nodes:
         raise AnalysisError(
             f"ensemble instance {index} has different nodes "
-            f"{circuit.nodes} vs {reference.nodes}")
-    for category in ("resistors", "capacitors", "inductors",
-                     "voltage_sources", "current_sources", "devices",
-                     "mosfets"):
+            f"{circuit.nodes} vs {reference.nodes}"
+        )
+    for category in (
+        "resistors",
+        "capacitors",
+        "inductors",
+        "voltage_sources",
+        "current_sources",
+        "devices",
+        "mosfets",
+    ):
         ours = getattr(circuit, category)
         theirs = getattr(reference, category)
         if len(ours) != len(theirs):
             raise AnalysisError(
                 f"ensemble instance {index} has {len(ours)} {category}, "
-                f"instance 0 has {len(theirs)}")
+                f"instance 0 has {len(theirs)}"
+            )
         for a, b in zip(ours, theirs):
             if a.name != b.name or a.nodes != b.nodes:
                 raise AnalysisError(
                     f"ensemble instance {index}: {category[:-1]} "
                     f"{a.name!r} on {a.nodes} does not match instance "
-                    f"0's {b.name!r} on {b.nodes}")
+                    f"0's {b.name!r} on {b.nodes}"
+                )
 
 
 class _SourceBank:
@@ -79,8 +87,7 @@ class _SourceBank:
     each distinct waveform is evaluated once per time point.
     """
 
-    def __init__(self, circuits: Sequence[Circuit],
-                 system: MnaSystem) -> None:
+    def __init__(self, circuits: Sequence[Circuit], system: MnaSystem) -> None:
         self.n_instances = len(circuits)
         self.size = system.size
         self._vsrc: list[tuple[int, list]] = []
@@ -105,9 +112,11 @@ class _SourceBank:
                 groups[key] = (waveform, [])
                 order.append(key)
             groups[key][1].append(k)
-        return [(groups[key][0],
-                 np.asarray(groups[key][1], dtype=np.intp))
-                for key in order]
+        grouped = [groups[key] for key in order]
+        return [
+            (waveform, np.asarray(indices, dtype=np.intp))
+            for waveform, indices in grouped
+        ]
 
     def assemble(self, t: float, out: np.ndarray) -> np.ndarray:
         """Fill *out* (a ``(K, n)`` buffer) with ``b(t)`` per instance."""
@@ -144,11 +153,11 @@ class _DeviceSlot:
                 groups[key] = (element.model, [])
                 order.append(key)
             groups[key][1].append(k)
+        grouped = [groups[key] for key in order]
         self.groups = [
-            (groups[key][0], np.asarray(groups[key][1], dtype=np.intp))
-            for key in order]
-        self.single = len(self.groups) == 1 and \
-            self.groups[0][1].size == n
+            (model, np.asarray(indices, dtype=np.intp)) for model, indices in grouped
+        ]
+        self.single = len(self.groups) == 1 and self.groups[0][1].size == n
 
     def chord(self, voltages: np.ndarray) -> np.ndarray:
         """``(K,)`` chord conductances (multiplicity applied)."""
@@ -157,20 +166,20 @@ class _DeviceSlot:
             return self.multiplicity * model.chord_conductance_many(voltages)
         out = np.empty_like(voltages)
         for model, idx in self.groups:
-            out[idx] = self.multiplicity[idx] * \
-                model.chord_conductance_many(voltages[idx])
+            conductance = model.chord_conductance_many(voltages[idx])
+            out[idx] = self.multiplicity[idx] * conductance
         return out
 
     def chord_derivative(self, voltages: np.ndarray) -> np.ndarray:
         """``(K,)`` chord derivatives for the eq.-5 predictor."""
         if self.single:
             model = self.groups[0][0]
-            return self.multiplicity * \
-                model.chord_conductance_derivative_many(voltages)
+            derivative = model.chord_conductance_derivative_many(voltages)
+            return self.multiplicity * derivative
         out = np.empty_like(voltages)
         for model, idx in self.groups:
-            out[idx] = self.multiplicity[idx] * \
-                model.chord_conductance_derivative_many(voltages[idx])
+            derivative = model.chord_conductance_derivative_many(voltages[idx])
+            out[idx] = self.multiplicity[idx] * derivative
         return out
 
 
@@ -209,20 +218,24 @@ class LinearStepper:
         (``"auto"`` resolves by system size and fill ratio).
     """
 
-    def __init__(self, circuits, options=None, *,
-                 n_instances: int | None = None,
-                 noise: Sequence[tuple[str, object]] | Mapping | None = None,
-                 trace_instances: Sequence[int] = (),
-                 chunk_entries: int | None = None,
-                 default_backend: str = "stack") -> None:
+    def __init__(
+        self,
+        circuits,
+        options=None,
+        *,
+        n_instances: int | None = None,
+        noise: Sequence[tuple[str, object]] | Mapping | None = None,
+        trace_instances: Sequence[int] = (),
+        chunk_entries: int | None = None,
+        default_backend: str = "stack",
+    ) -> None:
         from repro.swec.conductance import SwecLinearization
         from repro.swec.engine import SwecOptions
         from repro.swec.timestep import EnsembleStepController
 
         if isinstance(circuits, Circuit):
             if n_instances is None or n_instances < 1:
-                raise AnalysisError(
-                    "a single-circuit ensemble needs n_instances >= 1")
+                raise AnalysisError("a single-circuit ensemble needs n_instances >= 1")
             circuits = [circuits] * int(n_instances)
         else:
             circuits = list(circuits)
@@ -231,7 +244,8 @@ class LinearStepper:
             if n_instances is not None and n_instances != len(circuits):
                 raise AnalysisError(
                     f"n_instances={n_instances} does not match the "
-                    f"{len(circuits)} circuits given")
+                    f"{len(circuits)} circuits given"
+                )
         self.circuits = circuits
         self.n_instances = len(circuits)
         self.options = options or SwecOptions()
@@ -247,29 +261,35 @@ class LinearStepper:
         self.system = self.systems[0]
         self.size = self.system.size
         self.linearization = SwecLinearization(
-            self.system, use_predictor=self.options.use_predictor)
+            self.system, use_predictor=self.options.use_predictor
+        )
         self.controller = EnsembleStepController(
-            self.systems, circuits, self.options.step)
+            self.systems, circuits, self.options.step
+        )
         self._chunk_entries = chunk_entries
         self.backend: SolverBackend = create_backend(
-            self.options.resolved_backend(), self.systems,
+            self.options.resolved_backend(),
+            self.systems,
             default=default_backend,
             factor_rtol=self.options.factor_rtol,
-            chunk_entries=chunk_entries)
+            chunk_entries=chunk_entries,
+        )
 
         self._sources = _SourceBank(circuits, self.system)
         self._device_slots = [
             _DeviceSlot([c.devices[j] for c in circuits])
-            for j in range(len(circuits[0].devices))]
+            for j in range(len(circuits[0].devices))
+        ]
         # Cross-slot grouping: device slots whose K models all share one
         # parameter record evaluate as a single (K, n_slots) vectorized
         # call — a 20x20 RTD mesh pays one chord_conductance_many call
         # per step instead of 400.  Slots with per-instance parameter
         # variations keep the per-slot grouped path.
-        self._multiplicity = (
-            np.stack([slot.multiplicity for slot in self._device_slots],
-                     axis=1)
-            if self._device_slots else np.zeros((self.n_instances, 0)))
+        if self._device_slots:
+            stacked = [slot.multiplicity for slot in self._device_slots]
+            self._multiplicity = np.stack(stacked, axis=1)
+        else:
+            self._multiplicity = np.zeros((self.n_instances, 0))
         uniform: dict = {}
         order: list = []
         self._mixed_slots: list[int] = []
@@ -282,10 +302,10 @@ class LinearStepper:
                 uniform[key][1].append(j)
             else:
                 self._mixed_slots.append(j)
+        grouped = [uniform[key] for key in order]
         self._uniform_groups = [
-            (uniform[key][0],
-             np.asarray(uniform[key][1], dtype=np.intp))
-            for key in order]
+            (model, np.asarray(indices, dtype=np.intp)) for model, indices in grouped
+        ]
         # Single instance, few devices: the vectorized laws pay more in
         # numpy small-array overhead than they save, so the K = 1 slice
         # of small circuits evaluates chords through the scalar
@@ -295,13 +315,14 @@ class LinearStepper:
         self._scalar_chords = self.n_instances == 1 and n_nonlinear <= 32
         mosfets = circuits[0].mosfets
         if mosfets:
-            models = [[c.mosfets[j].model for c in circuits]
-                      for j in range(len(mosfets))]
+            models = [
+                [c.mosfets[j].model for c in circuits] for j in range(len(mosfets))
+            ]
+            names = ("kp", "w", "l", "vth", "polarity", "channel_modulation")
             self._mosfet_params = {
-                name: np.array([[getattr(m, name) for m in row]
-                                for row in models]).T
-                for name in ("kp", "w", "l", "vth", "polarity",
-                             "channel_modulation")}
+                name: np.array([[getattr(m, name) for m in row] for row in models]).T
+                for name in names
+            }
         else:
             self._mosfet_params = None
 
@@ -310,17 +331,18 @@ class LinearStepper:
         self.trace_instances = tuple(int(k) for k in trace_instances)
         for k in self.trace_instances:
             if not 0 <= k < K:
-                raise AnalysisError(
-                    f"trace instance {k} out of range [0, {K})")
+                raise AnalysisError(f"trace instance {k} out of range [0, {K})")
         if self.options.trace_conductance and not self.trace_instances:
             raise AnalysisError(
                 "trace_conductance on an ensemble needs explicit "
                 "trace_instances=(...) — a full per-instance trace would "
-                "hold K * T * n_devices floats")
+                "hold K * T * n_devices floats"
+            )
         if self.trace_instances and not self.options.trace_conductance:
             raise AnalysisError(
                 "trace_instances needs options.trace_conductance=True "
-                "(tracing is gated on the same flag as the scalar engine)")
+                "(tracing is gated on the same flag as the scalar engine)"
+            )
 
     @property
     def backend_name(self) -> str:
@@ -352,44 +374,45 @@ class LinearStepper:
             else:
                 raise AnalysisError(
                     f"noise amplitude for {node!r} must be a scalar or "
-                    f"a length-{K} array, got shape {amplitude.shape}")
+                    f"a length-{K} array, got shape {amplitude.shape}"
+                )
         return matrix
 
     @property
     def num_noises(self) -> int:
         """Number of independent white-noise injections."""
-        return 0 if self._noise_matrix is None else \
-            self._noise_matrix.shape[2]
+        return 0 if self._noise_matrix is None else self._noise_matrix.shape[2]
 
     # ------------------------------------------------------------------
     # Chord conductances, all instances at once
     # ------------------------------------------------------------------
 
-    def _device_conductances(self, states, prev_states, h_prev, h_next,
-                             flops: FlopCounter | None) -> np.ndarray:
+    def _device_conductances(
+        self, states, prev_states, h_prev, h_next, flops: FlopCounter | None
+    ) -> np.ndarray:
         """``(K, n_devices)`` chord conductances, Taylor-corrected."""
         if self._scalar_chords:
-            return self.linearization.device_conductances(
-                states[0],
-                None if prev_states is None else prev_states[0],
-                h_prev, h_next, flops=flops)[None, :]
+            previous = None if prev_states is None else prev_states[0]
+            scalar = self.linearization.device_conductances(
+                states[0], previous, h_prev, h_next, flops=flops
+            )
+            return scalar[None, :]
         voltages = self.linearization.device_voltages(states)
         K = self.n_instances
         if not self._device_slots:
             return voltages
         conductances = np.empty_like(voltages)
-        predict = (self.options.use_predictor and prev_states is not None
-                   and h_prev and h_next)
+        predict = self.options.use_predictor and prev_states is not None
+        predict = predict and bool(h_prev) and bool(h_next)
         if predict:
             prev_voltages = self.linearization.device_voltages(prev_states)
             dv_dt = (voltages - prev_voltages) / h_prev
         for model, idx in self._uniform_groups:
             v = voltages[:, idx]
-            g = self._multiplicity[:, idx] * \
-                model.chord_conductance_many(v)
+            g = self._multiplicity[:, idx] * model.chord_conductance_many(v)
             if predict:
-                dg_dv = self._multiplicity[:, idx] * \
-                    model.chord_conductance_derivative_many(v)
+                derivative = model.chord_conductance_derivative_many(v)
+                dg_dv = self._multiplicity[:, idx] * derivative
                 g = g + 0.5 * h_next * dg_dv * dv_dt[:, idx]
             conductances[:, idx] = g
         for j in self._mixed_slots:
@@ -401,41 +424,45 @@ class LinearStepper:
             conductances[:, j] = g
         np.maximum(conductances, 0.0, out=conductances)
         if flops is not None:
-            flops.count_device_eval(
-                "rtd_current", count=K * len(self._device_slots))
+            flops.count_device_eval("rtd_current", count=K * len(self._device_slots))
             if predict:
                 flops.count_device_eval(
-                    "rtd_conductance", count=K * len(self._device_slots))
+                    "rtd_conductance", count=K * len(self._device_slots)
+                )
         return conductances
 
-    def _mosfet_conductances(self, states,
-                             flops: FlopCounter | None) -> np.ndarray:
+    def _mosfet_conductances(self, states, flops: FlopCounter | None) -> np.ndarray:
         """``(K, n_mosfets)`` chord conductances ``Ids/Vds``."""
         if self._mosfet_params is None:
             return np.zeros((self.n_instances, 0))
         if self._scalar_chords:
-            return self.linearization.mosfet_conductances(
-                states[0], flops=flops)[None, :]
+            scalar = self.linearization.mosfet_conductances(states[0], flops=flops)
+            return scalar[None, :]
         from repro.devices.mosfet import mosfet_chord_stack
 
         voltages = self.linearization.mosfet_voltages(states)
         p = self._mosfet_params
         conductances = mosfet_chord_stack(
-            voltages[..., 0], voltages[..., 1], kp=p["kp"], w=p["w"],
-            l=p["l"], vth=p["vth"], polarity=p["polarity"],
-            channel_modulation=p["channel_modulation"])
+            voltages[..., 0],
+            voltages[..., 1],
+            kp=p["kp"],
+            w=p["w"],
+            l=p["l"],
+            vth=p["vth"],
+            polarity=p["polarity"],
+            channel_modulation=p["channel_modulation"],
+        )
         np.maximum(conductances, 0.0, out=conductances)
         if flops is not None:
-            flops.count_device_eval(
-                "mosfet", count=conductances.size)
+            flops.count_device_eval("mosfet", count=conductances.size)
         return conductances
 
-    def _stamp(self, states, prev_states, h_prev, h_next,
-               flops: FlopCounter | None) -> np.ndarray:
+    def _stamp(
+        self, states, prev_states, h_prev, h_next, flops: FlopCounter | None
+    ) -> np.ndarray:
         """Evaluate chords and stamp ``G`` into the backend; returns
         the ``(K, n_devices)`` chords (for the conductance trace)."""
-        device_g = self._device_conductances(
-            states, prev_states, h_prev, h_next, flops)
+        device_g = self._device_conductances(states, prev_states, h_prev, h_next, flops)
         mosfet_g = self._mosfet_conductances(states, flops)
         self.backend.stamp(device_g, mosfet_g)
         return device_g
@@ -447,20 +474,25 @@ class LinearStepper:
     def _initial_state_stack(self, initial_states) -> np.ndarray:
         K, n = self.n_instances, self.size
         if initial_states is None:
-            return np.stack([system.initial_state()
-                             for system in self.systems])
+            return np.stack([system.initial_state() for system in self.systems])
         states = np.array(initial_states, dtype=float, copy=True)
         if states.shape == (n,):
             states = np.broadcast_to(states, (K, n)).copy()
         if states.shape != (K, n):
             raise AnalysisError(
                 f"initial states must have shape ({n},) or ({K}, {n}), "
-                f"got {states.shape}")
+                f"got {states.shape}"
+            )
         return states
 
-    def _dc_initialize(self, states: np.ndarray,
-                       result: EnsembleTransientResult, t: float = 0.0,
-                       max_iter: int = 200, tol: float = 1e-9) -> np.ndarray:
+    def _dc_initialize(
+        self,
+        states: np.ndarray,
+        result: EnsembleTransientResult,
+        t: float = 0.0,
+        max_iter: int = 200,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
         """Batched chord fixed point at time *t* (DC operating points)."""
         K, n = self.n_instances, self.size
         b = self._sources.assemble(t, np.empty((K, n)))
@@ -470,8 +502,7 @@ class LinearStepper:
         for _ in range(max_iter):
             self._stamp(states, None, None, None, flops)
             new_states = self.backend.solve_conductance(b)
-            delta = (np.max(np.abs(new_states - states), axis=1)
-                     if n else np.zeros(K))
+            delta = np.max(np.abs(new_states - states), axis=1) if n else np.zeros(K)
             shrink = (delta > prev_delta) & (damping > 0.1)
             damping[shrink] *= 0.5
             prev_delta = delta
@@ -485,25 +516,24 @@ class LinearStepper:
     # ------------------------------------------------------------------
 
     def _new_result(self) -> EnsembleTransientResult:
-        result = EnsembleTransientResult(
-            self.system.circuit.nodes, self.n_instances)
+        result = EnsembleTransientResult(self.system.circuit.nodes, self.n_instances)
         result.backend = self.backend_name
         self.backend.begin_run(result.flops)
         return result
 
-    def _finish(self, result: EnsembleTransientResult
-                ) -> EnsembleTransientResult:
+    def _finish(self, result: EnsembleTransientResult) -> EnsembleTransientResult:
         result.factor_reuses = self.backend.reuses
         return result
 
-    def _record_trace(self, result: EnsembleTransientResult, t: float,
-                      device_g: np.ndarray) -> None:
+    def _record_trace(
+        self, result: EnsembleTransientResult, t: float, device_g: np.ndarray
+    ) -> None:
         for k in self.trace_instances:
-            result.conductance_trace.setdefault(k, []).append(
-                (t, device_g[k].copy()))
+            result.conductance_trace.setdefault(k, []).append((t, device_g[k].copy()))
 
-    def _solve_step(self, t, h, states, b_buf, b2_buf, t_next=None,
-                    noise_increments=None) -> np.ndarray:
+    def _solve_step(
+        self, t, h, states, b_buf, b2_buf, t_next=None, noise_increments=None
+    ) -> np.ndarray:
         """One implicit solve for the whole stack, BE or trapezoidal."""
         backend = self.backend
         trapezoidal = self.options.method == "trap"
@@ -525,12 +555,10 @@ class LinearStepper:
             tmp /= h
             rhs += tmp
         if noise_increments is not None:
-            rhs += np.einsum("knm,km->kn", self._noise_matrix,
-                             noise_increments) / h
+            rhs += np.einsum("knm,km->kn", self._noise_matrix, noise_increments) / h
         return backend.solve_transient(h, rhs, trapezoidal)
 
-    def run(self, t_stop: float,
-            initial_states=None) -> EnsembleTransientResult:
+    def run(self, t_stop: float, initial_states=None) -> EnsembleTransientResult:
         """Adaptive lockstep march from ``t = 0`` to *t_stop*.
 
         The shared grid takes the worst-case (smallest) eq.-10/12 step
@@ -543,7 +571,8 @@ class LinearStepper:
             raise AnalysisError(
                 "noise ensembles need the fixed-grid mode (run_grid); "
                 "an adaptive grid would couple every path's step sizes "
-                "to the noise realizations")
+                "to the noise realizations"
+            )
         opts = self.options
         K, n = self.n_instances, self.size
         result = self._new_result()
@@ -564,21 +593,20 @@ class LinearStepper:
             if len(result) >= opts.max_points:
                 result.aborted = True
                 result.abort_reason = (
-                    f"max_points={opts.max_points} reached at t={t:.4g}")
+                    f"max_points={opts.max_points} reached at t={t:.4g}"
+                )
                 break
-            device_g = self._stamp(
-                states, prev_states, h_prev, h, result.flops)
+            device_g = self._stamp(states, prev_states, h_prev, h, result.flops)
             h = self.controller.next_step_from_diagonal(
-                t, h if h_prev is None else h_prev,
-                self.backend.g_diagonal(), t_stop)
+                t, h if h_prev is None else h_prev, self.backend.g_diagonal(), t_stop
+            )
 
             accepted = False
             while not accepted:
                 new_states = self._solve_step(t, h, states, b_buf, b2_buf)
                 if opts.dv_limit is not None:
                     nn = self.system.num_nodes
-                    dv = float(np.max(np.abs(
-                        new_states[:, :nn] - states[:, :nn])))
+                    dv = float(np.max(np.abs(new_states[:, :nn] - states[:, :nn])))
                     if dv > opts.dv_limit and h > opts.step.h_min * 1.001:
                         result.rejected_steps += 1
                         h = max(h * 0.5, opts.step.h_min)
@@ -593,8 +621,9 @@ class LinearStepper:
             self._record_trace(result, t, device_g)
         return self._finish(result)
 
-    def run_grid(self, times, initial_states=None, *, seeds=None,
-                 rng=None) -> EnsembleTransientResult:
+    def run_grid(
+        self, times, initial_states=None, *, seeds=None, rng=None
+    ) -> EnsembleTransientResult:
         """Lockstep march on an explicit shared grid.
 
         With noise injections configured, each step adds
@@ -608,14 +637,16 @@ class LinearStepper:
         times = np.asarray(times, dtype=float)
         if times.ndim != 1 or times.size < 2:
             raise AnalysisError(
-                f"need a 1-D grid with >= 2 points, got shape {times.shape}")
+                f"need a 1-D grid with >= 2 points, got shape {times.shape}"
+            )
         if np.any(np.diff(times) <= 0.0):
             raise AnalysisError("grid times must be strictly increasing")
         opts = self.options
         if self._noise_matrix is not None and opts.method != "be":
             raise AnalysisError(
                 "noise injections integrate as implicit Euler-Maruyama "
-                "on the backward-Euler path only")
+                "on the backward-Euler path only"
+            )
         K, n = self.n_instances, self.size
         result = self._new_result()
         states = self._initial_state_stack(initial_states)
@@ -633,12 +664,11 @@ class LinearStepper:
             t_next = float(times[step + 1])
             t = float(times[step])
             h = t_next - t
-            device_g = self._stamp(
-                states, prev_states, h_prev, h, result.flops)
+            device_g = self._stamp(states, prev_states, h_prev, h, result.flops)
             noise = None if increments is None else increments[:, step, :]
-            new_states = self._solve_step(t, h, states, b_buf, b2_buf,
-                                          t_next=t_next,
-                                          noise_increments=noise)
+            new_states = self._solve_step(
+                t, h, states, b_buf, b2_buf, t_next=t_next, noise_increments=noise
+            )
             prev_states, h_prev = states, h
             states = new_states
             result.append(t_next, states)
@@ -658,10 +688,10 @@ class LinearStepper:
             seeds = list(seeds)
             if len(seeds) != K:
                 raise AnalysisError(
-                    f"need one seed per instance ({K}), got {len(seeds)}")
-            draws = np.stack([
-                np.random.default_rng(seed).standard_normal((steps, m))
-                for seed in seeds])
+                    f"need one seed per instance ({K}), got {len(seeds)}"
+                )
+            streams = [np.random.default_rng(seed) for seed in seeds]
+            draws = np.stack([s.standard_normal((steps, m)) for s in streams])
         else:
             generator = np.random.default_rng(rng)
             draws = generator.standard_normal((K, steps, m))

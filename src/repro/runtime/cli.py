@@ -109,6 +109,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="base RNG seed (default: [batch].seed, else 0)",
     )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "consult the content-addressed result store before running "
+            "each job (PATH, or the default store with no argument)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -132,7 +143,12 @@ def main(argv: list[str] | None = None) -> int:
         # ValueError covers json.JSONDecodeError and tomllib.TOMLDecodeError.
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = runner.run(jobs)
+    if args.cache is not None:
+        from repro.service import ResultStore, run_batch_cached
+
+        report = run_batch_cached(runner, jobs, ResultStore.resolve(args.cache))
+    else:
+        report = runner.run(jobs)
     print(report.summary())
     for result in report.failures():
         if result.traceback:

@@ -27,7 +27,7 @@ side-steps pickling limits of closure-carrying objects such as
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, ClassVar, Mapping, Sequence
 
 import numpy as np
 
@@ -196,6 +196,10 @@ class TransientJob:
     tuples are unwrapped.
     """
 
+    #: Spec-file ``type=`` tag; the cache layer records it
+    #: with every stored result (:mod:`repro.service`).
+    kind: ClassVar[str] = "transient"
+
     t_stop: float
     circuit: Any = None
     builder: str | Callable | None = None
@@ -259,6 +263,10 @@ class ACJob:
     ``dc_options`` configures the bias solve
     (:class:`~repro.swec.dc.SwecDCOptions`, or a flat mapping).
     """
+
+    #: Spec-file ``type=`` tag; the cache layer records it
+    #: with every stored result (:mod:`repro.service`).
+    kind: ClassVar[str] = "ac"
 
     f_start: float
     f_stop: float
@@ -325,6 +333,10 @@ class EnsembleJob:
     deterministic ``SeedSequence`` spawning, so a batch reproduces
     bit-for-bit at any worker count.
     """
+
+    #: Spec-file ``type=`` tag; the cache layer records it
+    #: with every stored result (:mod:`repro.service`).
+    kind: ClassVar[str] = "ensemble"
 
     t_final: float
     steps: int
@@ -414,6 +426,10 @@ class EnsembleTransientJob:
     node's voltage, so the process boundary carries three small arrays
     instead of the ``(K, T, n)`` stack.
     """
+
+    #: Spec-file ``type=`` tag; the cache layer records it
+    #: with every stored result (:mod:`repro.service`).
+    kind: ClassVar[str] = "ensemble_transient"
 
     t_stop: float
     circuit: Any = None

@@ -32,7 +32,12 @@ class JobResult:
     traceback:
         Full formatted traceback text on failure.
     seconds:
-        Wall-clock execution time of the job body.
+        Wall-clock execution time of the job body.  For cached
+        results this is the *original* compute time recorded by the
+        store, not the (near-zero) lookup time.
+    cached:
+        True when the value was served from the content-addressed
+        result store (:mod:`repro.service`) instead of being computed.
     """
 
     index: int
@@ -42,6 +47,7 @@ class JobResult:
     error: str | None = None
     traceback: str | None = None
     seconds: float = 0.0
+    cached: bool = False
 
 
 @dataclass
@@ -65,6 +71,11 @@ class BatchReport:
     @property
     def n_failed(self) -> int:
         return self.n_jobs - self.n_ok
+
+    @property
+    def n_cached(self) -> int:
+        """Jobs served from the result cache instead of computed."""
+        return sum(1 for r in self.results if r.cached)
 
     @property
     def ok(self) -> bool:
@@ -93,13 +104,18 @@ class BatchReport:
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
+        cached = f", {self.n_cached} cached" if self.n_cached else ""
         lines = [
             f"batch: {self.n_jobs} jobs, {self.n_ok} ok, "
-            f"{self.n_failed} failed "
+            f"{self.n_failed} failed{cached} "
             f"({self.executor}, workers={self.workers}, seed={self.seed})",
             f"wall {self.wall_seconds:.3f} s, job time {self.job_seconds():.3f} s",
         ]
         for r in self.results:
-            status = "ok" if r.ok else f"FAILED: {r.error}"
+            status = (
+                "ok (cached)"
+                if r.ok and r.cached
+                else ("ok" if r.ok else f"FAILED: {r.error}")
+            )
             lines.append(f"  [{r.index}] {r.label:<24} {r.seconds:8.3f} s  {status}")
         return "\n".join(lines)

@@ -116,10 +116,26 @@ class BatchRunner:
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs) -> BatchReport:
-        """Execute *jobs*; returns the aggregated :class:`BatchReport`."""
+    def run(self, jobs, seeds=None) -> BatchReport:
+        """Execute *jobs*; returns the aggregated :class:`BatchReport`.
+
+        *seeds* overrides the positional ``SeedSequence`` spawn with an
+        explicit per-job seed list (one entry per job).  The cache
+        layer (:func:`repro.service.run_batch_cached`) uses this to
+        execute a miss subset under the seeds the jobs would have
+        received in the full batch, keeping results independent of
+        cache state.
+        """
         jobs = list(jobs)
-        seeds = np.random.SeedSequence(self.seed).spawn(max(len(jobs), 1))
+        if seeds is None:
+            seeds = np.random.SeedSequence(self.seed).spawn(max(len(jobs), 1))
+        else:
+            seeds = list(seeds)
+            if len(seeds) < len(jobs):
+                raise AnalysisError(
+                    f"seeds= needs one entry per job: got {len(seeds)} "
+                    f"for {len(jobs)} jobs"
+                )
         labels = [_job_label(job, k) for k, job in enumerate(jobs)]
         start = time.perf_counter()
         if self.executor == "serial" or self.max_workers == 1 or len(jobs) <= 1:

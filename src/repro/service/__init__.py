@@ -1,0 +1,68 @@
+"""Simulation-as-a-service: job daemon + content-addressed result cache.
+
+The simulator is bit-exact deterministic — the same job spec plus the
+same seed always reproduces the same waveforms — which makes a
+content-addressed result cache *exact*, not heuristic.  This package
+is the serving layer built on that guarantee:
+
+:mod:`repro.service.hashing`
+    Canonical, version-salted job fingerprints (:func:`job_key`):
+    stable under mapping key order and netlist spelling, changed by
+    any parameter/seed/version change.
+:mod:`repro.service.store`
+    The on-disk store (:class:`ResultStore`): atomic writes, checksum
+    corruption detection, age/count eviction.
+:mod:`repro.service.cache`
+    :func:`run_batch_cached` — the ``cache=`` knob behind
+    ``run_sweep`` and the runtime CLI, preserving deterministic
+    per-job seeding exactly.
+:mod:`repro.service.daemon` / :mod:`repro.service.client`
+    A persistent asyncio daemon over a Unix socket (JSON-lines
+    protocol, ``queued -> running -> done|failed`` event streams,
+    per-job failure isolation, in-flight deduplication) and its
+    synchronous client.
+
+CLI: ``python -m repro.service serve|submit|status|gc`` — see
+``docs/service.md``.
+"""
+
+from repro.service.cache import batch_job_keys, job_kind, run_batch_cached
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import PROTOCOL, ServiceDaemon, default_socket_path
+from repro.service.hashing import (
+    FINGERPRINT_SCHEMA,
+    UncacheableJobError,
+    canonical_job,
+    canonical_value,
+    job_key,
+)
+from repro.service.store import (
+    STORE_SCHEMA,
+    CachedResult,
+    GcStats,
+    ResultStore,
+    default_store_root,
+    result_summary,
+)
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "PROTOCOL",
+    "STORE_SCHEMA",
+    "CachedResult",
+    "GcStats",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "UncacheableJobError",
+    "batch_job_keys",
+    "canonical_job",
+    "canonical_value",
+    "default_socket_path",
+    "default_store_root",
+    "job_key",
+    "job_kind",
+    "result_summary",
+    "run_batch_cached",
+]

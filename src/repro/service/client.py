@@ -1,0 +1,160 @@
+"""Synchronous client for the service daemon.
+
+One request per connection: the client sends a single JSON line over
+the daemon's Unix socket and iterates the JSON-lines event stream back.
+Blocking by design — the CLI, tests and notebook use cases are all
+synchronous; concurrency comes from many clients, which the asyncio
+daemon multiplexes.
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("/tmp/repro.sock")
+    final = client.submit({"circuit": "rtd_divider", "t_stop": 5e-10})
+    final["cached"], final["record"]["summary"]
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import AnalysisError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Events that end a ``submit`` stream.
+_TERMINAL_EVENTS = frozenset({"done", "failed", "error"})
+
+
+class ServiceError(AnalysisError):
+    """The daemon reported a protocol-level error, or never answered."""
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.daemon.ServiceDaemon`.
+
+    Parameters
+    ----------
+    socket_path:
+        The daemon's Unix socket.
+    timeout:
+        Per-read socket timeout in seconds (``None`` blocks forever;
+        the default is generous because event streams heartbeat at the
+        daemon's progress interval).
+    """
+
+    def __init__(self, socket_path: str | Path, timeout: float | None = 300.0) -> None:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise ServiceError(
+                "the service daemon needs AF_UNIX sockets, which this "
+                "platform does not provide"
+            )
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def request(self, payload: dict) -> Iterator[dict]:
+        """Send one request; yield each response event as it arrives."""
+        try:
+            connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            connection.settimeout(self.timeout)
+            connection.connect(self.socket_path)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach daemon at {self.socket_path}: {exc}"
+            ) from exc
+        try:
+            connection.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            with connection.makefile("rb") as stream:
+                for line in stream:
+                    if not line.strip():
+                        continue
+                    yield json.loads(line)
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to {self.socket_path} failed mid-stream: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def _single(self, payload: dict, expected: str) -> dict:
+        for event in self.request(payload):
+            if event.get("event") == "error":
+                raise ServiceError(event.get("error", "daemon error"))
+            if event.get("event") == expected:
+                return event
+        raise ServiceError(f"daemon closed the stream without a {expected!r} event")
+
+    # -- ops ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Round-trip liveness check; returns the ``pong`` event."""
+        return self._single({"op": "ping"}, "pong")
+
+    def status(self) -> dict:
+        """Daemon stats: counters, pool shape, store size."""
+        return self._single({"op": "status"}, "status")
+
+    def gc(
+        self,
+        max_age_seconds: float | None = None,
+        max_entries: int | None = None,
+    ) -> dict:
+        """Ask the daemon to garbage-collect its store."""
+        return self._single(
+            {
+                "op": "gc",
+                "max_age_seconds": max_age_seconds,
+                "max_entries": max_entries,
+            },
+            "gc",
+        )
+
+    def shutdown(self) -> dict:
+        """Stop the daemon; returns its ``bye`` event."""
+        return self._single({"op": "shutdown"}, "bye")
+
+    def submit(
+        self,
+        job: dict,
+        seed: int = 0,
+        cache: bool = True,
+        payload: bool = False,
+        on_event: Callable[[dict], Any] | None = None,
+    ) -> dict:
+        """Submit one job-spec table; block until it finishes.
+
+        Streams ``queued -> running -> done|failed`` events through
+        *on_event* (when given) and returns the terminal event.  With
+        ``payload=True`` the daemon ships the full pickled result
+        value, exposed on the returned event as ``event["value"]``.
+
+        Raises :class:`ServiceError` only for protocol breakdowns; a
+        job that *ran* and failed returns its ``failed`` event, so one
+        bad submission never aborts a submission loop.
+        """
+        request = {
+            "op": "submit",
+            "job": job,
+            "seed": int(seed),
+            "cache": bool(cache),
+            "payload": bool(payload),
+        }
+        for event in self.request(request):
+            if on_event is not None:
+                on_event(event)
+            name = event.get("event")
+            if name == "error":
+                raise ServiceError(event.get("error", "daemon error"))
+            if name in _TERMINAL_EVENTS:
+                if payload and "payload_b64" in event:
+                    event["value"] = pickle.loads(
+                        base64.b64decode(event["payload_b64"])
+                    )
+                return event
+        raise ServiceError("daemon closed the stream mid-submission")

@@ -1,0 +1,536 @@
+"""The simulation service daemon.
+
+An :mod:`asyncio` server on a local Unix socket speaking a JSON-lines
+protocol: one request object per connection, a stream of event objects
+back.  Jobs execute on a persistent worker pool (the same
+``_execute_job`` body the :class:`~repro.runtime.BatchRunner` uses, so
+failure isolation is identical: a crashing job returns a structured
+``failed`` event, never takes the daemon down), and every cacheable
+job is served through the content-addressed
+:class:`~repro.service.store.ResultStore` — a resubmitted spec+seed
+returns the stored record without touching the pool.
+
+Request ops::
+
+    {"op": "ping"}
+    {"op": "status"}
+    {"op": "gc", "max_age_seconds": 86400, "max_entries": 1000}
+    {"op": "shutdown"}
+    {"op": "submit", "job": {...job-spec table...}, "seed": 0,
+     "cache": true, "payload": false}
+
+``submit`` streams ``queued -> running(progress) -> done|failed``
+events; ``done`` carries the deterministic result record (and, with
+``payload=true``, the base64-pickled result value).  Concurrent
+submissions of the same fingerprint are coalesced onto one execution.
+
+Only trust the socket as far as you trust local users: payloads are
+pickles, and the socket is created with owner-only permissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import AnalysisError, NanoSimError
+from repro.service.cache import job_kind
+from repro.service.hashing import UncacheableJobError, job_key
+from repro.service.store import ResultStore, result_summary
+
+__all__ = ["PROTOCOL", "ServiceDaemon", "default_socket_path"]
+
+#: Protocol tag sent in every ``pong`` / ``status`` response.
+PROTOCOL = "repro-service/1"
+
+_EXECUTORS = ("process", "thread")
+
+
+def default_socket_path(store: ResultStore | None = None) -> Path:
+    """Default daemon socket: ``<store-root>/daemon.sock``."""
+    root = store.root if store is not None else ResultStore().root
+    return Path(root) / "daemon.sock"
+
+
+class _Stats:
+    """Daemon-lifetime counters exposed by the ``status`` op."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self.submissions = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.executed = 0
+        self.failed = 0
+        self.factorizations = 0
+        self.solver_flops = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "submissions": self.submissions,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "failed": self.failed,
+            "factorizations": self.factorizations,
+            "solver_flops": self.solver_flops,
+        }
+
+
+class ServiceDaemon:
+    """Persistent job daemon over a Unix socket.
+
+    Parameters
+    ----------
+    socket_path:
+        Path the listening socket is bound to (created/removed by the
+        daemon; a stale file from a previous run is replaced).
+    store:
+        Result store (path, :class:`ResultStore` or ``None`` for the
+        default root).
+    max_workers:
+        Worker pool width; defaults to the usable CPU count.
+    executor:
+        ``"process"`` (default, CPU-bound simulation fan-out) or
+        ``"thread"`` (in-process, for tests and debugging).
+    progress_interval:
+        Seconds between ``running`` heartbeat events while a job
+        executes.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        store: ResultStore | str | Path | None = None,
+        max_workers: int | None = None,
+        executor: str = "process",
+        progress_interval: float = 1.0,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise AnalysisError(
+                f"unknown executor {executor!r} "
+                f"(expected one of {', '.join(_EXECUTORS)})"
+            )
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.socket_path = Path(
+            socket_path
+            if socket_path is not None
+            else default_socket_path(self.store)
+        )
+        from repro.runtime.runner import default_worker_count
+
+        self.max_workers = max_workers or default_worker_count()
+        self.executor = executor
+        self.progress_interval = float(progress_interval)
+        self.stats = _Stats()
+        self._pool = None
+        self._next_id = 0
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._stop: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- pool -----------------------------------------------------------
+
+    def _make_pool(self):
+        pool_class = (
+            ProcessPoolExecutor
+            if self.executor == "process"
+            else ThreadPoolExecutor
+        )
+        return pool_class(max_workers=self.max_workers)
+
+    def _pool_or_start(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def _reset_broken_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def serve(self, ready=None) -> None:
+        """Bind the socket and serve until a ``shutdown`` request.
+
+        *ready* is any object with a ``set()`` method (a
+        ``threading.Event`` or ``asyncio.Event``), signalled once the
+        socket is bound and accepting connections.
+        """
+        self._stop = asyncio.Event()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        with contextlib.suppress(OSError):
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path)
+        )
+        os.chmod(self.socket_path, 0o600)
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            with contextlib.suppress(OSError):
+                self.socket_path.unlink()
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+    def run(self, ready=None) -> None:
+        """Blocking entry point: serve on a fresh event loop."""
+        try:
+            asyncio.run(self.serve(ready=ready))
+        except KeyboardInterrupt:
+            pass
+
+    # -- protocol -------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, event: dict) -> None:
+        writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if not line.strip():
+                return
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                await self._send(
+                    writer, {"event": "error", "error": f"bad request: {exc}"}
+                )
+                return
+            op = request.get("op")
+            if op == "ping":
+                await self._send(writer, {"event": "pong", "protocol": PROTOCOL})
+            elif op == "status":
+                await self._send(writer, self._status_event())
+            elif op == "gc":
+                stats = self.store.gc(
+                    max_age_seconds=request.get("max_age_seconds"),
+                    max_entries=request.get("max_entries"),
+                )
+                await self._send(writer, {"event": "gc", **vars(stats)})
+            elif op == "shutdown":
+                await self._send(writer, {"event": "bye"})
+                assert self._stop is not None
+                self._stop.set()
+            elif op == "submit":
+                await self._handle_submit(writer, request)
+            else:
+                await self._send(
+                    writer,
+                    {"event": "error", "error": f"unknown op {op!r}"},
+                )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            with contextlib.suppress(Exception):
+                await self._send(
+                    writer,
+                    {
+                        "event": "error",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    def _status_event(self) -> dict:
+        return {
+            "event": "status",
+            "protocol": PROTOCOL,
+            "executor": self.executor,
+            "workers": self.max_workers,
+            "inflight": len(self._inflight),
+            "store": self.store.stats(),
+            **self.stats.as_dict(),
+        }
+
+    # -- submit ---------------------------------------------------------
+
+    async def _handle_submit(self, writer: asyncio.StreamWriter, request: dict) -> None:
+        from repro.runtime.jobs import job_from_mapping
+
+        self.stats.submissions += 1
+        self._next_id += 1
+        job_id = self._next_id
+        spec = request.get("job")
+        seed = int(request.get("seed", 0))
+        use_cache = bool(request.get("cache", True))
+        want_payload = bool(request.get("payload", False))
+        if not isinstance(spec, dict):
+            await self._send(
+                writer,
+                {
+                    "event": "failed",
+                    "id": job_id,
+                    "error": "submit needs a job= spec table",
+                },
+            )
+            self.stats.failed += 1
+            return
+        try:
+            job = job_from_mapping(spec)
+        except (NanoSimError, TypeError, ValueError) as exc:
+            await self._send(
+                writer,
+                {
+                    "event": "failed",
+                    "id": job_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            self.stats.failed += 1
+            return
+        label = getattr(job, "label", "") or f"job-{job_id}"
+        key: str | None = None
+        if use_cache:
+            try:
+                key = job_key(job, seed=seed)
+            except UncacheableJobError:
+                key = None
+        await self._send(
+            writer,
+            {"event": "queued", "id": job_id, "key": key, "label": label},
+        )
+        if key is not None:
+            entry = self.store.get(key)
+            if entry is not None:
+                self.stats.cache_hits += 1
+                await self._finish(
+                    writer,
+                    job_id,
+                    value=entry.value,
+                    record=entry.record(),
+                    cached=True,
+                    seconds=0.0,
+                    want_payload=want_payload,
+                )
+                return
+        start = time.perf_counter()
+        if key is not None and key in self._inflight:
+            self.stats.coalesced += 1
+            future = self._inflight[key]
+            while not future.done():
+                done, _ = await asyncio.wait([future], timeout=self.progress_interval)
+                if not done:
+                    await self._send(
+                        writer,
+                        {
+                            "event": "running",
+                            "id": job_id,
+                            "seconds": time.perf_counter() - start,
+                            "coalesced": True,
+                        },
+                    )
+            try:
+                result = future.result()
+            except Exception as exc:  # the coalesced execution crashed
+                await self._send(
+                    writer,
+                    {
+                        "event": "failed",
+                        "id": job_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "seconds": time.perf_counter() - start,
+                    },
+                )
+                self.stats.failed += 1
+                return
+            if result.ok:
+                self.stats.cache_hits += 1
+                # The originating request may not have published yet;
+                # put is idempotent, so settle the record either way.
+                entry = self.store.get(key)
+                if entry is None:
+                    entry = self.store.put(
+                        key,
+                        result.value,
+                        kind=job_kind(job),
+                        label=result.label,
+                        seconds=result.seconds,
+                    )
+                record = entry.record()
+                await self._finish(
+                    writer,
+                    job_id,
+                    value=result.value,
+                    record=record,
+                    cached=True,
+                    seconds=time.perf_counter() - start,
+                    want_payload=want_payload,
+                )
+            else:
+                self.stats.failed += 1
+                await self._send(
+                    writer,
+                    {
+                        "event": "failed",
+                        "id": job_id,
+                        "error": result.error,
+                        "traceback": result.traceback,
+                        "seconds": time.perf_counter() - start,
+                    },
+                )
+            return
+        else:
+            result = await self._execute(writer, job_id, job, seed, key, start)
+            if result is None:
+                return
+        await self._report_result(writer, job_id, job, key, result, start, want_payload)
+
+    async def _execute(self, writer, job_id, job, seed, key, start):
+        """Run one job on the pool, streaming ``running`` heartbeats.
+
+        Returns the :class:`~repro.runtime.report.JobResult`, or
+        ``None`` when the pool itself failed (already reported).
+        """
+        from repro.runtime.runner import _execute_job
+
+        loop = asyncio.get_running_loop()
+        label = getattr(job, "label", "") or f"job-{job_id}"
+        try:
+            pool = self._pool_or_start()
+            future = loop.run_in_executor(
+                pool,
+                _execute_job,
+                job,
+                job_id,
+                label,
+                np.random.SeedSequence(seed),
+            )
+        except Exception as exc:  # unpicklable job, pool refused
+            await self._send(
+                writer,
+                {
+                    "event": "failed",
+                    "id": job_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            self.stats.failed += 1
+            return None
+        if key is not None:
+            self._inflight[key] = future
+        try:
+            await self._send(writer, {"event": "running", "id": job_id})
+            while True:
+                done, _ = await asyncio.wait([future], timeout=self.progress_interval)
+                if done:
+                    break
+                await self._send(
+                    writer,
+                    {
+                        "event": "running",
+                        "id": job_id,
+                        "seconds": time.perf_counter() - start,
+                    },
+                )
+            try:
+                result = future.result()
+            except Exception as exc:  # worker crash / broken pool
+                from concurrent.futures.process import BrokenProcessPool
+
+                if isinstance(exc, BrokenProcessPool):
+                    self._reset_broken_pool()
+                await self._send(
+                    writer,
+                    {
+                        "event": "failed",
+                        "id": job_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "seconds": time.perf_counter() - start,
+                    },
+                )
+                self.stats.failed += 1
+                return None
+        finally:
+            if key is not None:
+                self._inflight.pop(key, None)
+        return result
+
+    async def _report_result(
+        self, writer, job_id, job, key, result, start, want_payload
+    ) -> None:
+        seconds = time.perf_counter() - start
+        if not result.ok:
+            self.stats.failed += 1
+            await self._send(
+                writer,
+                {
+                    "event": "failed",
+                    "id": job_id,
+                    "error": result.error,
+                    "traceback": result.traceback,
+                    "seconds": seconds,
+                },
+            )
+            return
+        self.stats.executed += 1
+        flops = getattr(result.value, "flops", None)
+        if flops is not None:
+            self.stats.factorizations += int(flops.factorizations)
+            self.stats.solver_flops += int(flops.total)
+        if key is not None:
+            entry = self.store.put(
+                key,
+                result.value,
+                kind=job_kind(job),
+                label=result.label,
+                seconds=result.seconds,
+            )
+            record = entry.record()
+        else:
+            record = {
+                "schema": None,
+                "key": None,
+                "kind": job_kind(job),
+                "label": result.label,
+                "summary": result_summary(result.value),
+            }
+        await self._finish(
+            writer,
+            job_id,
+            value=result.value,
+            record=record,
+            cached=False,
+            seconds=seconds,
+            want_payload=want_payload,
+        )
+
+    async def _finish(
+        self, writer, job_id, *, value, record, cached, seconds, want_payload
+    ) -> None:
+        event = {
+            "event": "done",
+            "id": job_id,
+            "cached": cached,
+            "seconds": seconds,
+            "record": record,
+        }
+        if want_payload:
+            event["payload_b64"] = base64.b64encode(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii")
+        await self._send(writer, event)

@@ -66,6 +66,10 @@ def main(argv: list[str] | None = None) -> int:
         "--backend", default=None, choices=available_backends(),
         help="solver backend for every point (default: the spec's "
              "backend setting, else each engine's default)")
+    parser.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="PATH",
+        help="consult the content-addressed result store before running "
+             "each point (PATH, or the default store with no argument)")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the tidy table as CSV")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -85,7 +89,8 @@ def main(argv: list[str] | None = None) -> int:
         spec = load_sweep_spec(args.spec)
         report = run_sweep(spec, max_workers=args.workers,
                            executor=args.executor, seed=args.seed,
-                           vector=args.vector, backend=args.backend)
+                           vector=args.vector, backend=args.backend,
+                           cache=args.cache)
     except (NanoSimError, TypeError, ValueError) as exc:
         # ValueError covers json/toml decode errors on malformed
         # files; per-point simulation failures never raise — they are

@@ -260,7 +260,8 @@ def _assemble_report(spec: SweepSpec, jobs, batch: BatchReport,
 def run_sweep(spec: SweepSpec, max_workers: int | None = None,
               executor: str | None = None, seed: int | None = None,
               vector: int | None = None,
-              backend: str | None = None) -> SweepReport:
+              backend: str | None = None,
+              cache=None) -> SweepReport:
     """Run every design point of *spec* and aggregate the report.
 
     ``max_workers``/``executor``/``seed``/``vector`` override the
@@ -272,6 +273,15 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
     :class:`SweepBatchJob`.  ``backend`` forces the solver backend of
     every point (transient and AC sweeps), overriding the spec's
     ``backend`` setting.
+
+    ``cache`` enables the content-addressed result store of
+    :mod:`repro.service`: a path (or a ready
+    :class:`~repro.service.ResultStore`, or ``True`` for the default
+    root).  Each point's reduced measures are looked up by the
+    fingerprint of ``(point job, base seed, position)`` before any
+    solver runs; hits skip the pool entirely and misses are published
+    for the next sweep.  Determinism is unaffected — misses execute
+    under the exact seeds they would receive in an uncached run.
     """
     if backend is not None:
         if spec.kind == "ensemble":
@@ -302,6 +312,11 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
     else:
         jobs = build_jobs(spec)
     start = time.perf_counter()
-    batch = runner.run(jobs)
+    if cache is not None and cache is not False:
+        from repro.service import ResultStore, run_batch_cached
+
+        batch = run_batch_cached(runner, jobs, ResultStore.resolve(cache))
+    else:
+        batch = runner.run(jobs)
     return _assemble_report(spec, jobs, batch,
                             time.perf_counter() - start)

@@ -37,7 +37,7 @@ def _netlist_doc() -> Path:
 
 def test_docs_directory_is_complete():
     for name in ("architecture.md", "paper_map.md", "netlist_format.md",
-                 "ac_analysis.md", "ensemble_transient.md"):
+                 "ac_analysis.md", "ensemble_transient.md", "service.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -65,7 +65,7 @@ def test_spice_error_snippets_fail_as_documented(index):
 
 @pytest.mark.parametrize("document",
                          ["netlist_format.md", "ac_analysis.md",
-                          "ensemble_transient.md"])
+                          "ensemble_transient.md", "service.md"])
 def test_python_snippets_run(document):
     snippets = _blocks(DOCS / document, "python")
     assert snippets, f"docs/{document} has no python snippets"
@@ -87,6 +87,22 @@ def test_ensemble_doc_covers_the_subsystem():
                      "bench_report.py"):
         assert required in text, \
             f"ensemble_transient.md lacks {required!r}"
+
+
+def test_service_doc_covers_the_subsystem():
+    text = (DOCS / "service.md").read_text()
+    for required in ("job_key", "ResultStore", "run_batch_cached",
+                     "python -m repro.service", "REPRO_CACHE_DIR",
+                     "UncacheableJobError", "service-smoke",
+                     "bench_service_cache.py"):
+        assert required in text, f"service.md lacks {required!r}"
+
+
+def test_readme_documents_the_service():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/service.md" in readme
+    assert "python -m repro.service" in readme
+    assert "--cache" in readme
 
 
 def test_readme_documents_ensemble_transients():

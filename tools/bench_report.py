@@ -189,12 +189,54 @@ def _bench_backends(quick: bool, repeats: int) -> list[dict]:
     }]
 
 
+def _bench_service_cache(quick: bool, repeats: int) -> list[dict]:
+    import tempfile
+
+    from repro.service import ResultStore
+    from repro.sweep import ParameterAxis, SweepSpec, run_sweep
+    from repro.sweep.measures import MeasureSpec
+
+    n_points = 12 if quick else 50
+
+    def spec():
+        return SweepSpec(
+            name="bench-service-cache",
+            template="rtd_divider",
+            settings={
+                "t_stop": 2e-9,
+                "options": {"epsilon": 0.05, "h_min": 1e-13,
+                            "h_max": 5e-11, "h_initial": 1e-12},
+            },
+            axes=[ParameterAxis.from_range("resistance", 5.0, 300.0,
+                                           n_points)],
+            measures=[MeasureSpec(kind="final", node="out",
+                                  name="v_final")],
+        )
+
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        cold_seconds = _median_seconds(
+            lambda: run_sweep(spec(), executor="serial", seed=0,
+                              cache=store), 1)
+        warm_seconds = _median_seconds(
+            lambda: run_sweep(spec(), executor="serial", seed=0,
+                              cache=store), repeats)
+    return [{
+        "name": "service_cache_warm_sweep",
+        "median_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "reference": "cold sweep (every point simulated)",
+        "axes": {"points": n_points},
+    }]
+
+
 #: Kernel groups addressable via ``--only``.
 KERNELS = {
     "ensemble": _bench_ensemble,
     "ac": _bench_ac,
     "gather": _bench_gather,
     "backends": _bench_backends,
+    "service_cache": _bench_service_cache,
 }
 
 
