@@ -33,6 +33,9 @@ Package map (every subpackage):
 - :mod:`repro.perf` — flop accounting behind Table I
 - :mod:`repro.runtime` — batched simulation runtime (process fan-out)
 - :mod:`repro.sweep` — parametric design-space sweeps over the runtime
+- :mod:`repro.lint` — static netlist/topology analysis (pre-flight
+  checks for sweeps, jobs and the service)
+- :mod:`repro.service` — job daemon + content-addressed result cache
 
 The full package map and data flow are documented in
 ``docs/architecture.md``; ``docs/paper_map.md`` locates every paper
@@ -74,9 +77,16 @@ from repro.errors import (
     AssemblyError,
     CircuitError,
     ConvergenceError,
+    LintError,
     NanoSimError,
     NetlistParseError,
     SingularMatrixError,
+)
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    lint_circuit,
+    lint_netlist,
 )
 from repro.swec import (
     SwecDC,
@@ -108,7 +118,7 @@ from repro.runtime import (
     TransientJob,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ACAnalysis",
@@ -125,11 +135,14 @@ __all__ = [
     "Clock",
     "ConvergenceError",
     "DC",
+    "Diagnostic",
     "Diode",
     "EnsembleJob",
     "EnsembleTransientJob",
     "JobResult",
     "LinearSDE",
+    "LintError",
+    "LintReport",
     "MlaDC",
     "MlaTransient",
     "MosfetModel",
@@ -160,6 +173,8 @@ __all__ = [
     "euler_maruyama",
     "frequency_grid",
     "johnson_noise",
+    "lint_circuit",
+    "lint_netlist",
     "nmos",
     "parse_netlist",
     "pmos",

@@ -379,10 +379,17 @@ def _split_bare_and_params(tokens: list[str]) -> tuple[list[str],
 class _Parser:
     """Single-netlist parse state: model/subckt tables plus the circuit."""
 
-    def __init__(self, models: dict, subckts: dict[str, SubcktDef]) -> None:
+    def __init__(self, models: dict, subckts: dict[str, SubcktDef],
+                 provenance: dict | None = None) -> None:
         self.models = models
         self.subckts = subckts
         self.circuit = Circuit()
+        self.provenance = provenance
+
+    def _note(self, name: str, number: int, line: str) -> None:
+        """Record where an element came from, when provenance is on."""
+        if self.provenance is not None:
+            self.provenance[name] = (number, line)
 
     # ------------------------------------------------------------------
 
@@ -391,6 +398,8 @@ class _Parser:
         """Parse one element card into the circuit, inside *scope*."""
         head = fields[0]
         name = scope.prefix + head
+        if head[0].upper() in "RCLVIM":
+            self._note(name, number, line)
         fields = [head] + [_substitute(token, scope.env, number, line)
                            for token in fields[1:]]
         letter = head[0].upper()
@@ -464,6 +473,7 @@ class _Parser:
             match = _PARAM_RE.match(token)
             if match and match.group(1).upper() == "M":
                 multiplicity = parse_value(match.group(2))
+        self._note(scope.prefix + fields[0], number, line)
         self.circuit.add_device(
             scope.prefix + fields[0], scope.resolve(fields[1]),
             scope.resolve(fields[2]), self.models[model_name], multiplicity)
@@ -542,7 +552,8 @@ class _Parser:
                           depth + 1)
 
 
-def parse_netlist(text: str, params: dict | None = None) -> Circuit:
+def parse_netlist(text: str, params: dict | None = None,
+                  provenance: dict | None = None) -> Circuit:
     """Parse *text* into a :class:`~repro.circuit.Circuit`.
 
     Parameters
@@ -553,6 +564,12 @@ def parse_netlist(text: str, params: dict | None = None) -> Circuit:
         External overrides for ``.PARAM`` values — this is how the
         sweep subsystem turns one netlist into a circuit family.  Every
         key must be defined by a ``.PARAM`` card in the netlist.
+    provenance:
+        Optional dict the parser fills with
+        ``element name -> (line_number, logical_line)`` for every
+        element it creates (subcircuit-expanded elements point at
+        their body line).  The lint subsystem uses this to attach
+        netlist locations to graph-level diagnostics.
 
     >>> circuit = parse_netlist('''
     ... .title divider
@@ -571,17 +588,19 @@ def parse_netlist(text: str, params: dict | None = None) -> Circuit:
     lines = _join_continuations(text)
     top, subckts = _extract_subckts(lines)
     env = _collect_params(top, params)
-    parser = _Parser(_collect_models(lines, env), subckts)
+    parser = _Parser(_collect_models(lines, env), subckts, provenance)
     circuit = parser.circuit
 
     for number, line in top:
         fields = _split_fields(line)
         head = fields[0]
         upper = head.upper()
-        if upper.startswith(".TITLE"):
+        if upper == ".TITLE":
             circuit.name = " ".join(fields[1:]) or circuit.name
             continue
-        if upper in (".END",) or upper.startswith((".MODEL", ".PARAM")):
+        # Exact matches only: a mistyped directive (".MODELS",
+        # ".PARAMS") must be reported, not silently skipped.
+        if upper in (".END", ".MODEL", ".PARAM"):
             continue
         if upper.startswith("."):
             raise NetlistParseError(

@@ -38,6 +38,26 @@ class NetlistParseError(CircuitError):
         self.line = line
 
 
+class LintError(CircuitError):
+    """Pre-flight lint refused a circuit (``validate="strict"``).
+
+    Raised by the gating layer in :mod:`repro.lint.gate` when a job or
+    sweep design point fails static analysis and the caller asked for
+    strict validation.  Carries the full report so callers can render
+    or serialize the diagnostics.
+
+    Attributes
+    ----------
+    report:
+        The :class:`repro.lint.LintReport` that triggered the refusal,
+        when available.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class AssemblyError(NanoSimError):
     """MNA system assembly failed (singular topology, missing ground...)."""
 

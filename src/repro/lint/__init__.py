@@ -1,0 +1,39 @@
+"""Netlist lint: static topology analysis before any factorization.
+
+The SWEC flow assumes a well-posed MNA system; at sweep/service scale
+a malformed design point wastes a worker (or a whole coalesced job).
+This package catches structural defects at parse time:
+
+* :func:`lint_netlist` — full pipeline over netlist source text:
+  text-level checks (subcircuit hygiene), a provenance-tracking parse,
+  then graph checks over the flattened circuit.  Parse failures are
+  classified into diagnostics, never raised.
+* :func:`lint_circuit` — graph checks over an already-built
+  :class:`~repro.circuit.Circuit`.
+* :class:`LintReport` / :class:`Diagnostic` — the structured result,
+  rendering to text or deterministic JSON.
+* :mod:`repro.lint.checks` — the check registry (extend with
+  :func:`~repro.lint.checks.register_check`).
+* :mod:`repro.lint.gate` — ``validate=`` gating for runtime jobs,
+  sweeps and the result service.
+
+Command line: ``python -m repro.lint file.cir [--json]
+[--fail-on warning]`` (installed as ``repro-lint``).  The full check
+catalogue is documented in ``docs/lint.md``.
+"""
+
+from repro.lint.analyzer import lint_circuit, lint_netlist
+from repro.lint.checks import CHECKS, register_check
+from repro.lint.graph import CircuitGraph
+from repro.lint.report import SEVERITIES, Diagnostic, LintReport
+
+__all__ = [
+    "CHECKS",
+    "SEVERITIES",
+    "CircuitGraph",
+    "Diagnostic",
+    "LintReport",
+    "lint_circuit",
+    "lint_netlist",
+    "register_check",
+]

@@ -1,0 +1,184 @@
+"""Topology view of a flattened :class:`~repro.circuit.Circuit`.
+
+The checks in :mod:`repro.lint.checks` never walk element lists
+themselves — they query a :class:`CircuitGraph`, which precomputes the
+structural facts the MNA assembler would discover the hard way (by
+factorizing):
+
+* which elements touch each node (ground aliases merged into ``"0"``),
+* the *DC-conductive* adjacency — edges through which direct current
+  can flow: resistors, voltage sources, inductors (shorts at DC),
+  two-terminal devices and MOSFET drain-source channels.  Capacitors
+  and current sources are **not** conductive edges: a capacitor blocks
+  DC and a current source constrains a current without providing a
+  voltage-defining path,
+* structural occupancy of each node's MNA conductance row — a node
+  with an all-zero ``G`` row makes every operating-point factorization
+  singular no matter the element values,
+* element → netlist-line provenance, so graph-level diagnostics can
+  point at real source lines.
+
+Self-loop elements (both terminals on one node) are excluded from
+occupancy and adjacency: their stamps cancel, so structurally they
+contribute nothing.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements import (
+    Capacitor,
+    Element,
+    Inductor,
+    MosfetInstance,
+    Resistor,
+    TwoTerminalDeviceInstance,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, is_ground
+
+__all__ = ["GROUND", "CircuitGraph", "conductive_pairs"]
+
+#: Canonical name for the merged reference node.
+GROUND = "0"
+
+
+def _canon(node: str) -> str:
+    """Merge every ground alias (``gnd``, ``GND``...) into ``"0"``."""
+    return GROUND if is_ground(node) else node
+
+
+def conductive_pairs(element: Element) -> list[tuple[str, str]]:
+    """DC-conductive node pairs contributed by *element* (canonical).
+
+    Returns an empty list for capacitors and current sources, the
+    drain-source pair for MOSFETs (the gate draws no DC current), and
+    the terminal pair for everything else.
+    """
+    if isinstance(element, MosfetInstance):
+        return [(_canon(element.drain), _canon(element.source))]
+    if isinstance(
+        element,
+        (Resistor, VoltageSource, Inductor, TwoTerminalDeviceInstance),
+    ):
+        return [(_canon(element.nodes[0]), _canon(element.nodes[1]))]
+    return []
+
+
+class CircuitGraph:
+    """Structural index over a circuit, plus optional line provenance.
+
+    Parameters
+    ----------
+    circuit:
+        The flattened circuit to index.
+    provenance:
+        Optional mapping ``element name -> (line_number, source_line)``
+        as produced by ``parse_netlist(..., provenance=...)``.  Without
+        it, diagnostics simply carry ``line=None``.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        provenance: dict[str, tuple[int, str]] | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.provenance = dict(provenance or {})
+        self.node_elements: dict[str, list[Element]] = {
+            node: [] for node in circuit.nodes
+        }
+        self.ground_elements: list[Element] = []
+        self._terminal_count: dict[str, int] = {}
+        self._adjacency: dict[str, set[str]] = {}
+        self._occupied: set[str] = set()
+        for element in circuit.elements():
+            touched: set[str] = set()
+            for node in element.nodes:
+                canonical = _canon(node)
+                if canonical == GROUND:
+                    if element not in self.ground_elements:
+                        self.ground_elements.append(element)
+                else:
+                    if canonical not in touched:
+                        self.node_elements[canonical].append(element)
+                    touched.add(canonical)
+                    self._terminal_count[canonical] = (
+                        self._terminal_count.get(canonical, 0) + 1
+                    )
+            for a, b in conductive_pairs(element):
+                if a == b:
+                    continue  # self-loop: stamps cancel structurally
+                self._adjacency.setdefault(a, set()).add(b)
+                self._adjacency.setdefault(b, set()).add(a)
+                self._occupied.update((a, b))
+        self.has_ground = bool(self.ground_elements)
+        self._reachable: set[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> tuple[str, ...]:
+        """Non-ground canonical node names in first-appearance order."""
+        return tuple(self.node_elements)
+
+    def elements_at(self, node: str) -> list[Element]:
+        """Elements with at least one terminal on *node* (non-ground)."""
+        return list(self.node_elements.get(_canon(node), []))
+
+    def terminal_count(self, node: str) -> int:
+        """Number of element terminals attached to *node*."""
+        return self._terminal_count.get(_canon(node), 0)
+
+    def has_structural_g_row(self, node: str) -> bool:
+        """True when the node's MNA ``G`` row has any structural entry.
+
+        Resistors, devices and MOSFET channels stamp conductances;
+        voltage-source and inductor branches stamp ``±1`` incidence
+        terms.  Capacitor-only and current-source-only nodes — and
+        nodes touched solely by self-loops — have all-zero rows.
+        """
+        return _canon(node) in self._occupied
+
+    def dc_reachable(self) -> set[str]:
+        """Nodes reachable from ground through DC-conductive edges.
+
+        Includes ``"0"`` itself; empty when the circuit has no ground
+        connection.
+        """
+        if self._reachable is None:
+            self._reachable = set()
+            if self.has_ground:
+                stack = [GROUND]
+                self._reachable.add(GROUND)
+                while stack:
+                    node = stack.pop()
+                    for neighbor in self._adjacency.get(node, ()):
+                        if neighbor not in self._reachable:
+                            self._reachable.add(neighbor)
+                            stack.append(neighbor)
+        return set(self._reachable)
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+
+    def element_location(
+        self, element: Element
+    ) -> tuple[int | None, str | None]:
+        """``(line_number, source_line)`` for an element, if known."""
+        record = self.provenance.get(element.name)
+        if record is None:
+            return None, None
+        return record[0], record[1]
+
+    def node_location(self, node: str) -> tuple[int | None, str | None]:
+        """Earliest known source location among a node's elements."""
+        best: tuple[int, str] | None = None
+        for element in self.elements_at(node):
+            record = self.provenance.get(element.name)
+            if record is not None and (best is None or record[0] < best[0]):
+                best = (record[0], record[1])
+        if best is None:
+            return None, None
+        return best[0], best[1]

@@ -1,0 +1,203 @@
+"""Diagnostic records and the report container.
+
+A lint run produces a :class:`LintReport`: an ordered list of
+:class:`Diagnostic` records plus per-severity counts.  The report is
+the *only* output format of the analyzer — the CLI renders it as text
+or JSON, the gating layer inspects its ``errors`` count, and the
+golden-corpus tests snapshot its :meth:`LintReport.as_dict` form.
+
+Determinism matters here: two lint runs over the same input must
+produce byte-identical JSON, so diagnostics are sorted by a total
+order (line, severity, check id, message, subject) and the dict form
+has a fixed key set.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["SEVERITIES", "Diagnostic", "LintReport"]
+
+#: Recognized severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+#: JSON schema tag emitted in every report; bump on breaking changes.
+REPORT_SCHEMA = "repro-lint/1"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a defect (or observation) at a netlist location.
+
+    Parameters
+    ----------
+    severity:
+        One of :data:`SEVERITIES`.  ``error`` means the circuit cannot
+        produce a well-posed MNA system (or cannot be parsed at all);
+        ``warning`` flags suspicious-but-solvable structure; ``info``
+        is advisory.
+    check:
+        Stable check identifier (e.g. ``"floating-node"``); the full
+        registry lives in :mod:`repro.lint.checks`.
+    message:
+        Human-readable one-line description of the finding.
+    line:
+        One-based line number into the linted netlist source, or
+        ``None`` when the finding has no single location (e.g. an
+        empty circuit, or a circuit linted without provenance).
+    source:
+        The offending logical card (continuation lines joined), when
+        known.
+    subject:
+        The node or element name the finding is about, when any.
+    hint:
+        A suggested fix.
+    """
+
+    severity: str
+    check: str
+    message: str
+    line: int | None = None
+    source: str | None = None
+    subject: str | None = None
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def sort_key(self) -> tuple:
+        """Total order: location first, then severity, id, text."""
+        return (
+            self.line is None,
+            self.line or 0,
+            SEVERITIES.index(self.severity),
+            self.check,
+            self.message,
+            self.subject or "",
+        )
+
+    def as_dict(self) -> dict:
+        """Fixed-key-set mapping form (stable for golden snapshots)."""
+        return {
+            "severity": self.severity,
+            "check": self.check,
+            "message": self.message,
+            "line": self.line,
+            "source": self.source,
+            "subject": self.subject,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One diagnostic as indented text lines."""
+        where = f"line {self.line} " if self.line is not None else ""
+        out = [f"  {where}[{self.severity}] {self.check}: {self.message}"]
+        if self.source is not None:
+            out.append(f"      > {self.source}")
+        if self.hint is not None:
+            out.append(f"      hint: {self.hint}")
+        return "\n".join(out)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from one lint run, in deterministic order.
+
+    Construction sorts the diagnostics; ``ok`` is defined as "no
+    error-severity diagnostics" (warnings and infos do not fail a
+    report — the CLI ``--fail-on warning`` knob tightens that).
+    """
+
+    name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.diagnostics = sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def _count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        """Number of error-severity diagnostics."""
+        return self._count("error")
+
+    @property
+    def warnings(self) -> int:
+        """Number of warning-severity diagnostics."""
+        return self._count("warning")
+
+    @property
+    def infos(self) -> int:
+        """Number of info-severity diagnostics."""
+        return self._count("info")
+
+    @property
+    def ok(self) -> bool:
+        """True when the report carries no errors."""
+        return self.errors == 0
+
+    def by_check(self, check: str) -> list[Diagnostic]:
+        """All diagnostics emitted by one check id."""
+        return [d for d in self.diagnostics if d.check == check]
+
+    def worst(self) -> str | None:
+        """Most severe severity present, or ``None`` for a clean report."""
+        for severity in SEVERITIES:
+            if self._count(severity):
+                return severity
+        return None
+
+    def summary(self) -> str:
+        """One-line roll-up used by renderers and log messages."""
+        counts = (
+            f"{self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.infos} info(s)"
+        )
+        return f"{self.name}: {counts}"
+
+    def as_dict(self) -> dict:
+        """Mapping form: schema tag, counts, diagnostic list."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "name": self.name,
+            "ok": self.ok,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Deterministic JSON encoding of :meth:`as_dict`."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    def render(self) -> str:
+        """Human-readable multi-line text form."""
+        if not self.diagnostics:
+            return f"{self.name}: clean"
+        lines = [self.summary()]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    @staticmethod
+    def merge(name: str, reports: list["LintReport"]) -> "LintReport":
+        """Union several reports (e.g. one per sweep variation)."""
+        seen: set[tuple] = set()
+        merged: list[Diagnostic] = []
+        for report in reports:
+            for diagnostic in report.diagnostics:
+                key = (
+                    diagnostic.check,
+                    diagnostic.message,
+                    diagnostic.line,
+                    diagnostic.subject,
+                )
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(diagnostic)
+        return LintReport(name=name, diagnostics=merged)

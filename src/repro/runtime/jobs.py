@@ -158,6 +158,22 @@ def _swec_options(mapping: Mapping[str, Any]):
     return SwecOptions(step=StepControlOptions(**step_kwargs), **engine_kwargs)
 
 
+def _check_validate(mode: str) -> None:
+    """Reject bad ``validate=`` values at construction time."""
+    if mode not in ("off", "warn", "strict"):
+        raise AnalysisError(
+            f"validate must be 'off', 'warn' or 'strict', got {mode!r}"
+        )
+
+
+def _enforce_validate(job) -> None:
+    """Apply a job's ``validate=`` knob at the top of ``run``."""
+    if job.validate != "off":
+        from repro.lint.gate import enforce_job_lint
+
+        enforce_job_lint(job, job.validate)
+
+
 def _engine_factory(engine: str) -> tuple[Callable, Callable]:
     """Return ``(engine_class, options_from_dict)`` for an engine name."""
     if engine == "swec":
@@ -212,6 +228,10 @@ class TransientJob:
     #: ``stack``/``auto``); overrides any ``options`` setting.
     backend: str | None = None
     label: str = ""
+    #: Pre-flight lint mode (``off``/``warn``/``strict``); ``strict``
+    #: makes ``run`` raise :class:`~repro.errors.LintError` on a
+    #: structurally broken design before any engine is built.
+    validate: str = "off"
 
     def __post_init__(self) -> None:
         given = sum(
@@ -227,6 +247,7 @@ class TransientJob:
             raise AnalysisError(
                 f"backend= applies to the swec engine only, not {self.engine!r}"
             )
+        _check_validate(self.validate)
 
     def build_circuit(self):
         """Materialize the circuit this job simulates."""
@@ -237,6 +258,7 @@ class TransientJob:
     def run(self, seed: np.random.SeedSequence | None = None):
         """Execute the job; *seed* is unused (transients are
         deterministic) but accepted for a uniform job interface."""
+        _enforce_validate(self)
         engine_class, options_from_dict = _engine_factory(self.engine)
         options = apply_backend(self.options, self.backend)
         if isinstance(options, Mapping):
@@ -283,6 +305,9 @@ class ACJob:
     #: ``dense``/``auto``); default is the vectorized ``stack`` path.
     backend: str | None = None
     label: str = ""
+    #: Pre-flight lint mode (``off``/``warn``/``strict``); see
+    #: :class:`TransientJob`.
+    validate: str = "off"
 
     def __post_init__(self) -> None:
         given = sum(
@@ -293,6 +318,7 @@ class ACJob:
             raise AnalysisError(
                 "ACJob needs exactly one of circuit=, builder= or netlist="
             )
+        _check_validate(self.validate)
 
     def build_circuit(self):
         """Materialize the circuit this job analyses."""
@@ -304,6 +330,7 @@ class ACJob:
         """Execute the sweep; *seed* is unused (AC is deterministic)
         but accepted for a uniform job interface.  Returns an
         :class:`~repro.ac.ACResult`."""
+        _enforce_validate(self)
         from repro.ac import ACAnalysis, frequency_grid
         from repro.swec.dc import SwecDCOptions
 
@@ -450,8 +477,12 @@ class EnsembleTransientJob:
     #: ``dense``/``auto``); overrides any ``options`` setting.
     backend: str | None = None
     label: str = ""
+    #: Pre-flight lint mode (``off``/``warn``/``strict``); every
+    #: distinct variation is linted — see :class:`TransientJob`.
+    validate: str = "off"
 
     def __post_init__(self) -> None:
+        _check_validate(self.validate)
         given = sum(
             source is not None
             for source in (self.circuit, self.builder, self.netlist)
@@ -532,6 +563,7 @@ class EnsembleTransientJob:
     def run(self, seed: np.random.SeedSequence | None = None):
         """March the ensemble; see the class docstring for the
         return-value contract."""
+        _enforce_validate(self)
         from repro.stochastic.montecarlo import ensemble_statistics
         from repro.swec.ensemble import SwecEnsembleTransient
 

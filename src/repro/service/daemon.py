@@ -71,6 +71,7 @@ class _Stats:
         self.coalesced = 0
         self.executed = 0
         self.failed = 0
+        self.rejected = 0
         self.factorizations = 0
         self.solver_flops = 0
 
@@ -82,6 +83,7 @@ class _Stats:
             "coalesced": self.coalesced,
             "executed": self.executed,
             "failed": self.failed,
+            "rejected": self.rejected,
             "factorizations": self.factorizations,
             "solver_flops": self.solver_flops,
         }
@@ -314,6 +316,25 @@ class ServiceDaemon:
             writer,
             {"event": "queued", "id": job_id, "key": key, "label": label},
         )
+        if key is None:
+            # An uncacheable (or cache-disabled) submission cannot be
+            # deduplicated, so a broken design would burn a worker on
+            # every resubmission: lint it at the door instead.
+            refusal = self._lint_refusal(job)
+            if refusal is not None:
+                message, report = refusal
+                self.stats.rejected += 1
+                self.stats.failed += 1
+                await self._send(
+                    writer,
+                    {
+                        "event": "failed",
+                        "id": job_id,
+                        "error": message,
+                        "lint": report,
+                    },
+                )
+                return
         if key is not None:
             entry = self.store.get(key)
             if entry is not None:
@@ -399,6 +420,25 @@ class ServiceDaemon:
             if result is None:
                 return
         await self._report_result(writer, job_id, job, key, result, start, want_payload)
+
+    def _lint_refusal(self, job) -> tuple[str, dict] | None:
+        """``(message, report_dict)`` when pre-flight lint errors.
+
+        Lint itself must never take a submission down — any unexpected
+        analyzer failure degrades to "no refusal".
+        """
+        try:
+            from repro.lint.gate import lint_job, refusal_message
+
+            report = lint_job(job)
+        except Exception:  # noqa: BLE001 - lint is advisory here
+            return None
+        if report is None or not report.errors:
+            return None
+        return (
+            f"rejected by pre-flight lint: {refusal_message(report)}",
+            report.as_dict(),
+        )
 
     async def _execute(self, writer, job_id, job, seed, key, start):
         """Run one job on the pool, streaming ``running`` heartbeats.

@@ -70,6 +70,11 @@ def main(argv: list[str] | None = None) -> int:
         "--cache", nargs="?", const="", default=None, metavar="PATH",
         help="consult the content-addressed result store before running "
              "each point (PATH, or the default store with no argument)")
+    parser.add_argument(
+        "--validate", choices=("off", "warn", "strict"), default=None,
+        help="pre-flight lint every design point (default: the spec's "
+             "validate setting, else off); strict refuses broken "
+             "points before any solve")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the tidy table as CSV")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -90,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
         report = run_sweep(spec, max_workers=args.workers,
                            executor=args.executor, seed=args.seed,
                            vector=args.vector, backend=args.backend,
-                           cache=args.cache)
+                           cache=args.cache, validate=args.validate)
     except (NanoSimError, TypeError, ValueError) as exc:
         # ValueError covers json/toml decode errors on malformed
         # files; per-point simulation failures never raise — they are

@@ -261,7 +261,8 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
               executor: str | None = None, seed: int | None = None,
               vector: int | None = None,
               backend: str | None = None,
-              cache=None) -> SweepReport:
+              cache=None,
+              validate: str | None = None) -> SweepReport:
     """Run every design point of *spec* and aggregate the report.
 
     ``max_workers``/``executor``/``seed``/``vector`` override the
@@ -282,6 +283,14 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
     solver runs; hits skip the pool entirely and misses are published
     for the next sweep.  Determinism is unaffected — misses execute
     under the exact seeds they would receive in an uncached run.
+
+    ``validate`` overrides the spec's pre-flight lint mode (``"off"``,
+    ``"warn"`` or ``"strict"``).  Strict mode replaces every broken
+    design point's job with a refuser *before* dispatch: the point
+    appears as a failed row (a :class:`~repro.errors.LintError`)
+    without any factorization happening; a lockstep block containing
+    a broken point is refused whole, because its points share one
+    adaptive grid.
     """
     if backend is not None:
         if spec.kind == "ensemble":
@@ -311,6 +320,11 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
         jobs = build_batch_jobs(spec, vector)
     else:
         jobs = build_jobs(spec)
+    mode = validate if validate is not None else spec.validate
+    if mode != "off":
+        from repro.lint.gate import gate_sweep_jobs
+
+        jobs = gate_sweep_jobs(jobs, mode)
     start = time.perf_counter()
     if cache is not None and cache is not False:
         from repro.service import ResultStore, run_batch_cached

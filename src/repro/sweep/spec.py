@@ -174,8 +174,17 @@ class SweepSpec:
     measures: list[MeasureSpec] = field(default_factory=list)
     name: str = "sweep"
     batch: dict = field(default_factory=dict)
+    #: Pre-flight lint mode for every design point: ``"off"`` (no
+    #: linting), ``"warn"`` (log broken points, run anyway) or
+    #: ``"strict"`` (refuse broken points before any solve) — see
+    #: :mod:`repro.lint.gate`.
+    validate: str = "off"
 
     def __post_init__(self) -> None:
+        if self.validate not in ("off", "warn", "strict"):
+            raise SweepSpecError(
+                f"validate must be 'off', 'warn' or 'strict', "
+                f"got {self.validate!r}")
         if (self.template is None) == (self.netlist_text is None):
             raise SweepSpecError(
                 "sweep needs exactly one of template= or netlist")
@@ -329,6 +338,8 @@ class SweepSpec:
             backend = "auto"             # solver backend for every
                                          # point: dense | sparse |
                                          # stack | auto (transient/AC)
+            validate = "strict"          # pre-flight lint every point:
+                                         # off | warn | strict
             [sweep.options]              # engine options (transient)
             epsilon = 0.05
             [sweep.fixed]                # unswept parameter pins
@@ -386,6 +397,7 @@ class SweepSpec:
             mode=sweep.pop("mode", "product"),
             fixed=dict(sweep.pop("fixed", {})),
             name=sweep.pop("name", "sweep"),
+            validate=sweep.pop("validate", "off"),
             settings=sweep,  # the remaining keys are job settings
             measures=measures,
             batch=batch,

@@ -17,6 +17,20 @@ from repro.devices import (
 from repro.swec.timestep import StepControlOptions
 
 
+def pytest_addoption(parser):
+    """``--update-golden`` rewrites the lint golden-corpus snapshots."""
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/lint_corpus/*.expected.json from the "
+             "current analyzer output instead of comparing against it")
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def rng():
     """Deterministic random generator for stochastic tests."""

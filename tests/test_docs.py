@@ -37,7 +37,8 @@ def _netlist_doc() -> Path:
 
 def test_docs_directory_is_complete():
     for name in ("architecture.md", "paper_map.md", "netlist_format.md",
-                 "ac_analysis.md", "ensemble_transient.md", "service.md"):
+                 "ac_analysis.md", "ensemble_transient.md", "service.md",
+                 "lint.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -65,7 +66,8 @@ def test_spice_error_snippets_fail_as_documented(index):
 
 @pytest.mark.parametrize("document",
                          ["netlist_format.md", "ac_analysis.md",
-                          "ensemble_transient.md", "service.md"])
+                          "ensemble_transient.md", "service.md",
+                          "lint.md"])
 def test_python_snippets_run(document):
     snippets = _blocks(DOCS / document, "python")
     assert snippets, f"docs/{document} has no python snippets"
@@ -96,6 +98,22 @@ def test_service_doc_covers_the_subsystem():
                      "UncacheableJobError", "service-smoke",
                      "bench_service_cache.py"):
         assert required in text, f"service.md lacks {required!r}"
+
+
+def test_lint_doc_covers_the_subsystem():
+    text = (DOCS / "lint.md").read_text()
+    for required in ("python -m repro.lint", "repro-lint",
+                     "floating-node", "open-circuit", "--fail-on",
+                     "validate", "LintError", "--update-golden",
+                     "--hypothesis-seed", "repro-lint/1"):
+        assert required in text, f"lint.md lacks {required!r}"
+
+
+def test_readme_documents_the_linter():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/lint.md" in readme
+    assert "repro-lint" in readme
+    assert "validate" in readme
 
 
 def test_readme_documents_the_service():

@@ -1,0 +1,95 @@
+"""Golden-diagnostics corpus: one fixture per lint defect class.
+
+Each ``tests/lint_corpus/*.cir`` netlist exhibits exactly one defect
+class; its ``*.expected.json`` snapshot pins the analyzer's complete
+output (check ids, severities, line numbers, messages, hints).  Run
+``pytest --update-golden`` to regenerate the snapshots after an
+intentional analyzer change — the diff then *is* the review artifact.
+
+Beyond the snapshots, :data:`EXPECTED` pins the (check id, line)
+pairs independently, so a wrong golden cannot silently bless a wrong
+line number; and the coverage test proves the corpus exercises every
+registered check id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_netlist
+from repro.lint.checks import CHECKS, PARSE_CHECK_IDS
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+
+#: Per fixture: the exact (check id, line number) pairs it must raise.
+EXPECTED = {
+    "clean.cir": [],
+    "dangling_node.cir": [("dangling-node", 4)],
+    "dangling_subckt_port.cir": [("dangling-subckt-port", 2)],
+    "duplicate_element.cir": [("duplicate-element", 4)],
+    "empty_circuit.cir": [("empty-circuit", None)],
+    "floating_node.cir": [("floating-node", 4), ("floating-node", 4)],
+    "no_ground.cir": [("no-ground", 3)],
+    "open_circuit.cir": [("open-circuit", 4)],
+    "param_magnitude.cir": [("param-magnitude", 4)],
+    "parse_error.cir": [("parse-error", 3)],
+    "self_loop.cir": [("self-loop", 4)],
+    "singular_mna.cir": [("singular-mna", 2)],
+    "subckt_arity.cir": [("subckt-arity", 5)],
+    "unused_subckt.cir": [("unused-subckt", 2)],
+    "vsource_loop.cir": [("vsource-loop", 3)],
+}
+
+
+def _fixtures() -> list[Path]:
+    return sorted(CORPUS.glob("*.cir"))
+
+
+def test_corpus_and_expectation_table_agree():
+    assert {p.name for p in _fixtures()} == set(EXPECTED)
+
+
+@pytest.mark.parametrize("path", _fixtures(), ids=lambda p: p.name)
+def test_defect_class_and_line_number(path):
+    report = lint_netlist(path.read_text(), name=path.name)
+    found = [(d.check, d.line) for d in report.diagnostics]
+    assert found == EXPECTED[path.name]
+    # every located diagnostic points at a real line of the input
+    n_lines = len(path.read_text().splitlines())
+    for diagnostic in report.diagnostics:
+        if diagnostic.line is not None:
+            assert 1 <= diagnostic.line <= n_lines
+
+
+@pytest.mark.parametrize("path", _fixtures(), ids=lambda p: p.name)
+def test_golden_snapshot(path, update_golden):
+    report = lint_netlist(path.read_text(), name=path.name)
+    golden = path.with_suffix(".expected.json")
+    if update_golden:
+        golden.write_text(report.to_json(indent=2) + "\n")
+    assert golden.exists(), (
+        f"{golden.name} missing; run pytest --update-golden")
+    assert json.loads(report.to_json()) == json.loads(golden.read_text())
+
+
+def test_corpus_covers_every_check_id():
+    """The corpus must exercise the whole registry.
+
+    ``build-error`` is the one id a netlist cannot trigger (it
+    classifies template-builder failures); everything else needs a
+    fixture here, so a newly registered check fails this test until
+    its defect class gets a corpus entry.
+    """
+    covered = {check for pairs in EXPECTED.values() for check, _ in pairs}
+    registered = set(CHECKS) | set(PARSE_CHECK_IDS)
+    assert registered - {"build-error"} == covered
+
+
+def test_clean_fixture_is_actually_clean():
+    report = lint_netlist((CORPUS / "clean.cir").read_text(),
+                          name="clean.cir")
+    assert report.ok and not report.diagnostics
+    assert report.render() == "clean.cir: clean"

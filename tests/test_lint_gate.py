@@ -1,0 +1,246 @@
+"""Integration tests for pre-flight lint gating (repro.lint.gate).
+
+The three execution layers that consume the analyzer:
+
+* ``run_sweep(validate=...)`` — strict mode refuses a broken design
+  point *before any factorization* (asserted through the report's
+  ``flops`` diagnostic column: refused rows carry ``None``), warn mode
+  emits :class:`LintWarning` and runs everything, lockstep blocks are
+  refused whole;
+* runtime jobs — ``TransientJob(validate="strict")`` raises
+  :class:`~repro.errors.LintError` from ``run()``;
+* the service daemon — an uncacheable broken submission is rejected
+  at the door with the lint report attached, touching no worker.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    LintError,
+    SweepSpecError,
+)
+from repro.lint.gate import LintWarning, lint_job
+from repro.runtime.jobs import TransientJob
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import ParameterAxis, SweepSpec
+from repro.sweep.measures import MeasureSpec
+
+FAST = {"epsilon": 0.05, "h_min": 1e-13, "h_max": 5e-11,
+        "h_initial": 1e-12}
+
+#: rser=0 violates the parser's positive-resistance rule, so that
+#: design point is broken while its neighbours are fine.
+FAMILY = """* divider family
+.PARAM rser=10
+V1 in 0 DC 1
+R1 in out {rser}
+R2 out 0 1k
+"""
+
+#: Structurally broken whatever the parameters: dangling capacitor.
+BROKEN = """* dangling cap
+V1 in 0 DC 1
+R1 in 0 1k
+C1 in mid 1p
+"""
+
+#: Lint-clean but carrying a warning (self-looped resistor).
+WARN_ONLY = """* warn only
+V1 in 0 DC 1
+R1 in 0 1k
+R2 in in 1k
+"""
+
+
+def _spec(values=(0.0, 10.0, 20.0), validate="off", vector=None):
+    batch = {"executor": "serial"}
+    if vector is not None:
+        batch["vector"] = vector
+    return SweepSpec(
+        axes=[ParameterAxis.from_values("rser", values)],
+        kind="transient",
+        netlist_text=FAMILY,
+        settings={"t_stop": 2e-10, "options": dict(FAST)},
+        measures=[MeasureSpec(kind="final", node="out")],
+        name="gate-test",
+        batch=batch,
+        validate=validate,
+    )
+
+
+class TestStrictSweep:
+    def test_broken_point_is_refused_before_any_factorization(self):
+        report = run_sweep(_spec(validate="strict"))
+        rows = list(zip(report.columns["rser"], report.columns["ok"],
+                        report.columns["error"],
+                        report.columns["flops"]))
+        assert not report.ok
+        refused = [r for r in rows if r[0] == 0.0]
+        clean = [r for r in rows if r[0] != 0.0]
+        assert len(refused) == 1 and len(clean) == 2
+        _, ok, error, flops = refused[0]
+        assert not ok
+        assert "pre-flight lint" in error
+        # the acceptance gate: zero solver events for the refused
+        # point — its flops diagnostic was never produced
+        assert flops is None
+        for _, ok, _, flops in clean:
+            assert ok and flops > 0
+
+    def test_override_beats_the_spec(self):
+        report = run_sweep(_spec(validate="strict"), validate="off")
+        # without the gate, the broken point fails later (in-worker
+        # parse error), not with a lint refusal
+        errors = [e for e in report.columns["error"] if e]
+        assert errors and all("pre-flight lint" not in e for e in errors)
+
+    def test_clean_sweep_is_untouched_by_strict(self):
+        report = run_sweep(_spec(values=(5.0, 10.0), validate="strict"))
+        assert report.ok
+
+    def test_warn_mode_runs_everything(self):
+        with pytest.warns(LintWarning, match="flagged by pre-flight"):
+            report = run_sweep(_spec(validate="warn"))
+        # the broken point still executed (and failed in the worker)
+        assert sum(1 for ok in report.columns["ok"] if ok) == 2
+
+    def test_invalid_mode_raises_spec_error(self):
+        with pytest.raises(SweepSpecError, match="validate"):
+            run_sweep(_spec(), validate="paranoid")
+
+
+class TestLockstepBlocks:
+    def test_block_with_a_broken_point_is_refused_whole(self):
+        report = run_sweep(_spec(validate="strict", vector=2))
+        rows = dict(zip(report.columns["rser"], report.columns["ok"]))
+        # block 0 = {0.0, 10.0} refused whole; block 1 = {20.0} runs
+        assert rows == {0.0: False, 10.0: False, 20.0: True}
+        errors = {rser: err for rser, err in
+                  zip(report.columns["rser"], report.columns["error"])}
+        assert "lockstep block refused" in errors[0.0]
+        assert errors[0.0] == errors[10.0]
+        assert errors[20.0] is None
+
+    def test_clean_blocks_pass_through(self):
+        report = run_sweep(_spec(values=(5.0, 10.0, 20.0, 40.0),
+                                 validate="strict", vector=2))
+        assert report.ok
+
+    def test_warn_mode_flags_but_marches(self):
+        with pytest.warns(LintWarning, match="lockstep block flagged"):
+            report = run_sweep(_spec(validate="warn", vector=2))
+        # the broken block still went to the engine and failed there
+        assert report.columns["ok"].count(True) == 1
+
+
+class TestSpecValidateKnob:
+    def test_from_mapping_accepts_validate(self):
+        spec = SweepSpec.from_mapping({
+            "sweep": {"netlist_text": FAMILY, "t_stop": 1e-10,
+                      "validate": "strict"},
+            "axes": [{"name": "rser", "values": [10.0]}],
+            "measures": [{"kind": "final"}],
+        })
+        assert spec.validate == "strict"
+        # validate must NOT leak into the job settings table
+        assert "validate" not in spec.settings
+
+    def test_bad_validate_value_is_rejected(self):
+        with pytest.raises(SweepSpecError, match="validate"):
+            _spec(validate="yes please")
+
+
+class TestRuntimeJobKnob:
+    def test_strict_job_refuses(self):
+        job = TransientJob(t_stop=1e-10, netlist=BROKEN,
+                           validate="strict")
+        with pytest.raises(LintError, match="open-circuit") as excinfo:
+            job.run()
+        assert excinfo.value.report is not None
+        assert not excinfo.value.report.ok
+
+    def test_warn_job_warns_and_runs(self):
+        job = TransientJob(t_stop=1e-10, netlist=WARN_ONLY,
+                           options=dict(FAST), validate="warn")
+        # warnings are not errors: the job must run to completion
+        result = job.run()
+        assert len(result) > 0
+
+    def test_strict_clean_job_runs(self):
+        job = TransientJob(t_stop=1e-10, netlist=WARN_ONLY,
+                           options=dict(FAST), validate="strict")
+        assert len(job.run()) > 0
+
+    def test_invalid_validate_rejected_at_construction(self):
+        with pytest.raises(AnalysisError, match="validate"):
+            TransientJob(t_stop=1e-10, netlist=WARN_ONLY,
+                         validate="nope")
+
+    def test_lint_job_covers_builder_jobs(self):
+        report = lint_job(TransientJob(
+            t_stop=1e-10, builder="rtd_divider",
+            params={"resistance": 50.0}))
+        assert report is not None and report.ok
+
+    def test_lint_job_classifies_builder_failures(self):
+        report = lint_job(TransientJob(
+            t_stop=1e-10, builder="rtd_divider",
+            params={"resistance": -1.0}))
+        assert not report.ok
+        assert report.diagnostics[0].check == "build-error"
+
+
+class TestServiceRejection:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.service import ResultStore, ServiceClient, ServiceDaemon
+
+        service = ServiceDaemon(store=ResultStore(tmp_path / "store"),
+                                socket_path=tmp_path / "daemon.sock",
+                                executor="thread", max_workers=1,
+                                progress_interval=0.1)
+        ready = threading.Event()
+        thread = threading.Thread(target=service.run,
+                                  kwargs={"ready": ready}, daemon=True)
+        thread.start()
+        assert ready.wait(10), "daemon failed to start"
+        yield service
+        try:
+            ServiceClient(service.socket_path, timeout=10).shutdown()
+        except Exception:
+            pass
+        thread.join(10)
+
+    def test_uncacheable_broken_submission_is_rejected(self, daemon):
+        from repro.service import ServiceClient
+
+        client = ServiceClient(daemon.socket_path, timeout=60)
+        # cache=False makes the submission uncacheable -> lint gate
+        result = client.submit(
+            {"type": "transient", "netlist": BROKEN, "t_stop": 1e-10},
+            cache=False)
+        assert result["event"] == "failed"
+        assert "rejected by pre-flight lint" in result["error"]
+        assert result["lint"]["errors"] >= 1
+        checks = {d["check"] for d in result["lint"]["diagnostics"]}
+        assert "open-circuit" in checks
+        status = client.status()
+        assert status["rejected"] == 1
+        assert status["executed"] == 0
+
+    def test_clean_uncacheable_submission_still_runs(self, daemon):
+        from repro.service import ServiceClient
+
+        client = ServiceClient(daemon.socket_path, timeout=60)
+        result = client.submit(
+            {"type": "transient", "netlist": WARN_ONLY,
+             "t_stop": 1e-10, "options": dict(FAST)},
+            cache=False)
+        assert result["event"] == "done"
+        status = client.status()
+        assert status["rejected"] == 0 and status["executed"] == 1

@@ -1,0 +1,129 @@
+"""Property tests for the lint subsystem (Hypothesis).
+
+Two input distributions:
+
+* *netlist soup* — arbitrary text, plus text biased towards
+  SPICE-shaped cards.  The analyzer must never raise, must be
+  deterministic (byte-identical JSON across runs), and every located
+  diagnostic must point at a real line of the input.
+* *structured linear circuits* — random R/C/L/V/I graphs built through
+  the :class:`~repro.circuit.Circuit` API.  These pin the headline
+  soundness claim: **a lint-clean circuit yields a solvable DC
+  operating point** (the dense LU raises only on exact singularity,
+  so structural cleanliness plus sane values means no raise), and its
+  contrapositive — when :class:`~repro.swec.SwecDC` raises a
+  singular/structural error, lint must have flagged an error.
+
+Seed control: Hypothesis's own ``--hypothesis-seed=N`` pytest flag
+reproduces a run; CI passes a fixed seed and caches ``.hypothesis``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit
+from repro.errors import (
+    AssemblyError,
+    CircuitError,
+    SingularMatrixError,
+)
+from repro.lint import LintReport, lint_circuit, lint_netlist
+from repro.swec import SwecDC
+
+# ---------------------------------------------------------------------------
+# netlist soup
+
+
+_CARD_TOKENS = st.sampled_from([
+    "R1", "C1", "L1", "V1", "I1", "X1", "M1", "Rload", "Cb",
+    "in", "out", "0", "a", "b", "mid", "stub",
+    "1k", "1p", "1u", "DC", "1", "0.5", "-3", "bogus", "{rser}",
+    ".SUBCKT", ".ENDS", ".PARAM", ".MODEL", ".END", ".TITLE", "+",
+    "*", "nmos",
+])
+
+_soup_line = st.lists(_CARD_TOKENS, min_size=0, max_size=6).map(" ".join)
+_soup = st.one_of(
+    st.text(max_size=200),
+    st.lists(_soup_line, min_size=0, max_size=12).map("\n".join),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(text=_soup)
+def test_lint_never_raises_and_is_deterministic(text):
+    report = lint_netlist(text)
+    assert isinstance(report, LintReport)
+    again = lint_netlist(text)
+    assert report.to_json() == again.to_json()
+
+
+@settings(max_examples=120, deadline=None)
+@given(text=_soup)
+def test_every_location_points_at_a_real_line(text):
+    report = lint_netlist(text)
+    n_lines = len(text.splitlines())
+    for diagnostic in report.diagnostics:
+        if diagnostic.line is not None:
+            assert 1 <= diagnostic.line <= max(n_lines, 1)
+
+
+# ---------------------------------------------------------------------------
+# structured linear circuits
+
+
+_NODES = ("0", "a", "b", "c", "d")
+
+
+@st.composite
+def _linear_circuits(draw):
+    """A random linear circuit over a small node pool."""
+    circuit = Circuit("prop")
+    n = draw(st.integers(min_value=1, max_value=9))
+    for i in range(n):
+        kind = draw(st.sampled_from("RRCVIL"))  # resistor-biased
+        n1 = draw(st.sampled_from(_NODES))
+        n2 = draw(st.sampled_from(_NODES))
+        value = draw(st.floats(min_value=0.5, max_value=1e4,
+                               allow_nan=False, allow_infinity=False))
+        if kind == "R":
+            circuit.add_resistor(f"R{i}", n1, n2, value)
+        elif kind == "C":
+            circuit.add_capacitor(f"C{i}", n1, n2, value * 1e-12)
+        elif kind == "L":
+            circuit.add_inductor(f"L{i}", n1, n2, value * 1e-6)
+        elif kind == "V":
+            circuit.add_voltage_source(f"V{i}", n1, n2, value)
+        else:
+            circuit.add_current_source(f"I{i}", n1, n2, value * 1e-3)
+    return circuit
+
+
+def _dc_raises(circuit) -> bool:
+    """True when the DC operating point raises a structural error."""
+    try:
+        SwecDC(circuit).operating_point()
+    except (SingularMatrixError, CircuitError, AssemblyError):
+        return True
+    return False
+
+
+@settings(max_examples=80, deadline=None)
+@given(circuit=_linear_circuits())
+def test_lint_clean_implies_solvable_dc(circuit):
+    report = lint_circuit(circuit)
+    raised = _dc_raises(circuit)
+    if report.ok:
+        assert not raised, (
+            f"lint passed but DC is singular:\n{report.render()}")
+    if raised:
+        assert not report.ok, (
+            "DC raised a structural error but lint saw nothing")
+
+
+@settings(max_examples=40, deadline=None)
+@given(circuit=_linear_circuits())
+def test_lint_circuit_is_deterministic(circuit):
+    assert lint_circuit(circuit).to_json() == \
+        lint_circuit(circuit).to_json()

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.circuits_lib",
     "repro.core",
     "repro.devices",
+    "repro.lint",
     "repro.mna",
     "repro.perf",
     "repro.runtime",
@@ -59,6 +60,12 @@ MODULES = PACKAGES + [
     "repro.core.backends",
     "repro.core.stepper",
     "repro.errors",
+    "repro.lint.analyzer",
+    "repro.lint.checks",
+    "repro.lint.cli",
+    "repro.lint.gate",
+    "repro.lint.graph",
+    "repro.lint.report",
     "repro.mna.assembler",
     "repro.mna.batch",
     "repro.mna.linsolve",
@@ -119,7 +126,7 @@ def test_public_classes_and_functions_have_docstrings(name):
 
 def test_version_is_exposed():
     import repro
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_top_level_promises_from_readme():
