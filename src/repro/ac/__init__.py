@@ -38,7 +38,12 @@ from repro.ac.analysis import (
     solve_many,
     solve_many_sparse,
 )
-from repro.ac.linearize import SmallSignalSystem, linearize
+from repro.ac.linearize import (
+    SmallSignalSystem,
+    linearize,
+    stamp_tangent,
+    tangent_conductances,
+)
 from repro.ac.noise import NoiseResult, johnson_noise, thermal_ou_amplitude
 from repro.ac.result import ACResult
 
@@ -53,5 +58,7 @@ __all__ = [
     "linearize",
     "solve_many",
     "solve_many_sparse",
+    "stamp_tangent",
+    "tangent_conductances",
     "thermal_ou_amplitude",
 ]

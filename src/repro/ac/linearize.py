@@ -107,6 +107,51 @@ class SmallSignalSystem:
         raise AnalysisError(f"no independent source named {name!r}")
 
 
+def tangent_conductances(
+        circuit: Circuit, system: MnaSystem, state: np.ndarray,
+) -> tuple[np.ndarray, list[tuple[float, float]]]:
+    """Per-element small-signal derivatives evaluated at *state*.
+
+    Returns ``(device_g, mosfet_partials)``: the tangent ``dI/dV`` of
+    every two-terminal device (element multiplicity folded in) and the
+    ``(gm, gds)`` pair of every MOSFET.  :func:`linearize` evaluates
+    them once at the DC operating point; the shooting monodromy of
+    :mod:`repro.pss` re-evaluates them along an orbit, point by point,
+    to turn the marched chord map into its exact Jacobian.
+    """
+    device_g = np.zeros(len(circuit.devices))
+    for k, (anode, cathode) in enumerate(system.device_terminals()):
+        va = state[anode] if anode >= 0 else 0.0
+        vc = state[cathode] if cathode >= 0 else 0.0
+        device_g[k] = circuit.devices[k].differential_conductance(va - vc)
+    mosfet_partials = []
+    for k, (drain, gate, source) in enumerate(system.mosfet_terminals()):
+        vd = state[drain] if drain >= 0 else 0.0
+        vg = state[gate] if gate >= 0 else 0.0
+        vs = state[source] if source >= 0 else 0.0
+        mosfet_partials.append(circuit.mosfets[k].partials(vg - vs, vd - vs))
+    return device_g, mosfet_partials
+
+
+def stamp_tangent(system: MnaSystem, matrix: np.ndarray,
+                  device_g: np.ndarray,
+                  mosfet_partials: list[tuple[float, float]]) -> None:
+    """Stamp :func:`tangent_conductances` output into *matrix* in place.
+
+    Two-terminal tangents stamp like conductances (negative inside an
+    NDR region is fine — the consumers solve directly, not
+    iteratively); each MOSFET stamps ``gds`` across drain-source plus
+    a ``gm`` voltage-controlled current source (the hybrid-pi
+    skeleton).
+    """
+    for k, (anode, cathode) in enumerate(system.device_terminals()):
+        system.stamp_two_terminal(matrix, anode, cathode, device_g[k])
+    for k, (drain, gate, source) in enumerate(system.mosfet_terminals()):
+        gm, gds = mosfet_partials[k]
+        system.stamp_two_terminal(matrix, drain, source, gds)
+        system.stamp_transconductance(matrix, drain, source, gate, source, gm)
+
+
 def linearize(circuit: Circuit,
               bias: Mapping[str, float] | None = None,
               dc_options: SwecDCOptions | None = None) -> SmallSignalSystem:
@@ -122,17 +167,7 @@ def linearize(circuit: Circuit,
     state = dc.operating_point(bias)
     system = dc.system
     g0 = system.conductance_base()
-    for k, (anode, cathode) in enumerate(system.device_terminals()):
-        va = state[anode] if anode >= 0 else 0.0
-        vc = state[cathode] if cathode >= 0 else 0.0
-        g = circuit.devices[k].differential_conductance(va - vc)
-        system.stamp_two_terminal(g0, anode, cathode, g)
-    for k, (drain, gate, source) in enumerate(system.mosfet_terminals()):
-        vd = state[drain] if drain >= 0 else 0.0
-        vg = state[gate] if gate >= 0 else 0.0
-        vs = state[source] if source >= 0 else 0.0
-        gm, gds = circuit.mosfets[k].partials(vg - vs, vd - vs)
-        system.stamp_two_terminal(g0, drain, source, gds)
-        system.stamp_transconductance(g0, drain, source, gate, source, gm)
+    device_g, mosfet_partials = tangent_conductances(circuit, system, state)
+    stamp_tangent(system, g0, device_g, mosfet_partials)
     return SmallSignalSystem(circuit=circuit, system=system, state=state,
                              g0=g0, c=system.capacitance_matrix())

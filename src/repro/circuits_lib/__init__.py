@@ -9,6 +9,12 @@ are registered as sweepable templates in
 which keyword arguments a parameter axis may range over.
 """
 
+from repro.circuits_lib.arrays import (
+    coupled_oscillator_bank,
+    power_grid_mesh,
+    rtd_memory_array,
+    rtd_relaxation_oscillator,
+)
 from repro.circuits_lib.dividers import (
     nanowire_divider,
     rtd_chain,
@@ -28,15 +34,19 @@ from repro.circuits_lib.templates import (
 __all__ = [
     "CircuitTemplate",
     "TEMPLATES",
+    "coupled_oscillator_bank",
     "fet_rtd_inverter",
     "get_template",
     "mobile_dflipflop",
     "nanowire_divider",
     "noisy_rc_ladder",
     "noisy_rc_node",
+    "power_grid_mesh",
     "rc_mesh",
     "register_template",
     "rtd_chain",
     "rtd_divider",
+    "rtd_memory_array",
     "rtd_mesh",
+    "rtd_relaxation_oscillator",
 ]

@@ -1,0 +1,263 @@
+"""Regular-array workloads: oscillators, RTD memory, power meshes.
+
+The paper's target applications are exactly these shapes — free-running
+RTD oscillators, clocked RTD logic arrays, and the large regular
+interconnect fabrics that make per-step cost matter.  The builders here
+give the periodic-steady-state engine (:mod:`repro.pss`) its natural
+workloads and feed the backend selector, sweep and service layers
+genuinely different size/sparsity profiles:
+
+* :func:`rtd_relaxation_oscillator` — the canonical autonomous PSS
+  target: an NDR device across an LC tank relaxation-oscillates with
+  no drive at all;
+* :func:`coupled_oscillator_bank` — N detuned oscillators coupled
+  through resistors, the injection-locking testbed;
+* :func:`rtd_memory_array` — a rows x cols RTD cell array clocked by
+  staggered word-line pulses (driven PSS, one shared period);
+* :func:`power_grid_mesh` — an N x N supply mesh with distributed
+  load and decap plus a sinusoidal supply ripple; purely linear, so it
+  scales past 30x30 for the sparse/stack backend ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit import Circuit
+from repro.circuit.sources import Pulse, Sine
+from repro.devices import SCHULMAN_INGAAS, SchulmanParameters, SchulmanRTD
+
+__all__ = [
+    "CoupledBankInfo",
+    "MemoryArrayInfo",
+    "OscillatorInfo",
+    "PowerGridInfo",
+    "coupled_oscillator_bank",
+    "power_grid_mesh",
+    "rtd_memory_array",
+    "rtd_relaxation_oscillator",
+]
+
+
+@dataclass(frozen=True)
+class OscillatorInfo:
+    """Design record of one RTD relaxation oscillator."""
+
+    output: str
+    period_guess: float
+    bias: float
+
+
+def rtd_relaxation_oscillator(
+        inductance: float = 10e-9,
+        capacitance: float = 1e-12,
+        bias: float = 1.1,
+        rtd_area: float = 1.0,
+        parameters: SchulmanParameters = SCHULMAN_INGAAS,
+) -> tuple[Circuit, OscillatorInfo]:
+    """Free-running RTD relaxation oscillator (autonomous PSS target).
+
+    A DC bias feeds an LC tank whose capacitor is shunted by an RTD
+    biased into its negative-differential-resistance region; the NDR
+    pumps the tank and the orbit relaxes between the two positive-
+    resistance branches.  The DC operating point is an unstable
+    equilibrium, so a transient from the capacitor's zero initial
+    voltage spirals out to the limit cycle.
+
+    ``info.period_guess`` is the LC scale ``2 pi sqrt(L C)`` — the
+    right order of magnitude for :class:`~repro.pss.PSSOptions`'
+    ``period_guess`` (the settle horizon tolerates factor-of-two
+    error).
+    """
+    if inductance <= 0.0 or capacitance <= 0.0:
+        raise ValueError(
+            f"need positive L and C, got {inductance!r}, {capacitance!r}")
+    circuit = Circuit("rtd-relaxation-oscillator")
+    circuit.add_voltage_source("Vb", "vdd", "0", bias)
+    circuit.add_inductor("L1", "vdd", "out", inductance)
+    circuit.add_capacitor("C1", "out", "0", capacitance,
+                          initial_voltage=0.0)
+    circuit.add_device("X1", "out", "0", SchulmanRTD(parameters),
+                       multiplicity=rtd_area)
+    period_guess = 2.0 * math.pi * math.sqrt(inductance * capacitance)
+    return circuit, OscillatorInfo(output="out",
+                                   period_guess=period_guess, bias=bias)
+
+
+@dataclass(frozen=True)
+class CoupledBankInfo:
+    """Design record of a coupled oscillator bank."""
+
+    outputs: tuple[str, ...]
+    period_guess: float
+    bias: float
+
+
+def coupled_oscillator_bank(
+        count: int = 3,
+        coupling_resistance: float = 2e3,
+        detune: float = 0.05,
+        inductance: float = 10e-9,
+        capacitance: float = 1e-12,
+        bias: float = 1.1,
+        rtd_area: float = 1.0,
+        parameters: SchulmanParameters = SCHULMAN_INGAAS,
+) -> tuple[Circuit, CoupledBankInfo]:
+    """Chain of *count* RTD oscillators coupled through resistors.
+
+    Cell ``k`` is an :func:`rtd_relaxation_oscillator` with its tank
+    capacitor scaled by ``1 + detune * k`` (so the uncoupled cells
+    would free-run at distinct frequencies); neighbouring outputs are
+    tied through ``coupling_resistance``.  Strong coupling locks the
+    bank to one shared orbit — an autonomous PSS problem whose state
+    dimension grows as ``2 * count + 2``.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one oscillator, got {count!r}")
+    if detune < 0.0:
+        raise ValueError(f"detune must be >= 0, got {detune!r}")
+    circuit = Circuit(f"coupled-oscillator-bank-{count}")
+    circuit.add_voltage_source("Vb", "vdd", "0", bias)
+    rtd = SchulmanRTD(parameters)
+    outputs = []
+    for k in range(count):
+        node = f"out{k}"
+        outputs.append(node)
+        circuit.add_inductor(f"L{k}", "vdd", node, inductance)
+        circuit.add_capacitor(f"C{k}", node, "0",
+                              capacitance * (1.0 + detune * k),
+                              initial_voltage=0.0)
+        circuit.add_device(f"X{k}", node, "0", rtd, multiplicity=rtd_area)
+        if k > 0:
+            circuit.add_resistor(f"Rc{k}", outputs[k - 1], node,
+                                 coupling_resistance)
+    period_guess = 2.0 * math.pi * math.sqrt(
+        inductance * capacitance * (1.0 + 0.5 * detune * (count - 1)))
+    return circuit, CoupledBankInfo(outputs=tuple(outputs),
+                                    period_guess=period_guess, bias=bias)
+
+
+@dataclass(frozen=True)
+class MemoryArrayInfo:
+    """Design record of an RTD memory array."""
+
+    rows: int
+    cols: int
+    cell_nodes: tuple[str, ...]
+    word_lines: tuple[str, ...]
+    word_period: float
+
+
+def rtd_memory_array(
+        rows: int = 4,
+        cols: int = 4,
+        access_resistance: float = 1e3,
+        column_resistance: float = 5e3,
+        cell_capacitance: float = 0.1e-12,
+        rtd_area: float = 0.05,
+        word_period: float = 4e-9,
+        word_high: float = 1.0,
+        parameters: SchulmanParameters = SCHULMAN_INGAAS,
+) -> tuple[Circuit, MemoryArrayInfo]:
+    """``rows x cols`` RTD cell array with staggered word-line clocks.
+
+    Each cell is the classic one-RTD-one-capacitor store (the RTD's
+    bistable load line holds the state); row ``r``'s word line is a
+    pulse of the shared ``word_period`` delayed by ``r / rows`` of a
+    period, feeding every cell in the row through
+    ``access_resistance``, and vertically adjacent cells couple
+    through ``column_resistance``.  All sources share one period, so
+    driven PSS auto-detects it; cell nodes are ``m<r>_<c>``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"need a positive array, got {rows}x{cols}")
+    if word_period <= 0.0:
+        raise ValueError(
+            f"word_period must be positive, got {word_period!r}")
+    circuit = Circuit(f"rtd-memory-{rows}x{cols}")
+    rtd = SchulmanRTD(parameters)
+    cell_nodes = []
+    word_lines = []
+    edge = 0.02 * word_period
+    width = 0.5 * word_period - edge
+    for r in range(rows):
+        word = f"w{r}"
+        word_lines.append(word)
+        circuit.add_voltage_source(
+            f"Vw{r}", word, "0",
+            Pulse(0.0, word_high, delay=r * word_period / rows,
+                  rise=edge, fall=edge, width=width, period=word_period))
+    for r in range(rows):
+        for c in range(cols):
+            node = f"m{r}_{c}"
+            cell_nodes.append(node)
+            circuit.add_resistor(f"Ra{r}_{c}", f"w{r}", node,
+                                 access_resistance)
+            circuit.add_capacitor(f"C{r}_{c}", node, "0",
+                                  cell_capacitance)
+            circuit.add_device(f"X{r}_{c}", node, "0", rtd,
+                               multiplicity=rtd_area)
+            if r + 1 < rows:
+                circuit.add_resistor(f"Rc{r}_{c}", node, f"m{r + 1}_{c}",
+                                     column_resistance)
+    return circuit, MemoryArrayInfo(
+        rows=rows, cols=cols, cell_nodes=tuple(cell_nodes),
+        word_lines=tuple(word_lines), word_period=word_period)
+
+
+@dataclass(frozen=True)
+class PowerGridInfo:
+    """Design record of a power-grid mesh."""
+
+    rows: int
+    cols: int
+    corner: str
+    far_corner: str
+    ripple_period: float
+
+
+def power_grid_mesh(
+        rows: int = 32,
+        cols: int = 32,
+        grid_resistance: float = 0.5,
+        load_resistance: float = 200.0,
+        decap: float = 1e-12,
+        vdd: float = 1.0,
+        ripple: float = 0.05,
+        ripple_frequency: float = 1e8,
+) -> tuple[Circuit, PowerGridInfo]:
+    """``rows x cols`` supply mesh with distributed load and ripple.
+
+    A supply with a sinusoidal ripple (``vdd + ripple * sin``) drives
+    the corner of a resistive mesh; every node carries a decoupling
+    capacitor and a resistive load to ground.  Purely linear, so at
+    the default 32x32 (1025 MNA unknowns) it exercises the sparse and
+    stack backends well past the 30x30 mark; driven PSS on smaller
+    instances converges in one Newton iteration.  Node names are
+    ``n<r>_<c>``; the IR-drop observable is the far corner.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"need a positive grid, got {rows}x{cols}")
+    if ripple_frequency <= 0.0:
+        raise ValueError(
+            f"ripple_frequency must be positive, got {ripple_frequency!r}")
+    circuit = Circuit(f"power-grid-{rows}x{cols}")
+    circuit.add_voltage_source(
+        "Vdd", "supply", "0", Sine(vdd, ripple, ripple_frequency))
+    circuit.add_resistor("Rpkg", "supply", "n0_0", grid_resistance)
+    for r in range(rows):
+        for c in range(cols):
+            node = f"n{r}_{c}"
+            if c + 1 < cols:
+                circuit.add_resistor(f"Rh{r}_{c}", node, f"n{r}_{c + 1}",
+                                     grid_resistance)
+            if r + 1 < rows:
+                circuit.add_resistor(f"Rv{r}_{c}", node, f"n{r + 1}_{c}",
+                                     grid_resistance)
+            circuit.add_resistor(f"Rl{r}_{c}", node, "0", load_resistance)
+            circuit.add_capacitor(f"Cd{r}_{c}", node, "0", decap)
+    return circuit, PowerGridInfo(
+        rows=rows, cols=cols, corner="n0_0",
+        far_corner=f"n{rows - 1}_{cols - 1}",
+        ripple_period=1.0 / ripple_frequency)

@@ -143,6 +143,37 @@ def _register_builtins() -> None:
             integer_params=("rows", "cols"), default_node="n0_0",
             ac_source="Vs"),
         CircuitTemplate(
+            name="rtd_relaxation_oscillator", kind="circuit",
+            description="free-running RTD-LC relaxation oscillator "
+                        "(autonomous PSS target)",
+            sweepable=("inductance", "capacitance", "bias", "rtd_area"),
+            default_node="out", ac_source="Vb"),
+        CircuitTemplate(
+            name="coupled_oscillator_bank", kind="circuit",
+            description="resistively coupled, detuned RTD oscillators",
+            sweepable=("count", "coupling_resistance", "detune",
+                       "inductance", "capacitance", "bias", "rtd_area"),
+            integer_params=("count",), default_node="out0",
+            ac_source="Vb"),
+        CircuitTemplate(
+            name="rtd_memory_array", kind="circuit",
+            description="rows x cols RTD memory cells with staggered "
+                        "word-line clocks",
+            sweepable=("rows", "cols", "access_resistance",
+                       "column_resistance", "cell_capacitance",
+                       "rtd_area", "word_period", "word_high"),
+            integer_params=("rows", "cols"), default_node="m0_0",
+            ac_source="Vw0"),
+        CircuitTemplate(
+            name="power_grid_mesh", kind="circuit",
+            description="N x N supply mesh with distributed load and "
+                        "sinusoidal ripple",
+            sweepable=("rows", "cols", "grid_resistance",
+                       "load_resistance", "decap", "vdd", "ripple",
+                       "ripple_frequency"),
+            integer_params=("rows", "cols"), default_node="n0_0",
+            ac_source="Vdd"),
+        CircuitTemplate(
             name="noisy_rc_node", kind="sde",
             description="single RC node with white-noise current (Sec. 4)",
             sweepable=("resistance", "capacitance", "drive",

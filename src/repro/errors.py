@@ -103,5 +103,37 @@ class ConvergenceError(AnalysisError):
         self.residual = residual
 
 
+class PSSError(AnalysisError):
+    """Periodic steady-state (shooting) analysis failed.
+
+    Raised by :mod:`repro.pss` when the shooting-Newton iteration does
+    not reach the periodicity tolerance, when no oscillation can be
+    detected within the settle horizon of an autonomous run, or when
+    the drive period of a forced circuit cannot be determined.  The
+    contract is *converged or raised*: a :class:`PSSResult
+    <repro.pss.PSSResult>` is never returned with a residual above
+    tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Newton iterations performed before giving up, when applicable.
+    residual:
+        Last periodicity residual ``max|x(T) - x(0)|``, when meaningful.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        details = []
+        if iterations is not None:
+            details.append(f"iterations={iterations}")
+        if residual is not None:
+            details.append(f"residual={residual:.3e}")
+        suffix = f" [{', '.join(details)}]" if details else ""
+        super().__init__(message + suffix)
+        self.iterations = iterations
+        self.residual = residual
+
+
 class SingularMatrixError(AnalysisError):
     """The linearized MNA matrix is singular or numerically unusable."""

@@ -1,0 +1,6 @@
+"""``python -m repro.pss`` dispatch."""
+
+from repro.pss.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

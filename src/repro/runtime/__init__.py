@@ -24,6 +24,7 @@ from repro.runtime.jobs import (
     ACJob,
     EnsembleJob,
     EnsembleTransientJob,
+    PSSJob,
     SDE_BUILDERS,
     TransientJob,
     job_from_mapping,
@@ -38,6 +39,7 @@ __all__ = [
     "EnsembleJob",
     "EnsembleTransientJob",
     "JobResult",
+    "PSSJob",
     "SDE_BUILDERS",
     "TransientJob",
     "default_worker_count",

@@ -1,6 +1,6 @@
 """Job specifications for the batch runtime.
 
-Four job flavours cover the workloads:
+Five job flavours cover the workloads:
 
 * :class:`TransientJob` — one deterministic transient simulation: a
   circuit (given directly or as a builder from
@@ -17,6 +17,9 @@ Four job flavours cover the workloads:
   :class:`~repro.swec.ensemble.SwecEnsembleTransient`: per-instance
   parameter variations and/or seeded circuit-noise realizations, one
   batched solve per time point.
+* :class:`PSSJob` — one periodic steady-state shooting analysis
+  (:mod:`repro.pss`): the circuit plus period/convergence knobs,
+  driven or autonomous.
 
 Jobs are plain picklable dataclasses so they cross process boundaries.
 Builders referenced *by name* are resolved inside the worker, which also
@@ -590,13 +593,89 @@ class EnsembleTransientJob:
         )
 
 
+@dataclass
+class PSSJob:
+    """One periodic steady-state (shooting) analysis (:mod:`repro.pss`).
+
+    The circuit is given exactly like :class:`TransientJob` (one of
+    ``circuit=``, ``builder=`` or ``netlist=``, with ``params``
+    resolved inside the worker).  ``period=`` forces driven mode,
+    ``period_guess=`` autonomous mode; with neither, the drive period
+    is auto-detected from the periodic source waveforms.  The
+    remaining knobs mirror :class:`~repro.pss.PSSOptions`.
+    """
+
+    #: Spec-file ``type=`` tag; the cache layer records it
+    #: with every stored result (:mod:`repro.service`).
+    kind: ClassVar[str] = "pss"
+
+    circuit: Any = None
+    builder: str | Callable | None = None
+    netlist: str | None = None
+    params: dict = field(default_factory=dict)
+    period: float | None = None
+    period_guess: float | None = None
+    steps_per_period: int = 400
+    tolerance: float = 1e-9
+    max_iterations: int = 10
+    phase_node: str | None = None
+    settle_periods: float = 5.0
+    refine_periods: int = 2
+    options: Any = None
+    #: Solver backend for every shooting march (``dense``/``sparse``/
+    #: ``stack``/``auto``); overrides any ``options`` setting.
+    backend: str | None = None
+    label: str = ""
+    #: Pre-flight lint mode (``off``/``warn``/``strict``); see
+    #: :class:`TransientJob`.
+    validate: str = "off"
+
+    def __post_init__(self) -> None:
+        given = sum(
+            source is not None
+            for source in (self.circuit, self.builder, self.netlist)
+        )
+        if given != 1:
+            raise AnalysisError(
+                "PSSJob needs exactly one of circuit=, builder= or netlist="
+            )
+        _check_validate(self.validate)
+
+    def build_circuit(self):
+        """Materialize the circuit this job analyses."""
+        return materialize_circuit(
+            self.circuit, self.builder, self.netlist, self.params
+        )
+
+    def run(self, seed: np.random.SeedSequence | None = None):
+        """Execute the shooting analysis; *seed* is unused (PSS is
+        deterministic) but accepted for a uniform job interface.
+        Returns a :class:`~repro.pss.PSSResult`."""
+        _enforce_validate(self)
+        from repro.pss import PSSOptions, ShootingPSS
+
+        options = PSSOptions(
+            period=self.period,
+            period_guess=self.period_guess,
+            steps_per_period=self.steps_per_period,
+            tolerance=self.tolerance,
+            max_iterations=self.max_iterations,
+            phase_node=self.phase_node,
+            settle_periods=self.settle_periods,
+            refine_periods=self.refine_periods,
+            swec=self.options,
+            backend=self.backend,
+        )
+        return ShootingPSS(self.build_circuit(), options).run()
+
+
 def job_from_mapping(
     spec: Mapping[str, Any],
-) -> "TransientJob | EnsembleJob | ACJob | EnsembleTransientJob":
+) -> "TransientJob | EnsembleJob | ACJob | EnsembleTransientJob | PSSJob":
     """Build a job from one deserialized job-spec table (CLI path)."""
     spec = dict(spec)
     kind = spec.pop("type", "transient")
-    if kind in ("transient", "ac", "ensemble_transient"):
+    if kind in ("transient", "ac", "ensemble_transient", "pss"):
         circuit = spec.pop("circuit", None)
         if isinstance(circuit, str):
             spec["builder"] = circuit
@@ -606,6 +685,7 @@ def job_from_mapping(
             "transient": TransientJob,
             "ac": ACJob,
             "ensemble_transient": EnsembleTransientJob,
+            "pss": PSSJob,
         }[kind]
         return job_class(**spec)  # "netlist" passes through as text
     if kind == "ensemble":
@@ -617,5 +697,5 @@ def job_from_mapping(
         return EnsembleJob(**spec)
     raise AnalysisError(
         f"unknown job type {kind!r} (expected 'transient', 'ensemble', "
-        f"'ac' or 'ensemble_transient')"
+        f"'ac', 'ensemble_transient' or 'pss')"
     )

@@ -9,9 +9,11 @@ Transient measures wrap :mod:`repro.analysis.measure` over one node's
 waveform; ensemble measures reduce the
 :class:`~repro.stochastic.montecarlo.EnsembleStatistics` bands; AC
 measures reduce an :class:`~repro.ac.ACResult` transfer function to
-its Bode landmarks.  Each measure is addressed by ``kind`` in the
-spec file and contributes one report column (named after the measure,
-or an explicit ``name=``).
+its Bode landmarks; PSS measures reduce a
+:class:`~repro.pss.PSSResult` orbit to its period, harmonic
+amplitudes and convergence diagnostics.  Each measure is addressed by
+``kind`` in the spec file and contributes one report column (named
+after the measure, or an explicit ``name=``).
 """
 
 from __future__ import annotations
@@ -205,6 +207,52 @@ AC_MEASURES = {
 }
 
 
+def _measure_pss_period(result, node, kwargs):
+    return result.period
+
+
+def _measure_pss_frequency(result, node, kwargs):
+    return result.frequency
+
+
+def _measure_pss_amplitude(result, node, kwargs):
+    return result.amplitude(node)
+
+
+def _measure_pss_peak_to_peak(result, node, kwargs):
+    return result.peak_to_peak(node)
+
+
+def _measure_pss_mean(result, node, kwargs):
+    return result.mean(node)
+
+
+def _measure_pss_harmonic(result, node, kwargs):
+    order = int(kwargs.pop("order", 1))
+    return result.harmonic_magnitude(node, order)
+
+
+def _measure_pss_iterations(result, node, kwargs):
+    return float(result.iterations)
+
+
+def _measure_pss_residual(result, node, kwargs):
+    return result.residual
+
+
+#: PSS measures: ``fn(PSSResult, node, kwargs) -> float``.
+PSS_MEASURES = {
+    "period": _measure_pss_period,
+    "frequency": _measure_pss_frequency,
+    "amplitude": _measure_pss_amplitude,
+    "peak_to_peak": _measure_pss_peak_to_peak,
+    "mean": _measure_pss_mean,
+    "harmonic": _measure_pss_harmonic,
+    "pss_iterations": _measure_pss_iterations,
+    "pss_residual": _measure_pss_residual,
+}
+
+
 @dataclass(frozen=True)
 class MeasureSpec:
     """One measure to extract at every sweep point.
@@ -228,6 +276,10 @@ class MeasureSpec:
     def extract(self, value) -> float:
         """Reduce one job result to this measure's scalar."""
         kwargs = dict(self.kwargs)
+        from repro.pss import PSSResult
+
+        if isinstance(value, PSSResult):
+            return float(PSS_MEASURES[self.kind](value, self.node, kwargs))
         if self.kind in TRANSIENT_MEASURES:
             return float(TRANSIENT_MEASURES[self.kind](value, self.node,
                                                        kwargs))
@@ -246,7 +298,8 @@ class MeasureSpec:
             raise SweepSpecError("measure needs a kind=")
         registries = {"transient": TRANSIENT_MEASURES,
                       "ensemble": ENSEMBLE_MEASURES,
-                      "ac": AC_MEASURES}
+                      "ac": AC_MEASURES,
+                      "pss": PSS_MEASURES}
         try:
             registry = registries[kind]
         except KeyError:

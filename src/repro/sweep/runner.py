@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from repro.runtime.jobs import (
     ACJob,
     EnsembleJob,
+    PSSJob,
     TransientJob,
     _swec_options,
     materialize_circuit,
@@ -173,8 +174,9 @@ def build_jobs(spec: SweepSpec) -> list[SweepPointJob]:
         params = dict(point)
         if spec.template is not None:
             params = spec.template_info().coerce(params)
-        if spec.kind in ("transient", "ac"):
-            job_class = TransientJob if spec.kind == "transient" else ACJob
+        if spec.kind in ("transient", "ac", "pss"):
+            job_class = {"transient": TransientJob, "ac": ACJob,
+                         "pss": PSSJob}[spec.kind]
             settings = dict(spec.settings)
             if (spec.kind == "ac" and spec.template is not None
                     and "source" not in settings
@@ -224,7 +226,7 @@ def _assemble_report(spec: SweepSpec, jobs, batch: BatchReport,
     param_names = tuple(axis.name for axis in spec.axes)
     measure_names = tuple(m.column for m in spec.measures)
     diagnostics = (_TRANSIENT_DIAGNOSTICS
-                   if spec.kind == "transient" else ())
+                   if spec.kind in ("transient", "pss") else ())
     columns: dict[str, list] = {
         name: [] for name in
         ("index", "label", *param_names, *measure_names, *diagnostics,
@@ -272,7 +274,7 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
     ``vector > 1`` (SWEC transient sweeps only) consecutive design
     points march in lockstep blocks of that size — see
     :class:`SweepBatchJob`.  ``backend`` forces the solver backend of
-    every point (transient and AC sweeps), overriding the spec's
+    every point (transient, AC and PSS sweeps), overriding the spec's
     ``backend`` setting.
 
     ``cache`` enables the content-addressed result store of
@@ -297,7 +299,7 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
             from repro.errors import SweepSpecError
 
             raise SweepSpecError(
-                "backend= applies to transient and AC sweeps only")
+                "backend= applies to transient, AC and PSS sweeps only")
         spec = replace(spec, settings={**spec.settings,
                                        "backend": backend})
     batch_settings = spec.batch

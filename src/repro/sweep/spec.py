@@ -33,7 +33,7 @@ except ImportError:  # Python 3.10: TOML needs 3.11+, JSON always works
     tomllib = None
 
 _MODES = ("product", "zip")
-_KINDS = ("transient", "ensemble", "ac")
+_KINDS = ("transient", "ensemble", "ac", "pss")
 
 #: Job fields owned by the sweep runner, not the spec's settings table.
 _RUNNER_OWNED = frozenset(
@@ -41,10 +41,10 @@ _RUNNER_OWNED = frozenset(
 
 
 def _job_class(kind: str):
-    from repro.runtime.jobs import ACJob, EnsembleJob, TransientJob
+    from repro.runtime.jobs import ACJob, EnsembleJob, PSSJob, TransientJob
 
     return {"transient": TransientJob, "ensemble": EnsembleJob,
-            "ac": ACJob}[kind]
+            "ac": ACJob, "pss": PSSJob}[kind]
 
 
 def _check_settings(kind: str, settings: Mapping[str, Any]) -> None:
@@ -224,7 +224,7 @@ class SweepSpec:
             if info.kind == "circuit" and self.kind == "ensemble":
                 raise SweepSpecError(
                     f"template {self.template!r} is a circuit; "
-                    f"use kind = 'transient' or 'ac'")
+                    f"use kind = 'transient', 'ac' or 'pss'")
             info.coerce({name: 0.0 for name in names})
             info.coerce({k: 0.0 for k in self.fixed})
         _check_settings(self.kind, self.settings)
@@ -329,8 +329,8 @@ class SweepSpec:
             name = "inverter-corners"    # are optional
             circuit = "fet_rtd_inverter" # template name, OR:
             netlist = "family.cir"       # path, relative to the spec file
-            kind = "transient"           # transient | ensemble | ac
-                                         # ("analysis" is an alias)
+            kind = "transient"           # transient | ensemble | ac |
+                                         # pss ("analysis" is an alias)
             mode = "product"             # product | zip
             t_stop = 4e-8                # job settings, per kind
                                          # (AC: f_start/f_stop/n_points/

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import math
+
 import numpy as np
 import pytest
 
@@ -18,17 +21,70 @@ from repro.swec.timestep import StepControlOptions
 
 
 def pytest_addoption(parser):
-    """``--update-golden`` rewrites the lint golden-corpus snapshots."""
+    """``--update-golden`` rewrites the golden-corpus snapshots."""
     parser.addoption(
         "--update-golden", action="store_true", default=False,
-        help="regenerate tests/lint_corpus/*.expected.json from the "
-             "current analyzer output instead of comparing against it")
+        help="regenerate golden corpus snapshots (tests/lint_corpus, "
+             "tests/pss_corpus, ...) from the current output instead "
+             "of comparing against them")
 
 
 @pytest.fixture
 def update_golden(request):
     """True when the run should rewrite golden snapshots."""
     return request.config.getoption("--update-golden")
+
+
+def _round_significant(value, digits: int):
+    """Recursively round floats to *digits* significant figures.
+
+    Golden corpora pin floating-point payloads; rounding both the
+    fresh payload and the stored snapshot to the same significant
+    precision keeps the comparison meaningful while tolerating
+    last-bit BLAS/platform drift.
+    """
+    if isinstance(value, float):
+        if value == 0.0 or not math.isfinite(value):
+            return value
+        scale = digits - 1 - math.floor(math.log10(abs(value)))
+        return round(value, scale)
+    if isinstance(value, dict):
+        return {k: _round_significant(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_significant(v, digits) for v in value]
+    return value
+
+
+@pytest.fixture
+def golden_json(update_golden):
+    """Compare a JSON-serializable payload against a golden snapshot.
+
+    Returns ``check(path, payload, significant_digits=None,
+    text=None)``: with ``--update-golden`` the snapshot at *path* is
+    rewritten first (from *text* when given, so a corpus can keep its
+    own rendering, else ``json.dumps(payload, indent=2)``); then the
+    payload must equal the parsed snapshot.  ``significant_digits``
+    rounds every float on both sides before comparing — use it for
+    numerical corpora.  Shared by the lint and PSS golden corpora;
+    any future corpus should use this fixture rather than growing its
+    own update flag.
+    """
+
+    def check(path, payload, *, significant_digits=None, text=None):
+        if significant_digits is not None:
+            payload = _round_significant(payload, significant_digits)
+        if update_golden:
+            rendered = (text if text is not None
+                        else json.dumps(payload, indent=2) + "\n")
+            path.write_text(rendered)
+        assert path.exists(), (
+            f"{path.name} missing; run pytest --update-golden")
+        stored = json.loads(path.read_text())
+        if significant_digits is not None:
+            stored = _round_significant(stored, significant_digits)
+        assert payload == stored
+
+    return check
 
 
 @pytest.fixture

@@ -343,3 +343,64 @@ class TestBackendKnobThreading:
                            backend="ragged")
         with pytest.raises(AnalysisError, match="backend"):
             job.run()
+
+
+@pytest.fixture(scope="module")
+def pss_orbits():
+    """One shooting orbit per backend, same circuit and options."""
+    from repro.circuits_lib import rtd_relaxation_oscillator
+    from repro.pss import run_pss
+
+    orbits = {}
+    for backend in ALL_BACKENDS:
+        circuit, info = rtd_relaxation_oscillator()
+        orbits[backend] = run_pss(
+            circuit, period_guess=info.period_guess,
+            steps_per_period=200, backend=backend)
+    return orbits
+
+
+class TestPSSBackendEquivalence:
+    """Shooting PSS rides the same backend contract as the marches."""
+
+    def test_orbits_agree_at_1e9(self, pss_orbits):
+        reference = pss_orbits["dense"]
+        for backend in ALL_BACKENDS[1:]:
+            orbit = pss_orbits[backend]
+            assert orbit.period == pytest.approx(
+                reference.period, rel=1e-9, abs=0.0), backend
+            error = float(np.max(np.abs(orbit.states
+                                        - reference.states)))
+            assert error < WAVEFORM_ATOL, (backend, error)
+
+    def test_resolved_backend_is_recorded(self, pss_orbits):
+        assert pss_orbits["dense"].backend == "dense"
+        assert pss_orbits["sparse"].backend == "sparse"
+        assert pss_orbits["stack"].backend == "stack"
+        # auto resolves by size/density: the oscillator is small.
+        assert pss_orbits["auto"].backend == "dense"
+
+    def test_flop_events_backend_invariant(self, pss_orbits):
+        reference = pss_orbits["dense"].flops
+        assert reference.factorizations > 0
+        assert reference.linear_solves > 0
+        for backend, orbit in pss_orbits.items():
+            flops = orbit.flops
+            assert flops.factorizations == reference.factorizations, \
+                backend
+            assert flops.linear_solves == reference.linear_solves, backend
+            assert (flops.device_evaluations
+                    == reference.device_evaluations), backend
+
+    def test_driven_orbit_backend_agreement(self):
+        from repro.circuits_lib import rtd_memory_array
+        from repro.pss import run_pss
+
+        results = {}
+        for backend in ("dense", "sparse"):
+            circuit, info = rtd_memory_array(rows=2, cols=2)
+            results[backend] = run_pss(circuit, steps_per_period=100,
+                                       backend=backend)
+        error = float(np.max(np.abs(results["sparse"].states
+                                    - results["dense"].states)))
+        assert error < WAVEFORM_ATOL, error

@@ -38,7 +38,7 @@ def _netlist_doc() -> Path:
 def test_docs_directory_is_complete():
     for name in ("architecture.md", "paper_map.md", "netlist_format.md",
                  "ac_analysis.md", "ensemble_transient.md", "service.md",
-                 "lint.md"):
+                 "lint.md", "pss.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -67,7 +67,7 @@ def test_spice_error_snippets_fail_as_documented(index):
 @pytest.mark.parametrize("document",
                          ["netlist_format.md", "ac_analysis.md",
                           "ensemble_transient.md", "service.md",
-                          "lint.md"])
+                          "lint.md", "pss.md"])
 def test_python_snippets_run(document):
     snippets = _blocks(DOCS / document, "python")
     assert snippets, f"docs/{document} has no python snippets"
@@ -107,6 +107,21 @@ def test_lint_doc_covers_the_subsystem():
                      "validate", "LintError", "--update-golden",
                      "--hypothesis-seed", "repro-lint/1"):
         assert required in text, f"lint.md lacks {required!r}"
+
+
+def test_pss_doc_covers_the_subsystem():
+    text = (DOCS / "pss.md").read_text()
+    for required in ("python -m repro.pss", "repro-pss", "monodromy",
+                     "period_guess", 'analysis = "pss"', "PSSError",
+                     "bench_pss.py", "--update-golden", "pss-smoke"):
+        assert required in text, f"pss.md lacks {required!r}"
+
+
+def test_readme_documents_pss():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/pss.md" in readme
+    assert "python -m repro.pss" in readme
+    assert "shooting" in readme
 
 
 def test_readme_documents_the_linter():

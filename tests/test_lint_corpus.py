@@ -65,14 +65,11 @@ def test_defect_class_and_line_number(path):
 
 
 @pytest.mark.parametrize("path", _fixtures(), ids=lambda p: p.name)
-def test_golden_snapshot(path, update_golden):
+def test_golden_snapshot(path, golden_json):
     report = lint_netlist(path.read_text(), name=path.name)
-    golden = path.with_suffix(".expected.json")
-    if update_golden:
-        golden.write_text(report.to_json(indent=2) + "\n")
-    assert golden.exists(), (
-        f"{golden.name} missing; run pytest --update-golden")
-    assert json.loads(report.to_json()) == json.loads(golden.read_text())
+    golden_json(path.with_suffix(".expected.json"),
+                json.loads(report.to_json()),
+                text=report.to_json(indent=2) + "\n")
 
 
 def test_corpus_covers_every_check_id():

@@ -1,0 +1,110 @@
+"""Property-based tests for the shooting PSS engine.
+
+The contract under test: on any lint-clean *driven linear* circuit,
+shooting either converges — returning an orbit whose reported residual
+is below tolerance and whose endpoints actually close to that residual
+— or raises a typed :class:`~repro.errors.PSSError`.  It never returns
+a silently-wrong orbit.  And the whole pipeline is deterministic:
+repeated runs of the same job are bit-identical, including across
+batch worker counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PSSError
+from repro.lint import lint_netlist
+from repro.runtime import BatchRunner, PSSJob
+
+STEPS = 64  # linear circuits converge in one Newton step; keep marches cheap
+
+
+def _rc_netlist(resistances, capacitances, drive):
+    """A lint-clean driven RC ladder netlist (one stage per R/C pair)."""
+    lines = ["* property-generated driven RC ladder",
+             f"V1 n0 0 {drive}"]
+    for k, (r, c) in enumerate(zip(resistances, capacitances)):
+        lines.append(f"R{k + 1} n{k} n{k + 1} {r!r}")
+        lines.append(f"C{k + 1} n{k + 1} 0 {c!r}")
+    return "\n".join(lines) + "\n"
+
+
+@st.composite
+def driven_rc_circuits(draw):
+    """Netlist text of a random lint-clean driven linear circuit."""
+    stages = draw(st.integers(1, 3))
+    resistances = draw(st.lists(st.floats(10.0, 1e5),
+                                min_size=stages, max_size=stages))
+    capacitances = draw(st.lists(st.floats(1e-14, 1e-11),
+                                 min_size=stages, max_size=stages))
+    period = draw(st.floats(1e-9, 100e-9))
+    amplitude = draw(st.floats(0.1, 2.0))
+    if draw(st.booleans()):
+        drive = f"SIN(0 {amplitude!r} {1.0 / period!r})"
+    else:
+        edge = 0.02 * period
+        drive = (f"PULSE(0 {amplitude!r} 0 {edge!r} {edge!r} "
+                 f"{0.4 * period!r} {period!r})")
+    return _rc_netlist(resistances, capacitances, drive)
+
+
+class TestConvergesOrTypedError:
+    @given(netlist=driven_rc_circuits())
+    @settings(max_examples=25, deadline=None)
+    def test_converges_with_closed_orbit_or_raises(self, netlist):
+        assert lint_netlist(netlist).ok, netlist
+        job = PSSJob(netlist=netlist, steps_per_period=STEPS)
+        try:
+            orbit = job.run()
+        except PSSError:
+            return  # a typed refusal is an acceptable outcome
+        # Silently-wrong is not: the reported residual must be below
+        # tolerance AND the orbit endpoints must actually close to it.
+        assert orbit.residual < 1e-9
+        defect = float(np.max(np.abs(orbit.states[-1] - orbit.states[0])))
+        assert defect <= orbit.residual
+        assert np.all(np.isfinite(orbit.states))
+        # Linear circuits are exactly one Newton step from anywhere.
+        assert orbit.iterations <= 1
+
+    @given(netlist=driven_rc_circuits())
+    @settings(max_examples=10, deadline=None)
+    def test_repeated_runs_bit_identical(self, netlist):
+        job = PSSJob(netlist=netlist, steps_per_period=STEPS)
+        try:
+            first = job.run()
+        except PSSError:
+            with pytest.raises(PSSError):
+                job.run()
+            return
+        second = job.run()
+        assert first.period == second.period
+        assert np.array_equal(first.states, second.states)
+        assert np.array_equal(first.times, second.times)
+        assert first.residual == second.residual
+
+
+class TestWorkerCountInvariance:
+    """The same PSS jobs produce bit-identical orbits at any worker
+    count — the batch layer must not perturb the numerics."""
+
+    def _jobs(self):
+        return [
+            PSSJob(netlist=_rc_netlist(
+                [1e3], [c], "SIN(0 1.0 1e8)"), steps_per_period=STEPS)
+            for c in (1e-12, 3e-12, 10e-12)
+        ]
+
+    def test_serial_matches_parallel(self):
+        serial = BatchRunner(max_workers=1, executor="serial",
+                             seed=7).run(self._jobs())
+        parallel = BatchRunner(max_workers=2, executor="process",
+                               seed=7).run(self._jobs())
+        assert serial.ok and parallel.ok
+        for a, b in zip(serial.results, parallel.results):
+            assert np.array_equal(a.value.states, b.value.states)
+            assert a.value.period == b.value.period
+            assert a.value.residual == b.value.residual

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.lint",
     "repro.mna",
     "repro.perf",
+    "repro.pss",
     "repro.runtime",
     "repro.stochastic",
     "repro.swec",
@@ -43,6 +44,7 @@ MODULES = PACKAGES + [
     "repro.circuit.netlist",
     "repro.circuit.parser",
     "repro.circuit.sources",
+    "repro.circuits_lib.arrays",
     "repro.circuits_lib.dividers",
     "repro.circuits_lib.flipflop",
     "repro.circuits_lib.grids",
@@ -72,6 +74,8 @@ MODULES = PACKAGES + [
     "repro.mna.sparse",
     "repro.perf.comparison",
     "repro.perf.flops",
+    "repro.pss.cli",
+    "repro.pss.engine",
     "repro.runtime.cli",
     "repro.runtime.jobs",
     "repro.runtime.report",
@@ -126,7 +130,7 @@ def test_public_classes_and_functions_have_docstrings(name):
 
 def test_version_is_exposed():
     import repro
-    assert repro.__version__ == "1.6.0"
+    assert repro.__version__ == "1.7.0"
 
 
 def test_top_level_promises_from_readme():

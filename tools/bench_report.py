@@ -230,6 +230,43 @@ def _bench_service_cache(quick: bool, repeats: int) -> list[dict]:
     }]
 
 
+def _bench_pss(quick: bool, repeats: int) -> list[dict]:
+    from repro.circuits_lib import rtd_relaxation_oscillator
+    from repro.pss import run_pss
+    from repro.swec import SwecOptions, SwecTransient
+    from repro.swec.timestep import StepControlOptions
+
+    steps = 200 if quick else 400
+    periods = 20 if quick else 50
+    circuit, info = rtd_relaxation_oscillator()
+    shooting_seconds = _median_seconds(
+        lambda: run_pss(rtd_relaxation_oscillator()[0],
+                        period_guess=info.period_guess,
+                        steps_per_period=steps), repeats)
+    orbit = run_pss(circuit, period_guess=info.period_guess,
+                    steps_per_period=steps)
+    # Reference: brute-force settling over `periods` periods at the
+    # same time resolution as the shooting orbit's grid (T/steps).
+    brute_options = SwecOptions(
+        step=StepControlOptions(
+            epsilon=0.05, h_min=1e-18,
+            h_max=info.period_guess / steps,
+            h_initial=info.period_guess / 4096.0),
+        initialize_dc=False)
+    brute_seconds = _median_seconds(
+        lambda: SwecTransient(rtd_relaxation_oscillator()[0],
+                              brute_options).run(periods * orbit.period),
+        1)
+    return [{
+        "name": "pss_shooting",
+        "median_seconds": shooting_seconds,
+        "speedup": brute_seconds / shooting_seconds,
+        "reference": f"{periods}-period brute-force settling",
+        "axes": {"steps_per_period": steps, "brute_periods": periods,
+                 "iterations": orbit.iterations},
+    }]
+
+
 #: Kernel groups addressable via ``--only``.
 KERNELS = {
     "ensemble": _bench_ensemble,
@@ -237,6 +274,7 @@ KERNELS = {
     "gather": _bench_gather,
     "backends": _bench_backends,
     "service_cache": _bench_service_cache,
+    "pss_shooting": _bench_pss,
 }
 
 
