@@ -36,6 +36,7 @@ from repro.core.backends import (
     select_backend,
     system_density,
 )
+from repro.core.fallback import FALLBACK_CHAIN, FallbackBackend
 from repro.core.stepper import LinearStepper
 
 __all__ = [
@@ -43,6 +44,8 @@ __all__ = [
     "AUTO_SPARSE_MIN_SIZE",
     "BACKENDS",
     "DenseBackend",
+    "FALLBACK_CHAIN",
+    "FallbackBackend",
     "LinearStepper",
     "SolverBackend",
     "SparseBackend",

@@ -274,6 +274,10 @@ class LinearStepper:
             factor_rtol=self.options.factor_rtol,
             chunk_entries=chunk_entries,
         )
+        if getattr(self.options, "fallback", False):
+            from repro.core.fallback import FallbackBackend
+
+            self.backend = FallbackBackend(self.backend)
 
         self._sources = _SourceBank(circuits, self.system)
         self._device_slots = [
@@ -523,6 +527,10 @@ class LinearStepper:
 
     def _finish(self, result: EnsembleTransientResult) -> EnsembleTransientResult:
         result.factor_reuses = self.backend.reuses
+        # Re-read the name: a degradation chain may have switched the
+        # active engine mid-run.
+        result.backend = self.backend_name
+        result.fallback_events = list(getattr(self.backend, "events", ()))
         return result
 
     def _record_trace(

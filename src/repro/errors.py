@@ -137,3 +137,25 @@ class PSSError(AnalysisError):
 
 class SingularMatrixError(AnalysisError):
     """The linearized MNA matrix is singular or numerically unusable."""
+
+
+class JobTimeoutError(AnalysisError):
+    """A batch job exceeded its wall-clock timeout.
+
+    Raised (or synthesized into a structured ``timeout`` failure record)
+    by the :class:`~repro.runtime.BatchRunner` watchdog when a job runs
+    past ``timeout=`` seconds, and by the deterministic fault-injection
+    harness (:mod:`repro.resilience.faults`) when it simulates a hang on
+    an executor whose workers cannot really be killed.
+    """
+
+
+class WorkerCrashError(AnalysisError):
+    """A pool worker died (or was killed) while executing a job.
+
+    On the process executor a real crash surfaces as
+    ``BrokenProcessPool``; the runner converts it into a structured
+    ``crash`` failure record.  The fault-injection harness raises this
+    directly to simulate a crash on the thread/serial executors, where
+    no process can actually die.
+    """

@@ -1,0 +1,44 @@
+"""Fault tolerance for the batch runner, sweeps, and the service daemon.
+
+The package has three small, orthogonal pieces:
+
+:mod:`repro.resilience.faults`
+    Deterministic fault injection — a seeded, picklable
+    :class:`FaultPlan` consulted by the runner's workers, the result
+    store, and the backend fallback wrapper, so chaos tests replay
+    exactly.
+:mod:`repro.resilience.retry`
+    :class:`RetryPolicy` — bounded retries with seeded exponential
+    backoff.  Retried attempts re-use the original per-job seed, so
+    recovered results are bit-identical to an undisturbed run.
+:mod:`repro.resilience.checkpoint`
+    :class:`JobJournal` — a crash-safe record of in-flight jobs next to
+    the content-addressed result store, letting the service daemon
+    re-queue interrupted work after a restart without re-simulating
+    anything that already finished.
+
+See ``docs/resilience.md`` for the end-to-end story and executable
+examples.
+"""
+
+from repro.resilience.checkpoint import JobJournal
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    activate,
+    active_plan,
+    deactivate,
+    fault_context,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "JobJournal",
+    "RetryPolicy",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fault_context",
+]

@@ -1,0 +1,103 @@
+"""Bounded retries with seeded exponential backoff.
+
+A :class:`RetryPolicy` describes *how many times* the batch runner may
+re-attempt a retryable failure (timeouts, worker crashes, transient
+solver errors) and *how long* to wait between rounds.  The delay is
+exponential with an optional jitter term drawn from a
+``SeedSequence([seed, attempt])`` generator, so two runs with the same
+runner seed back off identically — determinism extends all the way into
+the recovery schedule.
+
+Retried attempts re-use the job's original per-job
+:class:`~numpy.random.SeedSequence` child, so a recovered result is
+bit-identical to what an undisturbed run would have produced.  That
+equivalence is what the chaos oracle tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a retryable job failure.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per job including the first (``1`` disables
+        retries entirely).
+    base_delay:
+        Backoff before the first retry, in seconds.  The default of
+        zero keeps test suites fast; production traffic wants a small
+        positive value.
+    multiplier:
+        Exponential growth factor: retry *n* (1-based) waits
+        ``base_delay * multiplier ** (n - 1)`` seconds, capped at
+        ``max_delay``.
+    max_delay:
+        Upper bound on any single backoff sleep, in seconds.
+    jitter:
+        Width of the uniform random term added to each delay, drawn
+        from a generator seeded with ``(seed, attempt)`` so the jitter
+        itself replays deterministically.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        for name in ("base_delay", "multiplier", "max_delay", "jitter"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+    @classmethod
+    def resolve(cls, retries) -> "RetryPolicy":
+        """Coerce the user-facing ``retries=`` knob into a policy.
+
+        ``None`` means no retries, an int means that many *extra*
+        attempts on top of the first, and a ready-made policy passes
+        through unchanged.
+        """
+        if retries is None:
+            return cls(max_attempts=1)
+        if isinstance(retries, RetryPolicy):
+            return retries
+        if isinstance(retries, bool) or not isinstance(retries, int):
+            raise TypeError(
+                "retries must be None, an int, or a RetryPolicy, "
+                f"got {retries!r}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        return cls(max_attempts=retries + 1)
+
+    def delay(self, attempt: int, seed: int = 0) -> float:
+        """Backoff in seconds before attempt ``attempt + 1``.
+
+        *attempt* counts completed attempts (1-based), so the delay
+        after the first failure is ``delay(1)``.
+        """
+        base = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter > 0.0:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([int(seed) & 0xFFFFFFFF, attempt])
+            )
+            base = min(base + rng.uniform(0.0, self.jitter), self.max_delay)
+        return base

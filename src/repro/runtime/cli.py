@@ -7,6 +7,8 @@ The job-spec file is TOML (Python 3.11+, via :mod:`tomllib`) or JSON
     workers = 4
     executor = "process"   # process | thread | serial
     seed = 42
+    timeout = 120.0        # per-job wall-clock limit (seconds)
+    retries = 2            # extra attempts for transient failures
 
     [[jobs]]
     type = "transient"     # default
@@ -110,6 +112,28 @@ def main(argv: list[str] | None = None) -> int:
         help="base RNG seed (default: [batch].seed, else 0)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock limit; a hung worker is killed and the "
+            "job retried or failed (default: [batch].timeout, else none)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra attempts for jobs failing with transient errors — "
+            "timeouts, worker crashes, singular factorizations "
+            "(default: [batch].retries, else 0); retried jobs re-run "
+            "under their original seeds, so results are bit-identical"
+        ),
+    )
+    parser.add_argument(
         "--cache",
         nargs="?",
         const="",
@@ -138,6 +162,12 @@ def main(argv: list[str] | None = None) -> int:
                 else batch.get("executor", "process")
             ),
             seed=args.seed if args.seed is not None else batch.get("seed", 0),
+            timeout=(
+                args.timeout if args.timeout is not None else batch.get("timeout")
+            ),
+            retries=(
+                args.retries if args.retries is not None else batch.get("retries")
+            ),
         )
     except (AnalysisError, TypeError, ValueError) as exc:
         # ValueError covers json.JSONDecodeError and tomllib.TOMLDecodeError.

@@ -38,6 +38,12 @@ class JobResult:
     cached:
         True when the value was served from the content-addressed
         result store (:mod:`repro.service`) instead of being computed.
+    failure:
+        Failure classification — ``"error"`` (the job body raised),
+        ``"timeout"`` (the watchdog expired the job) or ``"crash"``
+        (the pool worker died); ``None`` on success.
+    attempts:
+        How many attempts this job consumed (1 = no retries needed).
     """
 
     index: int
@@ -48,6 +54,8 @@ class JobResult:
     traceback: str | None = None
     seconds: float = 0.0
     cached: bool = False
+    failure: str | None = None
+    attempts: int = 1
 
 
 @dataclass
@@ -78,6 +86,26 @@ class BatchReport:
         return sum(1 for r in self.results if r.cached)
 
     @property
+    def n_retried(self) -> int:
+        """Jobs that needed more than one attempt."""
+        return sum(1 for r in self.results if r.attempts > 1)
+
+    @property
+    def n_timeouts(self) -> int:
+        """Jobs whose final state is a watchdog timeout."""
+        return sum(1 for r in self.results if r.failure == "timeout")
+
+    @property
+    def n_crashes(self) -> int:
+        """Jobs whose final state is a dead pool worker."""
+        return sum(1 for r in self.results if r.failure == "crash")
+
+    @property
+    def total_attempts(self) -> int:
+        """Attempts consumed across the batch (== n_jobs when clean)."""
+        return sum(r.attempts for r in self.results)
+
+    @property
     def ok(self) -> bool:
         """True when every job succeeded."""
         return self.n_failed == 0
@@ -105,17 +133,20 @@ class BatchReport:
     def summary(self) -> str:
         """Multi-line human-readable report."""
         cached = f", {self.n_cached} cached" if self.n_cached else ""
+        retried = f", {self.n_retried} retried" if self.n_retried else ""
         lines = [
             f"batch: {self.n_jobs} jobs, {self.n_ok} ok, "
-            f"{self.n_failed} failed{cached} "
+            f"{self.n_failed} failed{cached}{retried} "
             f"({self.executor}, workers={self.workers}, seed={self.seed})",
             f"wall {self.wall_seconds:.3f} s, job time {self.job_seconds():.3f} s",
         ]
         for r in self.results:
-            status = (
-                "ok (cached)"
-                if r.ok and r.cached
-                else ("ok" if r.ok else f"FAILED: {r.error}")
-            )
+            if r.ok:
+                status = "ok (cached)" if r.cached else "ok"
+            else:
+                kind = (r.failure or "error").upper()
+                status = f"{kind}: {r.error}"
+            if r.attempts > 1:
+                status += f" [attempts={r.attempts}]"
             lines.append(f"  [{r.index}] {r.label:<24} {r.seconds:8.3f} s  {status}")
         return "\n".join(lines)

@@ -9,11 +9,28 @@ deterministic seeding
     One ``numpy.random.SeedSequence(seed)`` is spawned into as many
     children as there are jobs; job *i* always receives child *i*.
     Results are therefore identical for any worker count, including
-    fully serial execution.
+    fully serial execution — and because retried attempts re-use the
+    same child, a recovered job is bit-identical to an undisturbed run.
 failure isolation
     Exceptions are caught inside the worker and returned as structured
     :class:`~repro.runtime.report.JobResult` failures, so one bad job
     cannot take down the batch.
+timeouts and the watchdog
+    With ``timeout=`` set, a deadline is tracked per in-flight job.  A
+    job that runs past it gets a structured ``timeout`` failure; on the
+    process executor the hung worker (and its pool) is killed outright
+    so a stuck factorization cannot stall the batch, and collateral
+    jobs from the torn-down pool are retried.  Threads cannot be
+    killed, so the thread executor detects and abandons; the serial
+    path cannot preempt at all.
+bounded retries
+    ``retries=`` (an int or a :class:`~repro.resilience.RetryPolicy`)
+    re-runs timeouts, worker crashes, and transient solver failures in
+    fresh rounds with seeded exponential backoff between rounds.
+fault injection
+    A :class:`~repro.resilience.FaultPlan` passed as ``fault_plan=``
+    travels (pickled) into every worker invocation, injecting
+    deterministic crashes/hangs/transient failures for chaos tests.
 executor choice
     ``"process"`` (default) for CPU-bound simulation fan-out,
     ``"thread"`` for debugging under one interpreter, ``"serial"`` for
@@ -34,10 +51,26 @@ from concurrent.futures import (
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.errors import (
+    AnalysisError,
+    JobTimeoutError,
+    SingularMatrixError,
+    WorkerCrashError,
+)
+from repro.resilience.faults import fault_context
+from repro.resilience.retry import RetryPolicy
 from repro.runtime.report import BatchReport, JobResult
 
 _EXECUTORS = ("process", "thread", "serial")
+
+#: Exception type names whose failures are worth retrying: watchdog and
+#: pool faults, plus the transient solver-failure classes.
+RETRYABLE_ERRORS = (
+    "JobTimeoutError",
+    "WorkerCrashError",
+    "SingularMatrixError",
+    "ConvergenceError",
+)
 
 
 def _job_label(job, index: int) -> str:
@@ -45,16 +78,70 @@ def _job_label(job, index: int) -> str:
     return label if label else f"job-{index}"
 
 
+def retryable_failure(result: JobResult) -> bool:
+    """Is this failed :class:`JobResult` worth another attempt?
+
+    Timeouts and worker crashes always are; plain errors only when the
+    exception class is one of :data:`RETRYABLE_ERRORS`.
+    """
+    if result.failure in ("timeout", "crash"):
+        return True
+    error = result.error or ""
+    return error.startswith(RETRYABLE_ERRORS)
+
+
+def _classify(exc: Exception) -> str:
+    """Map an exception to a JobResult failure kind."""
+    if isinstance(exc, JobTimeoutError):
+        return "timeout"
+    if isinstance(exc, WorkerCrashError):
+        return "crash"
+    return "error"
+
+
 def _execute_job(
-    job, index: int, label: str, seed: np.random.SeedSequence
+    job,
+    index: int,
+    label: str,
+    seed: np.random.SeedSequence,
+    fault_plan=None,
+    attempt: int = 1,
+    real_faults: bool = False,
 ) -> JobResult:
     """Run one job, capturing value/exception and wall time.
 
     Module-level so it pickles under every multiprocessing start method.
+    When a :class:`~repro.resilience.FaultPlan` is supplied it is
+    consulted before the job body runs: with ``real_faults`` (process
+    executor) an injected crash actually kills this worker process and
+    an injected hang actually sleeps past the watchdog; elsewhere both
+    are simulated by raising the matching error class, since threads
+    cannot be killed and the serial path cannot be preempted.
     """
     start = time.perf_counter()
     try:
-        value = job.run(seed)
+        with fault_context(fault_plan):
+            if fault_plan is not None:
+                kind = fault_plan.worker_fault(label, attempt)
+                if kind == "crash":
+                    if real_faults:
+                        os._exit(137)
+                    raise WorkerCrashError(
+                        f"injected worker crash (job {label!r}, attempt {attempt})"
+                    )
+                if kind == "hang":
+                    if real_faults:
+                        time.sleep(fault_plan.hang_seconds)
+                    else:
+                        raise JobTimeoutError(
+                            f"injected hang (job {label!r}, attempt {attempt})"
+                        )
+                if kind == "transient":
+                    raise SingularMatrixError(
+                        f"injected transient solver failure "
+                        f"(job {label!r}, attempt {attempt})"
+                    )
+            value = job.run(seed)
     except Exception as exc:  # noqa: BLE001 - structured failure capture
         return JobResult(
             index=index,
@@ -63,6 +150,7 @@ def _execute_job(
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
             seconds=time.perf_counter() - start,
+            failure=_classify(exc),
         )
     return JobResult(
         index=index,
@@ -95,6 +183,20 @@ class BatchRunner:
         (default) draws fresh OS entropy, so repeated batches are
         statistically independent; the drawn value is recorded in
         ``BatchReport.seed`` so any batch can still be replayed.
+    timeout:
+        Per-job wall-clock budget in seconds.  ``None`` (default)
+        disables the watchdog.  Enforced by killing hung workers on
+        the process executor; detection-only on threads; advisory on
+        the serial path (a running job cannot be preempted in-process).
+    retries:
+        ``None`` (no retries), an int (that many *extra* attempts per
+        job), or a :class:`~repro.resilience.RetryPolicy`.  Only
+        timeouts, worker crashes, and transient solver failures
+        (:data:`RETRYABLE_ERRORS`) are retried; a deterministic job
+        error fails immediately.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` to inject deterministic
+        faults into every worker invocation (chaos testing only).
     """
 
     def __init__(
@@ -102,6 +204,9 @@ class BatchRunner:
         max_workers: int | None = None,
         executor: str = "process",
         seed: int | None = None,
+        timeout: float | None = None,
+        retries=None,
+        fault_plan=None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise AnalysisError(
@@ -110,13 +215,18 @@ class BatchRunner:
             )
         if max_workers is not None and max_workers < 1:
             raise AnalysisError(f"max_workers must be >= 1, got {max_workers!r}")
+        if timeout is not None and timeout <= 0:
+            raise AnalysisError(f"timeout must be > 0, got {timeout!r}")
         self.max_workers = max_workers or default_worker_count()
         self.executor = executor
         self.seed = int(np.random.SeedSequence().entropy) if seed is None else seed
+        self.timeout = timeout
+        self.retry_policy = RetryPolicy.resolve(retries)
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
 
-    def run(self, jobs, seeds=None) -> BatchReport:
+    def run(self, jobs, seeds=None, on_result=None) -> BatchReport:
         """Execute *jobs*; returns the aggregated :class:`BatchReport`.
 
         *seeds* overrides the positional ``SeedSequence`` spawn with an
@@ -125,6 +235,12 @@ class BatchRunner:
         execute a miss subset under the seeds the jobs would have
         received in the full batch, keeping results independent of
         cache state.
+
+        *on_result* is called with each job's **final**
+        :class:`~repro.runtime.report.JobResult` as soon as it is known
+        (success, exhausted retries, or non-retryable failure) — the
+        hook incremental checkpointing publishes through.  Callback
+        order follows completion, not submission.
         """
         jobs = list(jobs)
         if seeds is None:
@@ -137,33 +253,107 @@ class BatchRunner:
                     f"for {len(jobs)} jobs"
                 )
         labels = [_job_label(job, k) for k, job in enumerate(jobs)]
+        serial = (
+            self.executor == "serial" or self.max_workers == 1 or len(jobs) <= 1
+        )
         start = time.perf_counter()
-        if self.executor == "serial" or self.max_workers == 1 or len(jobs) <= 1:
-            results = [
-                _execute_job(job, k, labels[k], seeds[k]) for k, job in enumerate(jobs)
-            ]
-            executor_used = "serial"
-        else:
-            results = self._run_pool(jobs, labels, seeds)
-            executor_used = self.executor
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending = list(range(len(jobs)))
+        attempt = 0
+        reported: set[int] = set()
+        while pending:
+            attempt += 1
+
+            def checkpoint(k: int, result: JobResult, now=attempt) -> None:
+                # Successes are always terminal: report them the moment
+                # they land, not at the end of the round, so an
+                # interrupted run leaves every completed job published.
+                result.attempts = now
+                reported.add(k)
+                if on_result is not None:
+                    on_result(result)
+
+            if serial:
+                round_results = {}
+                for k in pending:
+                    round_results[k] = _execute_job(
+                        jobs[k], k, labels[k], seeds[k], self.fault_plan, attempt
+                    )
+                    if round_results[k].ok:
+                        checkpoint(k, round_results[k])
+            else:
+                round_results = self._run_pool(
+                    pending, jobs, labels, seeds, attempt, checkpoint
+                )
+            retry_next = []
+            for k in pending:
+                result = round_results.get(k)
+                if result is None:  # defensive: a lost job is a crash
+                    result = JobResult(
+                        index=k,
+                        label=labels[k],
+                        ok=False,
+                        error="WorkerCrashError: job was lost by the pool",
+                        failure="crash",
+                    )
+                if k in reported:
+                    results[k] = result
+                    continue
+                result.attempts = attempt
+                if (
+                    not result.ok
+                    and attempt < self.retry_policy.max_attempts
+                    and retryable_failure(result)
+                ):
+                    retry_next.append(k)
+                    continue
+                results[k] = result
+                if on_result is not None:
+                    on_result(result)
+            pending = retry_next
+            if pending:
+                delay = self.retry_policy.delay(attempt, self.seed)
+                if delay > 0:
+                    time.sleep(delay)
         return BatchReport(
-            results=results,
+            results=[r for r in results if r is not None],
             wall_seconds=time.perf_counter() - start,
-            workers=self.max_workers if executor_used != "serial" else 1,
-            executor=executor_used,
+            workers=1 if serial else self.max_workers,
+            executor="serial" if serial else self.executor,
             seed=self.seed,
         )
 
-    def _run_pool(self, jobs, labels, seeds) -> list[JobResult]:
-        pool_class = (
-            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
-        )
-        results: list[JobResult | None] = [None] * len(jobs)
-        with pool_class(max_workers=self.max_workers) as pool:
-            futures = {}
-            for k, job in enumerate(jobs):
+    def _run_pool(
+        self, indices, jobs, labels, seeds, attempt, checkpoint=None
+    ) -> dict:
+        """Run one round of *indices* in a fresh pool; returns {k: result}.
+
+        A fresh pool per round means a pool broken by a crashed worker
+        in round N is simply replaced for round N+1, and faulted state
+        never leaks across attempts.  *checkpoint* (if given) is called
+        with ``(k, result)`` for each successful result as its future
+        completes — the per-job publish hook behind checkpoint/resume.
+        """
+        real = self.executor == "process"
+        pool_class = ProcessPoolExecutor if real else ThreadPoolExecutor
+        results: dict[int, JobResult] = {}
+        pool = pool_class(max_workers=min(self.max_workers, len(indices)))
+        abandoned = False
+        try:
+            futures: dict = {}
+            deadlines: dict = {}
+            for k in indices:
                 try:
-                    future = pool.submit(_execute_job, job, k, labels[k], seeds[k])
+                    future = pool.submit(
+                        _execute_job,
+                        jobs[k],
+                        k,
+                        labels[k],
+                        seeds[k],
+                        self.fault_plan,
+                        attempt,
+                        real,
+                    )
                 except Exception as exc:  # unpicklable job, pool broken...
                     results[k] = JobResult(
                         index=k,
@@ -174,9 +364,19 @@ class BatchRunner:
                     )
                     continue
                 futures[future] = k
+                if self.timeout is not None:
+                    deadlines[future] = time.monotonic() + self.timeout
             pending = set(futures)
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                wait_for = None
+                if self.timeout is not None:
+                    wait_for = max(
+                        0.0,
+                        min(deadlines[f] for f in pending) - time.monotonic(),
+                    )
+                done, pending = wait(
+                    pending, timeout=wait_for, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     k = futures[future]
                     try:
@@ -188,5 +388,82 @@ class BatchRunner:
                             ok=False,
                             error=f"{type(exc).__name__}: {exc}",
                             traceback=traceback.format_exc(),
+                            failure="crash",
                         )
-        return [r for r in results if r is not None]
+                    if results[k].ok and checkpoint is not None:
+                        checkpoint(k, results[k])
+                if self.timeout is None or not pending:
+                    continue
+                now = time.monotonic()
+                overdue = [f for f in pending if now >= deadlines[f]]
+                if not overdue:
+                    continue
+                hung = []
+                for future in overdue:
+                    k = futures[future]
+                    pending.discard(future)
+                    if future.cancel():
+                        # Never started: the pool was stalled by another
+                        # hung job ahead of it.  Still a timeout — the
+                        # job ran out of wall-clock budget — and retryable.
+                        error = (
+                            f"JobTimeoutError: cancelled after {self.timeout}s "
+                            "without starting (pool stalled)"
+                        )
+                    else:
+                        hung.append(future)
+                        error = (
+                            f"JobTimeoutError: exceeded {self.timeout}s "
+                            "wall-clock timeout"
+                        )
+                    results[k] = JobResult(
+                        index=k,
+                        label=labels[k],
+                        ok=False,
+                        error=error,
+                        seconds=self.timeout,
+                        failure="timeout",
+                    )
+                if hung and real:
+                    # The hung workers cannot be recovered individually:
+                    # kill the whole pool.  Unfinished collateral jobs
+                    # become retryable crash failures.
+                    self._kill_pool(pool)
+                    abandoned = True
+                    for future in pending:
+                        k = futures[future]
+                        results[k] = JobResult(
+                            index=k,
+                            label=labels[k],
+                            ok=False,
+                            error=(
+                                "WorkerCrashError: pool torn down after a "
+                                "hung worker was killed"
+                            ),
+                            failure="crash",
+                        )
+                    pending = set()
+                elif hung:
+                    # Threads cannot be killed: stop waiting for the hung
+                    # ones and let the pool be abandoned at shutdown.
+                    abandoned = True
+        finally:
+            if abandoned:
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
+        return results
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Forcibly terminate every worker of a process pool.
+
+        SIGKILL, not SIGTERM: a worker hung inside native code (a stuck
+        SuperLU factorization) never runs Python signal handlers.
+        """
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.kill()
+        for process in processes:
+            process.join(timeout=5.0)

@@ -99,10 +99,12 @@ def run_batch_cached(runner, jobs, store: ResultStore) -> BatchReport:
             miss_seeds.append(seeds[index])
             miss_indices.append(index)
     if miss_jobs:
-        batch = runner.run(miss_jobs, seeds=miss_seeds)
-        for index, result in zip(miss_indices, batch.results):
-            result.index = index
-            results[index] = result
+        # Publish each miss the moment its result is final rather than
+        # after the whole batch: an interrupted run leaves its completed
+        # jobs checkpointed in the store, so the next run (or
+        # ``run_sweep(resume=...)``) picks up where it stopped.
+        def publish(result: JobResult) -> None:
+            index = miss_indices[result.index]
             if result.ok and keys[index] is not None:
                 store.put(
                     keys[index],
@@ -111,6 +113,11 @@ def run_batch_cached(runner, jobs, store: ResultStore) -> BatchReport:
                     label=result.label,
                     seconds=result.seconds,
                 )
+
+        batch = runner.run(miss_jobs, seeds=miss_seeds, on_result=publish)
+        for index, result in zip(miss_indices, batch.results):
+            result.index = index
+            results[index] = result
     return BatchReport(
         results=[r for r in results if r is not None],
         wall_seconds=time.perf_counter() - start,

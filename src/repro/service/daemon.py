@@ -36,13 +36,17 @@ import contextlib
 import json
 import os
 import pickle
+import signal
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import AnalysisError, NanoSimError
+from repro.resilience.checkpoint import JobJournal
+from repro.resilience.retry import RetryPolicy
 from repro.service.cache import job_kind
 from repro.service.hashing import UncacheableJobError, job_key
 from repro.service.store import ResultStore, result_summary
@@ -108,6 +112,18 @@ class ServiceDaemon:
     progress_interval:
         Seconds between ``running`` heartbeat events while a job
         executes.
+    retries:
+        ``None`` (no retries), an int (extra attempts per job), or a
+        :class:`~repro.resilience.RetryPolicy` — applied to worker
+        crashes and transient solver failures of executed jobs.  The
+        same seed is re-used per attempt, so a recovered result is
+        bit-identical to an undisturbed run.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` injected into every
+        worker invocation (chaos testing only).
+    journal:
+        Keep a crash journal of in-flight cacheable jobs next to the
+        store and re-queue them on startup (default True).
     """
 
     def __init__(
@@ -117,6 +133,9 @@ class ServiceDaemon:
         max_workers: int | None = None,
         executor: str = "process",
         progress_interval: float = 1.0,
+        retries=None,
+        fault_plan=None,
+        journal: bool = True,
     ) -> None:
         if executor not in _EXECUTORS:
             raise AnalysisError(
@@ -134,12 +153,18 @@ class ServiceDaemon:
         self.max_workers = max_workers or default_worker_count()
         self.executor = executor
         self.progress_interval = float(progress_interval)
+        self.retries = RetryPolicy.resolve(retries)
+        self.fault_plan = fault_plan
+        self.journal = JobJournal(self.store.root) if journal else None
         self.stats = _Stats()
         self._pool = None
         self._next_id = 0
         self._inflight: dict[str, asyncio.Future] = {}
         self._stop: asyncio.Event | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._active_submissions = 0
 
     # -- pool -----------------------------------------------------------
 
@@ -168,9 +193,23 @@ class ServiceDaemon:
 
         *ready* is any object with a ``set()`` method (a
         ``threading.Event`` or ``asyncio.Event``), signalled once the
-        socket is bound and accepting connections.
+        socket is bound and accepting connections.  On SIGTERM the
+        daemon drains: running jobs finish, new submissions are
+        refused, and a final stats line is printed before exit.
+        Journaled in-flight jobs from a previous (crashed) run are
+        re-queued before the socket accepts traffic — finished work is
+        recognized in the store and never re-simulated.
         """
         self._stop = asyncio.Event()
+        self._draining = False
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        # add_signal_handler raises off the main thread (tests run the
+        # daemon in a worker thread); drain is then reachable via
+        # loop.call_soon_threadsafe(daemon._begin_drain).
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(signal.SIGTERM, self._begin_drain)
+        await self._recover()
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
         with contextlib.suppress(OSError):
             self.socket_path.unlink()
@@ -183,6 +222,8 @@ class ServiceDaemon:
         try:
             await self._stop.wait()
         finally:
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.remove_signal_handler(signal.SIGTERM)
             self._server.close()
             await self._server.wait_closed()
             with contextlib.suppress(OSError):
@@ -197,6 +238,76 @@ class ServiceDaemon:
             asyncio.run(self.serve(ready=ready))
         except KeyboardInterrupt:
             pass
+
+    # -- graceful shutdown ----------------------------------------------
+
+    def _begin_drain(self) -> None:
+        """Refuse new submissions, finish running jobs, then stop.
+
+        Called from the SIGTERM handler (or scheduled onto the loop via
+        ``call_soon_threadsafe`` when signals are unavailable).
+        """
+        if self._draining or self._stop is None:
+            return
+        self._draining = True
+        asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        while self._active_submissions > 0:
+            await asyncio.sleep(0.05)
+        print(
+            "daemon drained: "
+            + json.dumps(self.stats.as_dict(), sort_keys=True),
+            flush=True,
+        )
+        assert self._stop is not None
+        self._stop.set()
+
+    # -- crash recovery -------------------------------------------------
+
+    async def _recover(self) -> None:
+        """Re-queue journaled in-flight jobs from a previous run.
+
+        A journal entry whose key is already in the store was finished
+        (published) before the crash — it is cleared without touching
+        the pool.  The rest re-execute under their original seeds, so
+        the recovered records are byte-identical to what the
+        interrupted run would have produced.
+        """
+        if self.journal is None:
+            return
+        from repro.runtime.jobs import job_from_mapping
+
+        for key, entry in self.journal.pending().items():
+            if key in self.store:
+                self.journal.clear(key)
+                continue
+            try:
+                job = job_from_mapping(entry["spec"])
+            except (NanoSimError, TypeError, ValueError):
+                self.journal.clear(key)
+                continue
+            self._next_id += 1
+            label = getattr(job, "label", "") or f"recovered-{self._next_id}"
+            result = await self._run_attempts(
+                job, self._next_id, label, int(entry.get("seed") or 0)
+            )
+            if result.ok:
+                self.stats.executed += 1
+                flops = getattr(result.value, "flops", None)
+                if flops is not None:
+                    self.stats.factorizations += int(flops.factorizations)
+                    self.stats.solver_flops += int(flops.total)
+                self.store.put(
+                    key,
+                    result.value,
+                    kind=job_kind(job),
+                    label=result.label,
+                    seconds=result.seconds,
+                )
+            else:
+                self.stats.failed += 1
+            self.journal.clear(key)
 
     # -- protocol -------------------------------------------------------
 
@@ -236,7 +347,11 @@ class ServiceDaemon:
                 assert self._stop is not None
                 self._stop.set()
             elif op == "submit":
-                await self._handle_submit(writer, request)
+                self._active_submissions += 1
+                try:
+                    await self._handle_submit(writer, request)
+                finally:
+                    self._active_submissions -= 1
             else:
                 await self._send(
                     writer,
@@ -277,6 +392,18 @@ class ServiceDaemon:
         self.stats.submissions += 1
         self._next_id += 1
         job_id = self._next_id
+        if self._draining:
+            self.stats.rejected += 1
+            self.stats.failed += 1
+            await self._send(
+                writer,
+                {
+                    "event": "failed",
+                    "id": job_id,
+                    "error": "daemon is draining; submission refused",
+                },
+            )
+            return
         spec = request.get("job")
         seed = int(request.get("seed", 0))
         use_cache = bool(request.get("cache", True))
@@ -374,6 +501,7 @@ class ServiceDaemon:
                         "event": "failed",
                         "id": job_id,
                         "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
                         "seconds": time.perf_counter() - start,
                     },
                 )
@@ -416,10 +544,16 @@ class ServiceDaemon:
                 )
             return
         else:
+            if key is not None and self.journal is not None:
+                self.journal.record(key, spec, seed)
             result = await self._execute(writer, job_id, job, seed, key, start)
             if result is None:
+                if key is not None and self.journal is not None:
+                    self.journal.clear(key)
                 return
         await self._report_result(writer, job_id, job, key, result, start, want_payload)
+        if key is not None and self.journal is not None:
+            self.journal.clear(key)
 
     def _lint_refusal(self, job) -> tuple[str, dict] | None:
         """``(message, report_dict)`` when pre-flight lint errors.
@@ -440,43 +574,81 @@ class ServiceDaemon:
             report.as_dict(),
         )
 
+    async def _run_attempts(self, job, job_id, label, seed):
+        """Execute one job on the pool with the daemon's retry policy.
+
+        Every failure — including a worker crash that breaks the
+        process pool — is captured as a structured
+        :class:`~repro.runtime.report.JobResult` with a traceback, so
+        callers always receive a terminal result.  Retryable failures
+        (crashes, transient solver errors) re-run under the *same*
+        seed, keeping recovered results bit-identical.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime.report import JobResult
+        from repro.runtime.runner import _execute_job, retryable_failure
+
+        loop = asyncio.get_running_loop()
+        real = self.executor == "process"
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                pool = self._pool_or_start()
+                result = await loop.run_in_executor(
+                    pool,
+                    _execute_job,
+                    job,
+                    job_id,
+                    label,
+                    np.random.SeedSequence(seed),
+                    self.fault_plan,
+                    attempt,
+                    real,
+                )
+            except Exception as exc:  # worker crash, unpicklable job...
+                broken = isinstance(exc, BrokenProcessPool)
+                if broken:
+                    self._reset_broken_pool()
+                result = JobResult(
+                    index=job_id,
+                    label=label,
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                    failure="crash" if broken else "error",
+                )
+            result.attempts = attempt
+            if (
+                result.ok
+                or attempt >= self.retries.max_attempts
+                or not retryable_failure(result)
+            ):
+                return result
+            delay = self.retries.delay(attempt, seed)
+            if delay > 0:
+                await asyncio.sleep(delay)
+
     async def _execute(self, writer, job_id, job, seed, key, start):
         """Run one job on the pool, streaming ``running`` heartbeats.
 
-        Returns the :class:`~repro.runtime.report.JobResult`, or
-        ``None`` when the pool itself failed (already reported).
+        Returns the terminal :class:`~repro.runtime.report.JobResult`
+        (failures included — the caller reports them).  The execution
+        runs as its own task registered in ``_inflight``, so coalesced
+        submissions of the same key share it even if this connection
+        dies mid-stream.
         """
-        from repro.runtime.runner import _execute_job
-
-        loop = asyncio.get_running_loop()
         label = getattr(job, "label", "") or f"job-{job_id}"
-        try:
-            pool = self._pool_or_start()
-            future = loop.run_in_executor(
-                pool,
-                _execute_job,
-                job,
-                job_id,
-                label,
-                np.random.SeedSequence(seed),
-            )
-        except Exception as exc:  # unpicklable job, pool refused
-            await self._send(
-                writer,
-                {
-                    "event": "failed",
-                    "id": job_id,
-                    "error": f"{type(exc).__name__}: {exc}",
-                },
-            )
-            self.stats.failed += 1
-            return None
+        task = asyncio.ensure_future(
+            self._run_attempts(job, job_id, label, seed)
+        )
         if key is not None:
-            self._inflight[key] = future
+            self._inflight[key] = task
         try:
             await self._send(writer, {"event": "running", "id": job_id})
             while True:
-                done, _ = await asyncio.wait([future], timeout=self.progress_interval)
+                done, _ = await asyncio.wait([task], timeout=self.progress_interval)
                 if done:
                     break
                 await self._send(
@@ -487,24 +659,7 @@ class ServiceDaemon:
                         "seconds": time.perf_counter() - start,
                     },
                 )
-            try:
-                result = future.result()
-            except Exception as exc:  # worker crash / broken pool
-                from concurrent.futures.process import BrokenProcessPool
-
-                if isinstance(exc, BrokenProcessPool):
-                    self._reset_broken_pool()
-                await self._send(
-                    writer,
-                    {
-                        "event": "failed",
-                        "id": job_id,
-                        "error": f"{type(exc).__name__}: {exc}",
-                        "seconds": time.perf_counter() - start,
-                    },
-                )
-                self.stats.failed += 1
-                return None
+            result = task.result()
         finally:
             if key is not None:
                 self._inflight.pop(key, None)

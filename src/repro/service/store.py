@@ -47,6 +47,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.resilience.faults import active_plan
+
 __all__ = [
     "STORE_SCHEMA",
     "CachedResult",
@@ -235,6 +237,12 @@ class ResultStore:
         except OSError:
             self.misses += 1
             return None
+        plan = active_plan()
+        if plan is not None and payload and plan.corrupt_read(key):
+            # Deterministic chaos hook: flip the leading byte so the
+            # checksum below catches the "corruption" through exactly
+            # the path a real bit-flip would take (discard + miss).
+            payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
         digest = hashlib.sha256(payload).hexdigest()
         if (
             len(payload) != meta.get("payload_bytes")

@@ -88,6 +88,15 @@ class SwecOptions:
         :class:`SwecTransient`, ``stack`` for
         :class:`~repro.swec.ensemble.SwecEnsembleTransient` — unless
         the legacy ``matrix_format="sparse"`` alias forces ``sparse``.
+    fallback:
+        When True, wrap the resolved backend in the
+        :class:`~repro.core.FallbackBackend` degradation chain
+        (``sparse`` → ``dense``, ``stack`` → ``dense``): a
+        factorization failure switches engines and repeats the solve
+        instead of aborting the run.  Degradations are recorded in
+        ``result.fallback_events`` and the final ``result.backend``.
+        Off by default — the pure paper behaviour raises
+        :class:`~repro.errors.SingularMatrixError`.
     """
 
     step: StepControlOptions = field(default_factory=StepControlOptions)
@@ -105,6 +114,9 @@ class SwecOptions:
     matrix_format: str = "dense"
     #: Solver backend registry name (or None for the engine default).
     backend: str | None = None
+    #: Graceful degradation: fall back along sparse/stack -> dense on
+    #: factorization failure instead of raising.
+    fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in ("be", "trap"):
@@ -176,6 +188,8 @@ class SwecTransient:
         result.aborted = ensemble.aborted
         result.abort_reason = ensemble.abort_reason
         result.factor_reuses = ensemble.factor_reuses
+        result.backend = getattr(ensemble, "backend", self.backend_name)
+        result.fallback_events = list(getattr(ensemble, "fallback_events", ()))
         if self.options.trace_conductance:
             result.conductance_trace = [  # type: ignore[attr-defined]
                 (t, g.copy())

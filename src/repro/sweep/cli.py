@@ -75,6 +75,25 @@ def main(argv: list[str] | None = None) -> int:
         help="pre-flight lint every design point (default: the spec's "
              "validate setting, else off); strict refuses broken "
              "points before any solve")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock limit; hung workers are killed and "
+             "the point retried or failed (default: [batch].timeout)")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for points failing with transient errors "
+             "(default: [batch].retries, else 0); retried points keep "
+             "their original seeds, so results are bit-identical")
+    parser.add_argument(
+        "--resume", nargs="?", const="", default=None, metavar="PATH",
+        help="resume an interrupted sweep from its checkpoint store "
+             "(PATH, or the default store with no argument): completed "
+             "points are served from disk, only the rest re-simulate")
+    parser.add_argument(
+        "--isolate", action="store_true", default=None,
+        help="re-run a terminally failed lockstep block point by "
+             "point, so one bad design costs only its own row "
+             "(default: [batch].isolate, else off)")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the tidy table as CSV")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -95,7 +114,9 @@ def main(argv: list[str] | None = None) -> int:
         report = run_sweep(spec, max_workers=args.workers,
                            executor=args.executor, seed=args.seed,
                            vector=args.vector, backend=args.backend,
-                           cache=args.cache, validate=args.validate)
+                           cache=args.cache, validate=args.validate,
+                           timeout=args.timeout, retries=args.retries,
+                           resume=args.resume, isolate=args.isolate)
     except (NanoSimError, TypeError, ValueError) as exc:
         # ValueError covers json/toml decode errors on malformed
         # files; per-point simulation failures never raise — they are

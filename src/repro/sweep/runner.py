@@ -197,22 +197,94 @@ def build_jobs(spec: SweepSpec) -> list[SweepPointJob]:
     return jobs
 
 
+def _block_point_jobs(block: SweepBatchJob) -> list[SweepPointJob]:
+    """Rebuild a lockstep block's points as individual scalar jobs.
+
+    Used by the opt-in ``isolate`` recovery path: when a block fails
+    terminally, its design points re-run one by one so a single bad
+    point cannot take its healthy neighbours down with it.
+    """
+    jobs = []
+    for params, point, label in zip(block.params_list, block.points,
+                                    block.labels):
+        inner = TransientJob(
+            t_stop=block.t_stop,
+            builder=block.template,
+            netlist=block.netlist_text,
+            params=params,
+            options=block.options,
+            initial_state=block.initial_state,
+            backend=block.backend,
+            label=label,
+        )
+        jobs.append(SweepPointJob(inner=inner, measures=block.measures,
+                                  point=point, label=label))
+    return jobs
+
+
+def _isolate_failed_blocks(runner: BatchRunner, jobs,
+                           batch: BatchReport) -> BatchReport:
+    """Re-run each terminally failed block's points individually.
+
+    Lint refusers (:class:`~repro.lint.gate.RefusedBatchJob`, spotted
+    by their ``refusal`` attribute) are left alone — re-running a
+    design the gate rejected would defeat the gate.  Each surviving
+    point's row replaces the block-wide failure; points that fail
+    again carry their own error as a ``{"failed": ...}`` sentinel that
+    :func:`_point_rows` unpacks into a per-point failed row.
+    """
+    targets = [
+        (result, job) for result, job in zip(batch.results, jobs)
+        if isinstance(job, SweepBatchJob) and not result.ok
+        and not hasattr(job, "refusal")
+    ]
+    if not targets:
+        return batch
+    point_jobs: list[SweepPointJob] = []
+    spans = []
+    for result, block in targets:
+        rebuilt = _block_point_jobs(block)
+        spans.append((result, len(point_jobs), len(rebuilt)))
+        point_jobs.extend(rebuilt)
+    isolated = runner.run(point_jobs)
+    for result, offset, count in spans:
+        values = []
+        for row in isolated.results[offset:offset + count]:
+            if row.ok:
+                values.append({**row.value, "seconds": row.seconds})
+            else:
+                values.append({"failed": row.error, "seconds": row.seconds})
+        result.value = values
+    return batch
+
+
 def _point_rows(jobs, batch: BatchReport):
     """Flatten job results into per-point rows, preserving point order.
 
     Yields ``(index, label, point, ok, error, seconds, value)`` for
     scalar :class:`SweepPointJob`\\ s and lockstep
-    :class:`SweepBatchJob` blocks alike (a failed block marks every
-    one of its points failed).
+    :class:`SweepBatchJob` blocks alike.  A failed block marks every
+    one of its points failed — unless the ``isolate`` recovery path
+    replaced its value with per-point rows, in which case each point
+    reports its own individual outcome.
     """
     index = 0
     for result, job in zip(batch.results, jobs):
         if isinstance(job, SweepBatchJob):
-            values = result.value if result.ok else [None] * len(job.points)
+            per_point = result.ok or isinstance(result.value, list)
+            values = (result.value if per_point
+                      else [None] * len(job.points))
             seconds = result.seconds / max(len(job.points), 1)
             for label, point, value in zip(job.labels, job.points, values):
-                yield (index, label, point, result.ok, result.error,
-                       seconds, value)
+                if value is None:
+                    yield (index, label, point, False, result.error,
+                           seconds, None)
+                elif "failed" in value:
+                    yield (index, label, point, False, value["failed"],
+                           value.get("seconds", seconds), None)
+                else:
+                    yield (index, label, point, True, None,
+                           value.get("seconds", seconds), value)
                 index += 1
         else:
             yield (index, result.label, job.point, result.ok,
@@ -264,7 +336,12 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
               vector: int | None = None,
               backend: str | None = None,
               cache=None,
-              validate: str | None = None) -> SweepReport:
+              validate: str | None = None,
+              timeout: float | None = None,
+              retries=None,
+              fault_plan=None,
+              resume=None,
+              isolate: bool | None = None) -> SweepReport:
     """Run every design point of *spec* and aggregate the report.
 
     ``max_workers``/``executor``/``seed``/``vector`` override the
@@ -293,6 +370,32 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
     without any factorization happening; a lockstep block containing
     a broken point is refused whole, because its points share one
     adaptive grid.
+
+    Fault tolerance (see :mod:`repro.resilience`):
+
+    ``timeout``
+        Per-job wall-clock limit in seconds, passed to the runner's
+        watchdog; defaults to the spec's ``[batch] timeout``.
+    ``retries``
+        Retry budget for transient failures — an int (extra attempts)
+        or a :class:`~repro.resilience.RetryPolicy`; defaults to the
+        spec's ``[batch] retries``.  Retried points re-run under their
+        original seeds, so recovered results are bit-identical.
+    ``fault_plan``
+        A :class:`~repro.resilience.FaultPlan` for deterministic chaos
+        testing; injected faults flow through the same retry/timeout
+        machinery as real ones.
+    ``resume``
+        Sugar for ``cache=``: point at the result store of an
+        interrupted run (which checkpoints every completed point as it
+        finishes) and only the unfinished points re-simulate.
+    ``isolate``
+        When True (or ``[batch] isolate = true``), a lockstep block
+        that fails terminally is re-run point by point, so one bad
+        design costs only its own row instead of the whole block.
+        Lint-refused blocks stay refused.  Off by default: the
+        block-fails-whole behaviour is the documented lockstep
+        contract.
     """
     if backend is not None:
         if spec.kind == "ensemble":
@@ -309,7 +412,16 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
         executor=(executor if executor is not None
                   else batch_settings.get("executor", "process")),
         seed=seed if seed is not None else batch_settings.get("seed", 0),
+        timeout=(timeout if timeout is not None
+                 else batch_settings.get("timeout")),
+        retries=(retries if retries is not None
+                 else batch_settings.get("retries")),
+        fault_plan=fault_plan,
     )
+    if isolate is None:
+        isolate = bool(batch_settings.get("isolate", False))
+    if cache is None and resume is not None and resume is not False:
+        cache = resume
     if vector is None:
         vector = spec.vector
     if vector > 1:
@@ -334,5 +446,7 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
         batch = run_batch_cached(runner, jobs, ResultStore.resolve(cache))
     else:
         batch = runner.run(jobs)
+    if isolate:
+        batch = _isolate_failed_blocks(runner, jobs, batch)
     return _assemble_report(spec, jobs, batch,
                             time.perf_counter() - start)

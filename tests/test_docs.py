@@ -38,7 +38,7 @@ def _netlist_doc() -> Path:
 def test_docs_directory_is_complete():
     for name in ("architecture.md", "paper_map.md", "netlist_format.md",
                  "ac_analysis.md", "ensemble_transient.md", "service.md",
-                 "lint.md", "pss.md"):
+                 "lint.md", "pss.md", "resilience.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -67,7 +67,7 @@ def test_spice_error_snippets_fail_as_documented(index):
 @pytest.mark.parametrize("document",
                          ["netlist_format.md", "ac_analysis.md",
                           "ensemble_transient.md", "service.md",
-                          "lint.md", "pss.md"])
+                          "lint.md", "pss.md", "resilience.md"])
 def test_python_snippets_run(document):
     snippets = _blocks(DOCS / document, "python")
     assert snippets, f"docs/{document} has no python snippets"
@@ -115,6 +115,22 @@ def test_pss_doc_covers_the_subsystem():
                      "period_guess", 'analysis = "pss"', "PSSError",
                      "bench_pss.py", "--update-golden", "pss-smoke"):
         assert required in text, f"pss.md lacks {required!r}"
+
+
+def test_resilience_doc_covers_the_subsystem():
+    text = (DOCS / "resilience.md").read_text()
+    for required in ("FaultPlan", "RetryPolicy", "JobJournal",
+                     "fallback", "isolate", "resume", "--timeout",
+                     "--retries", "SIGTERM", "chaos-smoke",
+                     "bench_resilience.py", "bit-identical"):
+        assert required in text, f"resilience.md lacks {required!r}"
+
+
+def test_readme_documents_fault_tolerance():
+    readme = (ROOT / "README.md").read_text()
+    assert "docs/resilience.md" in readme
+    assert "FaultPlan" in readme
+    assert "--retries" in readme
 
 
 def test_readme_documents_pss():

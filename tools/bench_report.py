@@ -267,6 +267,66 @@ def _bench_pss(quick: bool, repeats: int) -> list[dict]:
     }]
 
 
+def _bench_resilience(quick: bool, repeats: int) -> list[dict]:
+    import numpy as np
+
+    from repro.resilience import FaultPlan, fault_context
+    from repro.runtime import BatchRunner, EnsembleJob
+    from repro.runtime.jobs import job_from_mapping
+
+    n_jobs = 4 if quick else 12
+    n_paths = 16 if quick else 64
+
+    def jobs():
+        return [
+            EnsembleJob(builder="noisy_rc_node",
+                        params={"resistance": 50.0 + 10.0 * k},
+                        t_final=5e-9, steps=1000 if quick else 4000,
+                        n_paths=n_paths, label=f"rc-{k}")
+            for k in range(n_jobs)
+        ]
+
+    def plain():
+        return BatchRunner(executor="thread", max_workers=2, seed=0)
+
+    def guarded():
+        return BatchRunner(executor="thread", max_workers=2, seed=0,
+                           timeout=120.0, retries=2)
+
+    plain_seconds = _median_seconds(lambda: plain().run(jobs()), repeats)
+    guarded_seconds = _median_seconds(lambda: guarded().run(jobs()),
+                                      repeats)
+
+    # One (untimed) chaos pass so the retry counters in the record are
+    # exercised, plus one backend-fault solve for the fallback counter.
+    chaos_plan = FaultPlan(events=(("transient", "rc-0"),
+                                   ("transient", "rc-1")))
+    chaos = BatchRunner(executor="thread", max_workers=2, seed=0,
+                        timeout=120.0, retries=2,
+                        fault_plan=chaos_plan).run(jobs())
+    fallback_job = job_from_mapping({
+        "type": "transient", "circuit": "rtd_divider", "t_stop": 2e-10,
+        "params": {"resistance": 50.0},
+        "options": {"epsilon": 0.05, "h_min": 1e-13, "h_max": 5e-11,
+                    "h_initial": 1e-12, "backend": "stack",
+                    "fallback": True}})
+    with fault_context(FaultPlan(events=(("backend", "stack"),))):
+        fallback_result = fallback_job.run(np.random.SeedSequence(0))
+
+    return [{
+        "name": "resilience_guarded_batch",
+        "median_seconds": guarded_seconds,
+        "speedup": plain_seconds / guarded_seconds,
+        "reference": "plain runner, no safety net",
+        "axes": {"jobs": n_jobs, "paths": n_paths},
+        "retried": chaos.n_retried,
+        "timeouts": chaos.n_timeouts,
+        "crashes": chaos.n_crashes,
+        "total_attempts": chaos.total_attempts,
+        "fallback_events": len(fallback_result.fallback_events),
+    }]
+
+
 #: Kernel groups addressable via ``--only``.
 KERNELS = {
     "ensemble": _bench_ensemble,
@@ -275,6 +335,7 @@ KERNELS = {
     "backends": _bench_backends,
     "service_cache": _bench_service_cache,
     "pss_shooting": _bench_pss,
+    "resilience": _bench_resilience,
 }
 
 
