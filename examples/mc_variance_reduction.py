@@ -1,0 +1,70 @@
+"""Variance reduction: same confidence interval, far fewer paths.
+
+Runs the paper's Section-4 noisy-RC workload through the adaptive
+Monte-Carlo loop three ways — naive, antithetic pairs, control
+variate — under one shared CI target, and prints how many simulated
+paths each estimator needed before the stopping rule fired.
+
+Run:  python examples/mc_variance_reduction.py
+"""
+
+import numpy as np
+
+from repro import Circuit
+from repro.stochastic import run_circuit_ensemble_vr
+
+T_STOP = 5e-9
+STEPS = 100
+TARGET_CI = 0.02  # volts of 95% half-width at the worst time point
+MAX_TRIALS = 4096
+
+
+def build_noisy_rc() -> Circuit:
+    """1 kOhm / 1 pF RC node driven by a noisy 0.1 mA current source."""
+    circuit = Circuit("noisy-rc")
+    circuit.add_resistor("R1", "n1", "0", 1e3)
+    circuit.add_capacitor("C1", "n1", "0", 1e-12)
+    circuit.add_current_source("Id", "0", "n1", 1e-4)
+    return circuit
+
+
+def run(label: str, **vr) -> None:
+    stats = run_circuit_ensemble_vr(
+        build_noisy_rc(),
+        [("n1", 1e-8)],
+        T_STOP,
+        STEPS,
+        node="n1",
+        seed=21,
+        target_ci=TARGET_CI,
+        max_trials=MAX_TRIALS,
+        batch_size=16,
+        **vr,
+    )
+    halfwidth = float(np.max(0.5 * stats.band_width()))
+    extras = ""
+    if stats.cv_correlation is not None:
+        extras = f"  cv_correlation={stats.cv_correlation:.4f}"
+    print(
+        f"  {label:<14} paths={stats.n_simulated:>5}  "
+        f"batches={stats.n_batches:>3}  "
+        f"stopped_early={str(stats.stopped_early):<5}  "
+        f"ci_halfwidth={halfwidth:.4g}{extras}"
+    )
+
+
+def main() -> None:
+    print(f"adaptive MC to a {TARGET_CI} V CI target "
+          f"(max_trials={MAX_TRIALS}):")
+    run("naive")
+    run("antithetic", antithetic=True)
+    run("control-var", control_variate=True)
+    print(
+        "\nEvery estimator reached the same confidence interval; the\n"
+        "variance-reduced ones did it from a fraction of the paths.\n"
+        "See docs/variance_reduction.md for how each trick works."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -118,7 +118,7 @@ from repro.runtime import (
     TransientJob,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ACAnalysis",

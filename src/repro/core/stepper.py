@@ -630,7 +630,7 @@ class LinearStepper:
         return self._finish(result)
 
     def run_grid(
-        self, times, initial_states=None, *, seeds=None, rng=None
+        self, times, initial_states=None, *, seeds=None, rng=None, normals=None
     ) -> EnsembleTransientResult:
         """Lockstep march on an explicit shared grid.
 
@@ -640,7 +640,12 @@ class LinearStepper:
         instance its own RNG stream (a sequence of K ints or
         ``SeedSequence``\\ s) — the bit-reproducible form that survives
         ensemble splitting; *rng* draws all increments from one shared
-        Generator instead.
+        Generator instead; *normals* bypasses drawing entirely with
+        pre-drawn **standard** normals of shape ``(K, T - 1, m)``
+        (scaled by ``sqrt(dt)`` internally) — the hook the
+        variance-reduction layer (:mod:`repro.stochastic.vr`) uses to
+        drive a control circuit with the same increments as the noisy
+        ensemble, or to mirror them for antithetic pairs.
         """
         times = np.asarray(times, dtype=float)
         if times.ndim != 1 or times.size < 2:
@@ -661,7 +666,7 @@ class LinearStepper:
         if opts.initialize_dc and initial_states is None:
             states = self._dc_initialize(states, result, t=float(times[0]))
 
-        increments = self._draw_increments(times, seeds, rng)
+        increments = self._draw_increments(times, seeds, rng, normals)
         b_buf = np.empty((K, n))
         b2_buf = np.empty((K, n))
 
@@ -684,14 +689,30 @@ class LinearStepper:
             self._record_trace(result, t_next, device_g)
         return self._finish(result)
 
-    def _draw_increments(self, times, seeds, rng) -> np.ndarray | None:
+    def _draw_increments(self, times, seeds, rng, normals=None) -> np.ndarray | None:
         """``(K, T-1, m)`` Wiener increments, or None without noise."""
+        if normals is not None and self._noise_matrix is None:
+            raise AnalysisError(
+                "normals= passed but no noise injections are configured"
+            )
         if self._noise_matrix is None:
             return None
         K = self.n_instances
         m = self._noise_matrix.shape[2]
         steps = times.size - 1
         scale = np.sqrt(np.diff(times))[None, :, None]
+        if normals is not None:
+            if seeds is not None or rng is not None:
+                raise AnalysisError(
+                    "normals= is mutually exclusive with seeds= and rng="
+                )
+            normals = np.asarray(normals, dtype=float)
+            if normals.shape != (K, steps, m):
+                raise AnalysisError(
+                    f"normals must have shape ({K}, {steps}, {m}), "
+                    f"got {normals.shape}"
+                )
+            return normals * scale
         if seeds is not None:
             seeds = list(seeds)
             if len(seeds) != K:

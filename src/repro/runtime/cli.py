@@ -43,6 +43,14 @@ The job-spec file is TOML (Python 3.11+, via :mod:`tomllib`) or JSON
         { load_capacitance = 2e-12 },
     ]
 
+Noisy ensemble jobs accept the variance-reduction knobs of
+:mod:`repro.stochastic.vr` — ``antithetic``, ``target_ci``,
+``target_rel_ci``, ``max_trials``, ``batch_size`` and (for
+``ensemble_transient``) ``control_variate`` — either as job keys or as
+the ``--antithetic``/``--control-variate``/``--target-ci``/
+``--target-rel-ci``/``--max-trials`` command-line overrides, which
+apply to every ensemble job in the spec.
+
 The exit status is 0 when every job succeeded, 1 otherwise.
 """
 
@@ -85,6 +93,68 @@ def jobs_from_spec(spec: dict) -> list:
     if not tables:
         raise AnalysisError("job-spec file defines no [[jobs]] entries")
     return [job_from_mapping(table) for table in tables]
+
+
+def apply_vr_overrides(
+    jobs: list,
+    *,
+    antithetic: bool = False,
+    control_variate: bool = False,
+    target_ci: float | None = None,
+    target_rel_ci: float | None = None,
+    max_trials: int | None = None,
+) -> list:
+    """Apply command-line variance-reduction knobs to ensemble jobs.
+
+    Overrides land on every :class:`~repro.runtime.jobs.EnsembleJob`
+    and :class:`~repro.runtime.jobs.EnsembleTransientJob` in the spec
+    (``control_variate`` on the latter only — SDE ensembles are linear
+    by construction, so a linearized control is the signal itself).
+    Other job types pass through untouched; a spec with no ensemble
+    job at all is an error, because the flags would silently do
+    nothing.
+    """
+    import dataclasses
+
+    from repro.runtime.jobs import EnsembleJob, EnsembleTransientJob
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("target_ci", target_ci),
+            ("target_rel_ci", target_rel_ci),
+            ("max_trials", max_trials),
+        )
+        if value is not None
+    }
+    if antithetic:
+        overrides["antithetic"] = True
+    if not overrides and not control_variate:
+        return jobs
+    updated = []
+    touched = 0
+    for job in jobs:
+        if isinstance(job, EnsembleTransientJob):
+            extra = {"control_variate": True} if control_variate else {}
+            job = dataclasses.replace(job, **overrides, **extra)
+            touched += 1
+        elif isinstance(job, EnsembleJob):
+            if control_variate:
+                raise AnalysisError(
+                    "--control-variate applies to ensemble_transient "
+                    "jobs (SDE ensembles are linear, so the linearized "
+                    "control is the signal itself)"
+                )
+            job = dataclasses.replace(job, **overrides)
+            touched += 1
+        updated.append(job)
+    if not touched:
+        raise AnalysisError(
+            "variance-reduction flags (--antithetic/--control-variate/"
+            "--target-ci/--target-rel-ci/--max-trials) need at least "
+            "one ensemble or ensemble_transient job in the spec"
+        )
+    return updated
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -134,6 +204,49 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--antithetic",
+        action="store_true",
+        help=(
+            "simulate mirrored path pairs in every ensemble job "
+            "(exact variance elimination for linear responses)"
+        ),
+    )
+    parser.add_argument(
+        "--control-variate",
+        action="store_true",
+        help=(
+            "pair each ensemble_transient path with a linearized-"
+            "circuit control driven by the same noise"
+        ),
+    )
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="WIDTH",
+        help=(
+            "stop ensemble jobs early once the confidence-interval "
+            "half-width is at most WIDTH (absolute units)"
+        ),
+    )
+    parser.add_argument(
+        "--target-rel-ci",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "stop ensemble jobs early once the CI half-width is at "
+            "most FRACTION of the peak mean magnitude"
+        ),
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="K",
+        help="adaptive-stopping backstop: never simulate more than K paths",
+    )
+    parser.add_argument(
         "--cache",
         nargs="?",
         const="",
@@ -149,6 +262,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         spec = load_spec(args.spec)
         jobs = jobs_from_spec(spec)
+        jobs = apply_vr_overrides(
+            jobs,
+            antithetic=args.antithetic,
+            control_variate=args.control_variate,
+            target_ci=args.target_ci,
+            target_rel_ci=args.target_rel_ci,
+            max_trials=args.max_trials,
+        )
         batch = spec.get("batch", {})
         if not isinstance(batch, dict):
             raise AnalysisError(f"[batch] must be a table, got {batch!r}")
@@ -180,6 +301,16 @@ def main(argv: list[str] | None = None) -> int:
     else:
         report = runner.run(jobs)
     print(report.summary())
+    for result in report.results:
+        value = result.value
+        if result.ok and hasattr(value, "stopped_early"):
+            print(
+                f"  vr[{result.index}] {result.label}: "
+                f"n_simulated={value.n_simulated} "
+                f"n_batches={value.n_batches} "
+                f"stopped_early={value.stopped_early} "
+                f"variance_reduction={value.variance_reduction:.3g}"
+            )
     for result in report.failures():
         if result.traceback:
             print(

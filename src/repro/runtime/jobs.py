@@ -361,7 +361,17 @@ class EnsembleJob:
     or an :data:`SDE_BUILDERS` name, invoked with ``params`` inside the
     worker) must be given.  The RNG seed is injected by the runner via
     deterministic ``SeedSequence`` spawning, so a batch reproduces
-    bit-for-bit at any worker count.
+    bit-for-bit at any worker count; ``path_seeds`` instead pins one
+    stream per path (one per *pair* with ``antithetic``) — the
+    split-invariant form
+    :func:`~repro.stochastic.montecarlo.run_ensemble_parallel` uses so
+    chunked ensembles are bit-identical at any chunk count.
+
+    Setting ``target_ci`` or ``target_rel_ci`` switches the job to the
+    adaptive batched estimator of
+    :func:`repro.stochastic.vr.run_sde_ensemble_vr`: paths run in
+    ``batch_size`` batches until the confidence-interval target is met,
+    with ``max_trials`` (default ``n_paths``) as the backstop.
     """
 
     #: Spec-file ``type=`` tag; the cache layer records it
@@ -379,11 +389,33 @@ class EnsembleJob:
     confidence: float = 0.95
     antithetic: bool = False
     return_paths: bool = False
+    path_seeds: Any = None
+    target_ci: float | None = None
+    target_rel_ci: float | None = None
+    max_trials: int | None = None
+    batch_size: int | None = None
     label: str = ""
 
     def __post_init__(self) -> None:
         if (self.sde is None) == (self.builder is None):
             raise AnalysisError("EnsembleJob needs exactly one of sde= or builder=")
+        if self.path_seeds is not None:
+            stride = 2 if self.antithetic else 1
+            if len(self.path_seeds) * stride != self.n_paths:
+                raise AnalysisError(
+                    f"path_seeds carries {len(self.path_seeds)} streams for "
+                    f"{self.n_paths} paths (expected one per "
+                    f"{'pair' if self.antithetic else 'path'})"
+                )
+        if self._adaptive and (self.return_paths or self.path_seeds is not None):
+            raise AnalysisError(
+                "target_ci/target_rel_ci is incompatible with return_paths= "
+                "and path_seeds= (the adaptive driver owns the path streams)"
+            )
+
+    @property
+    def _adaptive(self) -> bool:
+        return self.target_ci is not None or self.target_rel_ci is not None
 
     def build_sde(self):
         """Materialize the SDE this job integrates."""
@@ -408,16 +440,42 @@ class EnsembleJob:
             if self.x0 is None
             else np.asarray(self.x0, dtype=float)
         )
-        rng = np.random.default_rng(seed)
-        result = euler_maruyama(
-            sde,
-            x0,
-            self.t_final,
-            self.steps,
-            n_paths=self.n_paths,
-            rng=rng,
-            antithetic=self.antithetic,
-        )
+        if self._adaptive:
+            from repro.stochastic.vr import run_sde_ensemble_vr
+
+            return run_sde_ensemble_vr(
+                sde,
+                x0,
+                self.t_final,
+                self.steps,
+                component=self.component,
+                confidence=self.confidence,
+                antithetic=self.antithetic,
+                target_ci=self.target_ci,
+                target_rel_ci=self.target_rel_ci,
+                max_trials=self.max_trials or self.n_paths,
+                batch_size=self.batch_size,
+                seed=seed,
+            )
+        if self.path_seeds is not None:
+            from repro.stochastic.vr import antithetic_normals, path_normals
+
+            draw = antithetic_normals if self.antithetic else path_normals
+            normals = draw(self.path_seeds, self.steps, sde.num_noises)
+            dw = normals * np.sqrt(self.t_final / self.steps)
+            result = euler_maruyama(
+                sde, x0, self.t_final, self.steps, n_paths=self.n_paths, dw=dw
+            )
+        else:
+            result = euler_maruyama(
+                sde,
+                x0,
+                self.t_final,
+                self.steps,
+                n_paths=self.n_paths,
+                rng=np.random.default_rng(seed),
+                antithetic=self.antithetic,
+            )
         if self.return_paths:
             return result
         return ensemble_statistics(
@@ -455,6 +513,18 @@ class EnsembleTransientJob:
     :class:`~repro.stochastic.montecarlo.EnsembleStatistics` of that
     node's voltage, so the process boundary carries three small arrays
     instead of the ``(K, T, n)`` stack.
+
+    The variance-reduction knobs mirror
+    :func:`~repro.stochastic.montecarlo.run_circuit_ensemble`:
+    ``antithetic`` mirrors the Gaussian increments in pairs
+    (``path_seeds`` then pins one stream per *pair*), while
+    ``control_variate`` and ``target_ci``/``target_rel_ci`` switch the
+    job to the adaptive batched estimator of
+    :func:`repro.stochastic.vr.run_circuit_ensemble_vr` (which needs
+    ``noise``, ``steps`` and ``node``, and returns
+    :class:`~repro.stochastic.vr.VarianceReducedStatistics`).  All new
+    fields participate in the service-cache fingerprint
+    (:func:`repro.service.job_key`) like every other dataclass field.
     """
 
     #: Spec-file ``type=`` tag; the cache layer records it
@@ -479,6 +549,12 @@ class EnsembleTransientJob:
     #: Solver backend for the lockstep march (``stack``/``sparse``/
     #: ``dense``/``auto``); overrides any ``options`` setting.
     backend: str | None = None
+    control_variate: bool = False
+    antithetic: bool = False
+    target_ci: float | None = None
+    target_rel_ci: float | None = None
+    max_trials: int | None = None
+    batch_size: int | None = None
     label: str = ""
     #: Pre-flight lint mode (``off``/``warn``/``strict``); every
     #: distinct variation is linted — see :class:`TransientJob`.
@@ -486,6 +562,7 @@ class EnsembleTransientJob:
 
     def __post_init__(self) -> None:
         _check_validate(self.validate)
+        self._check_vr()
         given = sum(
             source is not None
             for source in (self.circuit, self.builder, self.netlist)
@@ -520,6 +597,53 @@ class EnsembleTransientJob:
             raise AnalysisError("noise ensembles need steps= (a fixed shared grid)")
         if self.steps is not None and self.steps < 1:
             raise AnalysisError(f"steps must be >= 1, got {self.steps!r}")
+
+    @property
+    def _vr_adaptive(self) -> bool:
+        return (
+            self.control_variate
+            or self.target_ci is not None
+            or self.target_rel_ci is not None
+        )
+
+    def _check_vr(self) -> None:
+        if not self._vr_adaptive and not self.antithetic:
+            return
+        if self.noise is None:
+            raise AnalysisError(
+                "variance reduction applies to noise ensembles: add noise="
+            )
+        if self.variations is not None:
+            raise AnalysisError(
+                "variance reduction needs i.i.d. replicas: use n_instances=, "
+                "not variations="
+            )
+        if self.antithetic:
+            if self.size % 2:
+                raise AnalysisError(
+                    f"antithetic ensembles need an even instance count, "
+                    f"got {self.size}"
+                )
+            if self.path_seeds is not None and len(self.path_seeds) != self.size // 2:
+                raise AnalysisError(
+                    f"antithetic path_seeds carries one stream per pair: "
+                    f"expected {self.size // 2}, got {len(self.path_seeds)}"
+                )
+        if self._vr_adaptive:
+            if self.node is None:
+                raise AnalysisError(
+                    "adaptive/control-variate ensembles need node= "
+                    "(the measured quantity the stopping rule watches)"
+                )
+            if self.return_result:
+                raise AnalysisError(
+                    "return_result= is incompatible with variance reduction "
+                    "(the raw path stack is consumed batch by batch)"
+                )
+            if self.path_seeds is not None:
+                raise AnalysisError(
+                    "the adaptive driver owns the path streams: drop path_seeds="
+                )
 
     @property
     def size(self) -> int:
@@ -574,12 +698,44 @@ class EnsembleTransientJob:
         if isinstance(options, Mapping):
             options = _swec_options(dict(options))
         noise = self._noise_pairs()
+        if self._vr_adaptive:
+            from repro.stochastic.vr import run_circuit_ensemble_vr
+
+            circuit = self._as_circuit(
+                materialize_circuit(self.circuit, self.builder, self.netlist, self.params)
+            )
+            return run_circuit_ensemble_vr(
+                circuit,
+                noise,
+                self.t_stop,
+                self.steps,
+                node=self.node,
+                seed=seed,
+                options=options,
+                confidence=self.confidence,
+                control_variate=self.control_variate,
+                antithetic=self.antithetic,
+                target_ci=self.target_ci,
+                target_rel_ci=self.target_rel_ci,
+                max_trials=self.max_trials or self.size,
+                batch_size=self.batch_size,
+            )
         engine = SwecEnsembleTransient(self.build_circuits(), options, noise=noise)
         kwargs = {}
         if self.initial_states is not None:
             kwargs["initial_states"] = np.asarray(self.initial_states, float)
         if self.steps is None:
             result = engine.run(self.t_stop, **kwargs)
+        elif self.antithetic:
+            from repro.stochastic.vr import antithetic_normals
+
+            times = np.linspace(0.0, float(self.t_stop), int(self.steps) + 1)
+            pair_seeds = self.path_seeds
+            if pair_seeds is None:
+                source = seed if seed is not None else np.random.SeedSequence()
+                pair_seeds = source.spawn(self.size // 2)
+            normals = antithetic_normals(pair_seeds, int(self.steps), len(noise))
+            result = engine.run_grid(times, normals=normals, **kwargs)
         else:
             times = np.linspace(0.0, float(self.t_stop), int(self.steps) + 1)
             seeds = self.path_seeds

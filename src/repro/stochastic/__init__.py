@@ -11,6 +11,10 @@ This package provides the Wiener process substrate, the Ito/Stratonovich
 sum contrast of eqs. (15)-(16), the EM integrator, exact Ornstein-
 Uhlenbeck references for validation, Monte-Carlo ensemble statistics and
 the windowed peak-performance predictor (the "Black-Scholes approach").
+Beyond the paper, :mod:`repro.stochastic.vr` layers variance reduction on
+top of the Monte-Carlo engine: control variates from a linearized
+companion circuit, antithetic path pairs and CI-targeted adaptive
+stopping.
 """
 
 from repro.stochastic.analytic import OrnsteinUhlenbeck, VectorOrnsteinUhlenbeck
@@ -42,6 +46,15 @@ from repro.stochastic.nonlinear import (
     milstein,
 )
 from repro.stochastic.sde import CircuitSDE, LinearSDE
+from repro.stochastic.vr import (
+    MCStatistics,
+    VarianceReducedStatistics,
+    antithetic_normals,
+    linearized_control_circuit,
+    path_normals,
+    run_circuit_ensemble_vr,
+    run_sde_ensemble_vr,
+)
 from repro.stochastic.spectrum import (
     corner_frequency,
     fit_corner_frequency,
@@ -81,4 +94,11 @@ __all__ = [
     "stratonovich_integral",
     "VectorOrnsteinUhlenbeck",
     "WienerProcess",
+    "MCStatistics",
+    "VarianceReducedStatistics",
+    "antithetic_normals",
+    "linearized_control_circuit",
+    "path_normals",
+    "run_circuit_ensemble_vr",
+    "run_sde_ensemble_vr",
 ]

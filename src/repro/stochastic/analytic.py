@@ -33,11 +33,15 @@ from repro.errors import AnalysisError
 class OrnsteinUhlenbeck:
     """Scalar OU process ``dX = (a - lambda X) dt + sigma dW``."""
 
-    def __init__(self, decay_rate: float, noise_amplitude: float,
-                 drift_level: float = 0.0, x0: float = 0.0) -> None:
+    def __init__(
+        self,
+        decay_rate: float,
+        noise_amplitude: float,
+        drift_level: float = 0.0,
+        x0: float = 0.0,
+    ) -> None:
         if decay_rate <= 0.0:
-            raise AnalysisError(
-                f"decay rate must be positive, got {decay_rate!r}")
+            raise AnalysisError(f"decay rate must be positive, got {decay_rate!r}")
         if noise_amplitude < 0.0:
             raise AnalysisError("noise amplitude must be non-negative")
         self.decay_rate = float(decay_rate)
@@ -59,8 +63,11 @@ class OrnsteinUhlenbeck:
     def variance(self, t) -> np.ndarray:
         """``Var[X(t)]``."""
         t = np.asarray(t, dtype=float)
-        return (self.noise_amplitude**2 / (2.0 * self.decay_rate)
-                * (1.0 - np.exp(-2.0 * self.decay_rate * t)))
+        return (
+            self.noise_amplitude**2
+            / (2.0 * self.decay_rate)
+            * (1.0 - np.exp(-2.0 * self.decay_rate * t))
+        )
 
     def std(self, t) -> np.ndarray:
         """Standard deviation at *t*."""
@@ -74,16 +81,20 @@ class OrnsteinUhlenbeck:
         """``Cov[X(t), X(s)]`` for ``t, s >= 0``."""
         lam = self.decay_rate
         lo, hi = min(t, s), max(t, s)
-        return (self.noise_amplitude**2 / (2.0 * lam)
-                * np.exp(-lam * (hi - lo))
-                * (1.0 - np.exp(-2.0 * lam * lo)))
+        return (
+            self.noise_amplitude**2
+            / (2.0 * lam)
+            * np.exp(-lam * (hi - lo))
+            * (1.0 - np.exp(-2.0 * lam * lo))
+        )
 
     # ------------------------------------------------------------------
     # Exact path sampling (no discretization error)
     # ------------------------------------------------------------------
 
-    def sample_exact(self, t_final: float, steps: int, n_paths: int = 1,
-                     rng=None) -> tuple[np.ndarray, np.ndarray]:
+    def sample_exact(
+        self, t_final: float, steps: int, n_paths: int = 1, rng=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Sample exact OU paths on a uniform grid.
 
         Uses the Gaussian transition density
@@ -103,20 +114,25 @@ class OrnsteinUhlenbeck:
         decay = np.exp(-lam * dt)
         settled = self.drift_level / lam
         transition_std = np.sqrt(
-            self.noise_amplitude**2 * (1.0 - decay**2) / (2.0 * lam))
+            self.noise_amplitude**2 * (1.0 - decay**2) / (2.0 * lam)
+        )
         times = np.linspace(0.0, t_final, steps + 1)
         paths = np.empty((n_paths, steps + 1))
         paths[:, 0] = self.x0
         for j in range(steps):
             noise = generator.normal(0.0, transition_std, size=n_paths)
-            paths[:, j + 1] = (paths[:, j] * decay
-                               + settled * (1.0 - decay) + noise)
+            paths[:, j + 1] = paths[:, j] * decay + settled * (1.0 - decay) + noise
         return times, paths
 
     @classmethod
-    def from_rc(cls, resistance: float, capacitance: float,
-                noise_current: float, drive_current: float = 0.0,
-                x0: float = 0.0) -> "OrnsteinUhlenbeck":
+    def from_rc(
+        cls,
+        resistance: float,
+        capacitance: float,
+        noise_current: float,
+        drive_current: float = 0.0,
+        x0: float = 0.0,
+    ) -> "OrnsteinUhlenbeck":
         """OU parameters of a noisy RC node.
 
         ``C dV = (I_drive - V/R) dt + i_n dW`` gives
@@ -124,9 +140,12 @@ class OrnsteinUhlenbeck:
         """
         if resistance <= 0.0 or capacitance <= 0.0:
             raise AnalysisError("R and C must be positive")
-        return cls(decay_rate=1.0 / (resistance * capacitance),
-                   noise_amplitude=noise_current / capacitance,
-                   drift_level=drive_current / capacitance, x0=x0)
+        return cls(
+            decay_rate=1.0 / (resistance * capacitance),
+            noise_amplitude=noise_current / capacitance,
+            drift_level=drive_current / capacitance,
+            x0=x0,
+        )
 
 
 class VectorOrnsteinUhlenbeck:
@@ -138,15 +157,17 @@ class VectorOrnsteinUhlenbeck:
     .. math::  P(t) = \\int_0^t e^{A s} S S^T e^{A^T s}\\, ds
     """
 
-    def __init__(self, drift_matrix, noise_matrix, drift_offset=None,
-                 x0=None) -> None:
+    def __init__(self, drift_matrix, noise_matrix, drift_offset=None, x0=None) -> None:
         self.a = np.atleast_2d(np.asarray(drift_matrix, dtype=float))
         self.s = np.atleast_2d(np.asarray(noise_matrix, dtype=float))
         n = self.a.shape[0]
         if self.a.shape != (n, n):
             raise AnalysisError("drift matrix must be square")
-        self.f = (np.zeros(n) if drift_offset is None
-                  else np.asarray(drift_offset, dtype=float))
+        self.f = (
+            np.zeros(n)
+            if drift_offset is None
+            else np.asarray(drift_offset, dtype=float)
+        )
         self.x0 = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float)
         self.dimension = n
 
@@ -165,8 +186,7 @@ class VectorOrnsteinUhlenbeck:
             raise AnalysisError("quadrature_points must be odd and >= 3")
         grid = np.linspace(0.0, t, quadrature_points)
         q = self.s @ self.s.T
-        integrands = np.empty((quadrature_points, self.dimension,
-                               self.dimension))
+        integrands = np.empty((quadrature_points, self.dimension, self.dimension))
         for k, s_val in enumerate(grid):
             phi = expm(self.a * s_val)
             integrands[k] = phi @ q @ phi.T

@@ -69,8 +69,7 @@ class EMResult:
         """Per-path running maximum of component *index*."""
         return np.maximum.accumulate(self.component(index), axis=1)
 
-    def window_peaks(self, t_start: float, t_stop: float,
-                     index: int = 0) -> np.ndarray:
+    def window_peaks(self, t_start: float, t_stop: float, index: int = 0) -> np.ndarray:
         """Per-path maximum of component *index* within a time window."""
         mask = (self.times >= t_start) & (self.times <= t_stop)
         if not mask.any():
@@ -78,10 +77,16 @@ class EMResult:
         return self.component(index)[:, mask].max(axis=1)
 
 
-def euler_maruyama(sde: LinearSDE, x0, t_final: float, steps: int,
-                   n_paths: int = 1, rng=None,
-                   dw: np.ndarray | None = None,
-                   antithetic: bool = False) -> EMResult:
+def euler_maruyama(
+    sde: LinearSDE,
+    x0,
+    t_final: float,
+    steps: int,
+    n_paths: int = 1,
+    rng=None,
+    dw: np.ndarray | None = None,
+    antithetic: bool = False,
+) -> EMResult:
     """Integrate *sde* from *x0* over ``[0, t_final]`` with EM.
 
     Parameters
@@ -112,13 +117,13 @@ def euler_maruyama(sde: LinearSDE, x0, t_final: float, steps: int,
     x0 = np.asarray(x0, dtype=float)
     if x0.ndim == 1:
         if x0.shape != (dimension,):
-            raise AnalysisError(
-                f"x0 must have shape ({dimension},), got {x0.shape}")
+            raise AnalysisError(f"x0 must have shape ({dimension},), got {x0.shape}")
         x = np.tile(x0, (n_paths, 1))
     else:
         if x0.shape != (n_paths, dimension):
             raise AnalysisError(
-                f"x0 must have shape ({n_paths}, {dimension}), got {x0.shape}")
+                f"x0 must have shape ({n_paths}, {dimension}), got {x0.shape}"
+            )
         x = x0.copy()
 
     dt = t_final / steps
@@ -130,18 +135,21 @@ def euler_maruyama(sde: LinearSDE, x0, t_final: float, steps: int,
                 raise AnalysisError("antithetic sampling needs even n_paths")
             wiener = WienerProcess(t_final, steps, rng)
             half = wiener.rng.normal(
-                0.0, np.sqrt(dt), size=(n_paths // 2, steps, sde.num_noises))
+                0.0, np.sqrt(dt), size=(n_paths // 2, steps, sde.num_noises)
+            )
             dw = np.concatenate([half, -half], axis=0)
         else:
             generator = np.random.default_rng(rng)
             dw = generator.normal(
-                0.0, np.sqrt(dt), size=(n_paths, steps, sde.num_noises))
+                0.0, np.sqrt(dt), size=(n_paths, steps, sde.num_noises)
+            )
     else:
         dw = np.asarray(dw, dtype=float)
         if dw.shape != (n_paths, steps, sde.num_noises):
             raise AnalysisError(
                 f"dw must have shape ({n_paths}, {steps}, "
-                f"{sde.num_noises}), got {dw.shape}")
+                f"{sde.num_noises}), got {dw.shape}"
+            )
 
     trajectories = np.empty((n_paths, steps + 1, dimension))
     trajectories[:, 0, :] = x

@@ -26,7 +26,8 @@ import numpy as np
 def _check(values: np.ndarray, path: np.ndarray) -> None:
     if values.shape != path.shape:
         raise ValueError(
-            f"integrand and path shapes differ: {values.shape} vs {path.shape}")
+            f"integrand and path shapes differ: {values.shape} vs {path.shape}"
+        )
     if values.ndim != 1 or values.size < 2:
         raise ValueError("need 1-D arrays with at least two samples")
 

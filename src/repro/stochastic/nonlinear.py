@@ -35,37 +35,44 @@ class ScalarSDE:
     Milstein (finite-differenced when not given).
     """
 
-    def __init__(self, drift: Callable, diffusion: Callable,
-                 diffusion_dx: Callable | None = None) -> None:
+    def __init__(
+        self, drift: Callable, diffusion: Callable, diffusion_dx: Callable | None = None
+    ) -> None:
         self.drift = drift
         self.diffusion = diffusion
         if diffusion_dx is None:
             step = 1e-6
 
             def numeric(x, t):
-                return (diffusion(x + step, t)
-                        - diffusion(x - step, t)) / (2.0 * step)
+                return (diffusion(x + step, t) - diffusion(x - step, t)) / (2.0 * step)
 
             diffusion_dx = numeric
         self.diffusion_dx = diffusion_dx
 
 
-def _increments(steps: int, n_paths: int, dt: float, rng,
-                dw: np.ndarray | None) -> np.ndarray:
+def _increments(
+    steps: int, n_paths: int, dt: float, rng, dw: np.ndarray | None
+) -> np.ndarray:
     if dw is not None:
         dw = np.asarray(dw, dtype=float)
         if dw.shape != (n_paths, steps):
             raise AnalysisError(
-                f"dw must have shape ({n_paths}, {steps}), got {dw.shape}")
+                f"dw must have shape ({n_paths}, {steps}), got {dw.shape}"
+            )
         return dw
     generator = np.random.default_rng(rng)
     return generator.normal(0.0, np.sqrt(dt), size=(n_paths, steps))
 
 
-def euler_maruyama_scalar(sde: ScalarSDE, x0: float, t_final: float,
-                          steps: int, n_paths: int = 1, rng=None,
-                          dw: np.ndarray | None = None
-                          ) -> tuple[np.ndarray, np.ndarray]:
+def euler_maruyama_scalar(
+    sde: ScalarSDE,
+    x0: float,
+    t_final: float,
+    steps: int,
+    n_paths: int = 1,
+    rng=None,
+    dw: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """EM for a scalar (possibly multiplicative-noise) SDE.
 
     Returns ``(times, paths)`` with paths of shape
@@ -86,10 +93,15 @@ def euler_maruyama_scalar(sde: ScalarSDE, x0: float, t_final: float,
     return times, paths
 
 
-def milstein(sde: ScalarSDE, x0: float, t_final: float, steps: int,
-             n_paths: int = 1, rng=None,
-             dw: np.ndarray | None = None
-             ) -> tuple[np.ndarray, np.ndarray]:
+def milstein(
+    sde: ScalarSDE,
+    x0: float,
+    t_final: float,
+    steps: int,
+    n_paths: int = 1,
+    rng=None,
+    dw: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Milstein scheme: EM plus ``0.5 b b' (dW^2 - dt)``.
 
     Strong order 1 where EM only achieves 1/2 (multiplicative noise).
@@ -106,8 +118,12 @@ def milstein(sde: ScalarSDE, x0: float, t_final: float, steps: int,
         t = times[j]
         b = sde.diffusion(x, t)
         dwj = increments[:, j]
-        x = (x + sde.drift(x, t) * dt + b * dwj
-             + 0.5 * b * sde.diffusion_dx(x, t) * (dwj * dwj - dt))
+        x = (
+            x
+            + sde.drift(x, t) * dt
+            + b * dwj
+            + 0.5 * b * sde.diffusion_dx(x, t) * (dwj * dwj - dt)
+        )
         paths[:, j + 1] = x
     return times, paths
 
@@ -135,7 +151,8 @@ class GeometricBrownianMotion:
             drift=lambda x, t: self.mu * x,
             diffusion=lambda x, t: self.sigma * x,
             diffusion_dx=lambda x, t: np.full_like(
-                np.asarray(x, dtype=float), self.sigma),
+                np.asarray(x, dtype=float), self.sigma
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -148,12 +165,20 @@ class GeometricBrownianMotion:
 
     def variance(self, t: float) -> float:
         """``Var[X(t)] = x0^2 e^{2 mu t}(e^{sigma^2 t} - 1)``."""
-        return (self.x0 ** 2 * float(np.exp(2.0 * self.mu * t))
-                * float(np.expm1(self.sigma ** 2 * t)))
+        return (
+            self.x0**2
+            * float(np.exp(2.0 * self.mu * t))
+            * float(np.expm1(self.sigma**2 * t))
+        )
 
-    def exact_paths(self, t_final: float, steps: int, n_paths: int = 1,
-                    rng=None, dw: np.ndarray | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
+    def exact_paths(
+        self,
+        t_final: float,
+        steps: int,
+        n_paths: int = 1,
+        rng=None,
+        dw: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Exact solution ``x0 exp((mu - sigma^2/2) t + sigma W(t))``.
 
         Shares increments with EM/Milstein when ``dw`` is passed — the
@@ -164,7 +189,7 @@ class GeometricBrownianMotion:
         times = np.linspace(0.0, t_final, steps + 1)
         w = np.zeros((n_paths, steps + 1))
         np.cumsum(increments, axis=1, out=w[:, 1:])
-        drift = (self.mu - 0.5 * self.sigma ** 2) * times
+        drift = (self.mu - 0.5 * self.sigma**2) * times
         return times, self.x0 * np.exp(drift + self.sigma * w)
 
     def running_max_cdf(self, level: float, t_final: float) -> float:
@@ -183,12 +208,14 @@ class GeometricBrownianMotion:
             raise AnalysisError("t_final must be positive")
         if level <= self.x0:
             return 0.0
-        nu = self.mu - 0.5 * self.sigma ** 2
+        nu = self.mu - 0.5 * self.sigma**2
         m = float(np.log(level / self.x0))
         scale = self.sigma * np.sqrt(t_final)
-        return float(norm.cdf((m - nu * t_final) / scale)
-                     - np.exp(2.0 * nu * m / self.sigma ** 2)
-                     * norm.cdf((-m - nu * t_final) / scale))
+        return float(
+            norm.cdf((m - nu * t_final) / scale)
+            - np.exp(2.0 * nu * m / self.sigma**2)
+            * norm.cdf((-m - nu * t_final) / scale)
+        )
 
     def peak_exceedance(self, level: float, t_final: float) -> float:
         """``P[max_{[0,T]} X > level]`` — the barrier-breach probability

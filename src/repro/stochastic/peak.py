@@ -35,8 +35,7 @@ from repro.stochastic.em import EMResult, euler_maruyama
 from repro.stochastic.sde import LinearSDE
 
 
-def brownian_max_cdf(level: float, t_final: float,
-                     sigma: float = 1.0) -> float:
+def brownian_max_cdf(level: float, t_final: float, sigma: float = 1.0) -> float:
     """``P[max_{[0,T]} sigma*W <= level]`` by the reflection principle."""
     if t_final <= 0.0 or sigma <= 0.0:
         raise AnalysisError("need positive horizon and sigma")
@@ -52,9 +51,13 @@ def expected_brownian_max(t_final: float, sigma: float = 1.0) -> float:
     return float(sigma * np.sqrt(2.0 * t_final / np.pi))
 
 
-def peak_exceedance_probability(result: EMResult, threshold: float,
-                                t_start: float, t_stop: float,
-                                component: int = 0) -> float:
+def peak_exceedance_probability(
+    result: EMResult,
+    threshold: float,
+    t_start: float,
+    t_stop: float,
+    component: int = 0,
+) -> float:
     """Fraction of ensemble paths whose window peak exceeds *threshold*.
 
     This is the signal-integrity question of the paper's Section 4: "if
@@ -83,9 +86,16 @@ class PeakPrediction:
         return float(np.mean(peaks > threshold))
 
 
-def predict_peak(sde: LinearSDE, x0, t_start: float, t_stop: float,
-                 steps: int, n_paths: int = 2000, rng=None,
-                 component: int = 0) -> tuple[PeakPrediction, np.ndarray]:
+def predict_peak(
+    sde: LinearSDE,
+    x0,
+    t_start: float,
+    t_stop: float,
+    steps: int,
+    n_paths: int = 2000,
+    rng=None,
+    component: int = 0,
+) -> tuple[PeakPrediction, np.ndarray]:
     """Estimate the window-peak distribution of one state component.
 
     Integrates an EM ensemble over ``[0, t_stop]`` and extracts per-path
@@ -94,8 +104,7 @@ def predict_peak(sde: LinearSDE, x0, t_start: float, t_stop: float,
     """
     if not 0.0 <= t_start < t_stop:
         raise AnalysisError("need 0 <= t_start < t_stop")
-    result = euler_maruyama(sde, x0, t_stop, steps, n_paths=n_paths,
-                            rng=rng)
+    result = euler_maruyama(sde, x0, t_stop, steps, n_paths=n_paths, rng=rng)
     peaks = result.window_peaks(t_start, t_stop, index=component)
     prediction = PeakPrediction(
         t_start=t_start,

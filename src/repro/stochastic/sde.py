@@ -40,37 +40,41 @@ class LinearSDE:
         into the state equations.
     """
 
-    def __init__(self, drift_matrix, noise_matrix,
-                 drift_offset=None) -> None:
+    def __init__(self, drift_matrix, noise_matrix, drift_offset=None) -> None:
         self._a = drift_matrix
         self._constant_a = not callable(drift_matrix)
         if self._constant_a:
             self._a = np.atleast_2d(np.asarray(drift_matrix, dtype=float))
         self.noise = np.atleast_2d(np.asarray(noise_matrix, dtype=float))
-        self.dimension = (self._a.shape[0] if self._constant_a
-                          else self.noise.shape[0])
+        self.dimension = self._a.shape[0] if self._constant_a else self.noise.shape[0]
         if self.noise.shape[0] != self.dimension:
             raise AnalysisError(
                 f"noise matrix has {self.noise.shape[0]} rows, "
-                f"state dimension is {self.dimension}")
+                f"state dimension is {self.dimension}"
+            )
         self.num_noises = self.noise.shape[1]
         if drift_offset is None:
             self._f: Callable | np.ndarray = np.zeros(self.dimension)
             self._constant_f = True
         else:
             self._constant_f = not callable(drift_offset)
-            self._f = (np.asarray(drift_offset, dtype=float)
-                       if self._constant_f else drift_offset)
+            self._f = (
+                np.asarray(drift_offset, dtype=float)
+                if self._constant_f
+                else drift_offset
+            )
 
     def drift_matrix(self, t: float) -> np.ndarray:
         """``A(t)``."""
-        return self._a if self._constant_a else np.atleast_2d(
-            np.asarray(self._a(t), dtype=float))
+        return (
+            self._a
+            if self._constant_a
+            else np.atleast_2d(np.asarray(self._a(t), dtype=float))
+        )
 
     def drift_offset(self, t: float) -> np.ndarray:
         """``f(t)``."""
-        return self._f if self._constant_f else np.asarray(
-            self._f(t), dtype=float)
+        return self._f if self._constant_f else np.asarray(self._f(t), dtype=float)
 
     def drift(self, x: np.ndarray, t: float) -> np.ndarray:
         """Full drift ``A(t) x + f(t)``, vectorized over path rows.
@@ -99,13 +103,17 @@ class CircuitSDE(LinearSDE):
     ``G`` time-varying — which eq. (13) explicitly allows.
     """
 
-    def __init__(self, circuit: Circuit,
-                 noise_nodes: Sequence[tuple[str, float]],
-                 linearize_at: np.ndarray | None = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        noise_nodes: Sequence[tuple[str, float]],
+        linearize_at: np.ndarray | None = None,
+    ) -> None:
         if circuit.voltage_sources:
             raise AnalysisError(
                 "CircuitSDE needs current-driven circuits; replace voltage "
-                "sources with Norton equivalents")
+                "sources with Norton equivalents"
+            )
         system = MnaSystem(circuit)
         if system.size != system.num_nodes:
             raise AnalysisError("inductors are not supported in CircuitSDE")
@@ -117,13 +125,16 @@ class CircuitSDE(LinearSDE):
         except np.linalg.LinAlgError:
             raise AnalysisError(
                 "capacitance matrix is singular: every node needs a "
-                "grounded capacitor to form a well-posed SDE") from None
+                "grounded capacitor to form a well-posed SDE"
+            ) from None
         self._c_inverse = c_inverse
         self._g_base = system.conductance_base()
         self._linearization = SwecLinearization(system, use_predictor=False)
-        self._operating_state = (np.zeros(system.size)
-                                 if linearize_at is None
-                                 else np.asarray(linearize_at, dtype=float))
+        self._operating_state = (
+            np.zeros(system.size)
+            if linearize_at is None
+            else np.asarray(linearize_at, dtype=float)
+        )
 
         noise_matrix = np.zeros((system.size, len(noise_nodes)))
         for column, (node, amplitude) in enumerate(noise_nodes):
@@ -134,7 +145,8 @@ class CircuitSDE(LinearSDE):
         if circuit.nonlinear():
             def drift_a(t: float) -> np.ndarray:
                 g = self._linearization.conductance_matrix(
-                    self._g_base, self._operating_state)
+                    self._g_base, self._operating_state
+                )
                 return -c_inverse @ g
         else:
             g = self._g_base
@@ -144,13 +156,11 @@ class CircuitSDE(LinearSDE):
         def drift_f(t: float) -> np.ndarray:
             return c_inverse @ system.source_vector(t)
 
-        super().__init__(drift_a, c_inverse @ noise_matrix,
-                         drift_offset=drift_f)
+        super().__init__(drift_a, c_inverse @ noise_matrix, drift_offset=drift_f)
 
     def set_operating_state(self, state: np.ndarray) -> None:
         """Update the linearization point for nonlinear devices."""
         state = np.asarray(state, dtype=float)
         if state.shape != (self.system.size,):
-            raise AnalysisError(
-                f"state must have shape ({self.system.size},)")
+            raise AnalysisError(f"state must have shape ({self.system.size},)")
         self._operating_state = state

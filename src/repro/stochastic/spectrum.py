@@ -21,8 +21,9 @@ import numpy as np
 from repro.errors import AnalysisError
 
 
-def periodogram_psd(paths: np.ndarray, dt: float,
-                    detrend: bool = True) -> tuple[np.ndarray, np.ndarray]:
+def periodogram_psd(
+    paths: np.ndarray, dt: float, detrend: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
     """Ensemble-averaged one-sided periodogram of path samples.
 
     Parameters
@@ -52,8 +53,9 @@ def periodogram_psd(paths: np.ndarray, dt: float,
     return frequencies, psd.mean(axis=0)
 
 
-def ou_psd(frequencies: np.ndarray, decay_rate: float,
-           noise_amplitude: float) -> np.ndarray:
+def ou_psd(
+    frequencies: np.ndarray, decay_rate: float, noise_amplitude: float
+) -> np.ndarray:
     """One-sided Lorentzian PSD of the OU process.
 
     ``S(f) = 2 sigma^2 / (lambda^2 + (2 pi f)^2)`` — the stationary OU
@@ -62,7 +64,7 @@ def ou_psd(frequencies: np.ndarray, decay_rate: float,
     if decay_rate <= 0.0:
         raise AnalysisError("decay rate must be positive")
     omega = 2.0 * np.pi * np.asarray(frequencies, dtype=float)
-    return 2.0 * noise_amplitude ** 2 / (decay_rate ** 2 + omega ** 2)
+    return 2.0 * noise_amplitude**2 / (decay_rate**2 + omega**2)
 
 
 def corner_frequency(decay_rate: float) -> float:
@@ -72,8 +74,7 @@ def corner_frequency(decay_rate: float) -> float:
     return decay_rate / (2.0 * np.pi)
 
 
-def fit_corner_frequency(frequencies: np.ndarray,
-                         psd: np.ndarray) -> float:
+def fit_corner_frequency(frequencies: np.ndarray, psd: np.ndarray) -> float:
     """Estimate the Lorentzian knee from a measured PSD.
 
     Median-smooths the raw periodogram in logarithmically spaced

@@ -45,8 +45,7 @@ class WienerProcess:
         """``(paths, N)`` matrix of ``dW ~ N(0, dt)`` increments."""
         if paths < 1:
             raise ValueError(f"paths must be >= 1, got {paths!r}")
-        return self.rng.normal(0.0, np.sqrt(self.dt),
-                               size=(paths, self.steps))
+        return self.rng.normal(0.0, np.sqrt(self.dt), size=(paths, self.steps))
 
     def sample(self, paths: int = 1) -> np.ndarray:
         """``(paths, N + 1)`` matrix of Wiener paths starting at 0."""
@@ -64,8 +63,9 @@ class WienerProcess:
         return np.vstack([dw, -dw])
 
 
-def brownian_bridge(coarse_path: np.ndarray, coarse_dt: float,
-                    refinement: int, rng=None) -> np.ndarray:
+def brownian_bridge(
+    coarse_path: np.ndarray, coarse_dt: float, refinement: int, rng=None
+) -> np.ndarray:
     """Refine a Wiener path by conditional (bridge) sampling.
 
     Given path values on a grid of spacing ``coarse_dt``, returns values
@@ -89,7 +89,8 @@ def brownian_bridge(coarse_path: np.ndarray, coarse_dt: float,
         dt /= 2.0
         midpoints = 0.5 * (current[:-1] + current[1:])
         midpoints = midpoints + generator.normal(
-            0.0, np.sqrt(dt / 2.0), size=midpoints.shape)
+            0.0, np.sqrt(dt / 2.0), size=midpoints.shape
+        )
         refined = np.empty(2 * current.size - 1)
         refined[0::2] = current
         refined[1::2] = midpoints

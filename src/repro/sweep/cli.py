@@ -94,6 +94,29 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run a terminally failed lockstep block point by "
              "point, so one bad design costs only its own row "
              "(default: [batch].isolate, else off)")
+    parser.add_argument(
+        "--antithetic", action="store_true", default=None,
+        help="mirror each ensemble path pair's Gaussian increments "
+             "(ensemble sweeps; exact variance elimination for linear "
+             "responses)")
+    parser.add_argument(
+        "--control-variate", action="store_true", default=None,
+        help="rejected with an explanation: control variates pair "
+             "circuit paths with a linearized companion circuit, so "
+             "they live on run_circuit_ensemble / ensemble_transient "
+             "jobs, not SDE ensemble sweeps")
+    parser.add_argument(
+        "--target-ci", type=float, default=None, metavar="WIDTH",
+        help="stop each ensemble point early once its CI half-width "
+             "is at most WIDTH (absolute units)")
+    parser.add_argument(
+        "--target-rel-ci", type=float, default=None, metavar="FRACTION",
+        help="stop each ensemble point early once its CI half-width "
+             "is at most FRACTION of the peak mean magnitude")
+    parser.add_argument(
+        "--max-trials", type=int, default=None, metavar="K",
+        help="adaptive-stopping backstop: never simulate more than K "
+             "paths per point")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="write the tidy table as CSV")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -116,7 +139,12 @@ def main(argv: list[str] | None = None) -> int:
                            vector=args.vector, backend=args.backend,
                            cache=args.cache, validate=args.validate,
                            timeout=args.timeout, retries=args.retries,
-                           resume=args.resume, isolate=args.isolate)
+                           resume=args.resume, isolate=args.isolate,
+                           antithetic=args.antithetic,
+                           control_variate=args.control_variate,
+                           target_ci=args.target_ci,
+                           target_rel_ci=args.target_rel_ci,
+                           max_trials=args.max_trials)
     except (NanoSimError, TypeError, ValueError) as exc:
         # ValueError covers json/toml decode errors on malformed
         # files; per-point simulation failures never raise — they are

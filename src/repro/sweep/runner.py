@@ -341,7 +341,12 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
               retries=None,
               fault_plan=None,
               resume=None,
-              isolate: bool | None = None) -> SweepReport:
+              isolate: bool | None = None,
+              antithetic: bool | None = None,
+              control_variate: bool | None = None,
+              target_ci: float | None = None,
+              target_rel_ci: float | None = None,
+              max_trials: int | None = None) -> SweepReport:
     """Run every design point of *spec* and aggregate the report.
 
     ``max_workers``/``executor``/``seed``/``vector`` override the
@@ -396,7 +401,42 @@ def run_sweep(spec: SweepSpec, max_workers: int | None = None,
         Lint-refused blocks stay refused.  Off by default: the
         block-fails-whole behaviour is the documented lockstep
         contract.
+
+    Variance reduction (ensemble sweeps only, see
+    :mod:`repro.stochastic.vr`): ``antithetic`` mirrors each path
+    pair's increments, ``target_ci``/``target_rel_ci`` stop every
+    point once its confidence interval is tight enough (``max_trials``
+    backstop).  They override the spec's matching ensemble settings.
+    ``control_variate`` is rejected here: SDE ensemble sweeps march
+    linear(ized) SDEs, so the linearized control would be the signal
+    itself — use :func:`repro.stochastic.run_circuit_ensemble` or an
+    ``ensemble_transient`` runtime job for circuit-level control
+    variates.
     """
+    vr_overrides = {
+        key: value
+        for key, value in (("antithetic", antithetic),
+                           ("target_ci", target_ci),
+                           ("target_rel_ci", target_rel_ci),
+                           ("max_trials", max_trials))
+        if value is not None
+    }
+    if control_variate:
+        from repro.errors import SweepSpecError
+
+        raise SweepSpecError(
+            "control_variate= applies to circuit-level ensembles "
+            "(run_circuit_ensemble / ensemble_transient jobs); SDE "
+            "ensemble sweeps are linear, so the linearized control "
+            "is the signal itself")
+    if vr_overrides:
+        if spec.kind != "ensemble":
+            from repro.errors import SweepSpecError
+
+            raise SweepSpecError(
+                "antithetic=/target_ci=/target_rel_ci=/max_trials= "
+                "apply to ensemble sweeps only")
+        spec = replace(spec, settings={**spec.settings, **vr_overrides})
     if backend is not None:
         if spec.kind == "ensemble":
             from repro.errors import SweepSpecError

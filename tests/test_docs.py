@@ -38,7 +38,8 @@ def _netlist_doc() -> Path:
 def test_docs_directory_is_complete():
     for name in ("architecture.md", "paper_map.md", "netlist_format.md",
                  "ac_analysis.md", "ensemble_transient.md", "service.md",
-                 "lint.md", "pss.md", "resilience.md"):
+                 "lint.md", "pss.md", "resilience.md",
+                 "variance_reduction.md"):
         assert (DOCS / name).exists(), f"docs/{name} is missing"
 
 
@@ -67,7 +68,8 @@ def test_spice_error_snippets_fail_as_documented(index):
 @pytest.mark.parametrize("document",
                          ["netlist_format.md", "ac_analysis.md",
                           "ensemble_transient.md", "service.md",
-                          "lint.md", "pss.md", "resilience.md"])
+                          "lint.md", "pss.md", "resilience.md",
+                          "variance_reduction.md"])
 def test_python_snippets_run(document):
     snippets = _blocks(DOCS / document, "python")
     assert snippets, f"docs/{document} has no python snippets"
@@ -115,6 +117,16 @@ def test_pss_doc_covers_the_subsystem():
                      "period_guess", 'analysis = "pss"', "PSSError",
                      "bench_pss.py", "--update-golden", "pss-smoke"):
         assert required in text, f"pss.md lacks {required!r}"
+
+
+def test_vr_doc_covers_the_subsystem():
+    text = (DOCS / "variance_reduction.md").read_text()
+    for required in ("run_circuit_ensemble_vr", "antithetic",
+                     "control_variate", "target_ci", "max_trials",
+                     "linearized_control_circuit", "pilot",
+                     "bench_mc_vr.py", "mc_variance_reduction",
+                     "vr-smoke", "bit-identical"):
+        assert required in text, f"variance_reduction.md lacks {required!r}"
 
 
 def test_resilience_doc_covers_the_subsystem():

@@ -130,7 +130,7 @@ def test_public_classes_and_functions_have_docstrings(name):
 
 def test_version_is_exposed():
     import repro
-    assert repro.__version__ == "1.7.0"
+    assert repro.__version__ == "1.8.0"
 
 
 def test_top_level_promises_from_readme():

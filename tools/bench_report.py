@@ -327,6 +327,62 @@ def _bench_resilience(quick: bool, repeats: int) -> list[dict]:
     }]
 
 
+def _bench_mc_variance_reduction(quick: bool, repeats: int) -> list[dict]:
+    import time
+
+    import numpy as np
+
+    from repro.circuit import Circuit
+    from repro.stochastic import run_circuit_ensemble_vr
+
+    circuit_steps = 60 if quick else 100
+    max_trials = 1024 if quick else 4096
+
+    def noisy_rc():
+        circuit = Circuit("noisy-rc")
+        circuit.add_resistor("R1", "n1", "0", 1e3)
+        circuit.add_capacitor("C1", "n1", "0", 1e-12)
+        circuit.add_current_source("Id", "0", "n1", 1e-4)
+        return circuit
+
+    def run(**vr):
+        start = time.perf_counter()
+        stats = run_circuit_ensemble_vr(
+            noisy_rc(), [("n1", 1e-8)], 5e-9, circuit_steps,
+            node="n1", seed=21, target_ci=0.02,
+            max_trials=max_trials, batch_size=16, **vr)
+        return stats, time.perf_counter() - start
+
+    naive, _ = run()
+    naive_seconds = _median_seconds(lambda: run(), repeats)
+    entries = []
+    for label, vr in (("antithetic", {"antithetic": True}),
+                      ("control_variate", {"control_variate": True})):
+        stats, _ = run(**vr)
+        seconds = _median_seconds(lambda: run(**vr), repeats)
+        factor = stats.variance_reduction
+        entries.append({
+            "name": f"mc_vr_{label}",
+            "median_seconds": seconds,
+            "speedup": naive_seconds / seconds,
+            "reference": "naive adaptive MC at the same CI target",
+            "axes": {"steps": circuit_steps, "max_trials": max_trials},
+            "paths_naive": naive.n_simulated,
+            "paths_vr": stats.n_simulated,
+            "paths_saved": naive.n_simulated - stats.n_simulated,
+            "cv_correlation": (float(stats.cv_correlation)
+                               if stats.cv_correlation is not None
+                               else None),
+            # A linear workload makes the estimator variance exactly
+            # zero; cap the factor so the record stays finite JSON.
+            "variance_reduction": (float(min(factor, 1e12))
+                                   if np.isfinite(factor) else 1e12),
+            "ci_width": float(np.max(stats.band_width())),
+            "ci_width_naive": float(np.max(naive.band_width())),
+        })
+    return entries
+
+
 #: Kernel groups addressable via ``--only``.
 KERNELS = {
     "ensemble": _bench_ensemble,
@@ -336,6 +392,7 @@ KERNELS = {
     "service_cache": _bench_service_cache,
     "pss_shooting": _bench_pss,
     "resilience": _bench_resilience,
+    "mc_variance_reduction": _bench_mc_variance_reduction,
 }
 
 
